@@ -1,0 +1,137 @@
+package assign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveKnown(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	a, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: 0->1 (1), 1->0 (2), 2->2 (2) = 5.
+	if total != 5 {
+		t.Errorf("total=%v, want 5 (assignment %v)", total, a)
+	}
+}
+
+func TestSolveIdentity(t *testing.T) {
+	n := 6
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			if i != j {
+				cost[i][j] = 10
+			}
+		}
+	}
+	a, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 0 {
+		t.Errorf("total=%v", total)
+	}
+	for i, j := range a {
+		if i != j {
+			t.Errorf("assignment %v not identity", a)
+			break
+		}
+	}
+}
+
+func TestSolveEmpty(t *testing.T) {
+	a, total, err := Solve(nil)
+	if err != nil || a != nil || total != 0 {
+		t.Errorf("empty: %v %v %v", a, total, err)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	if _, _, err := Solve([][]float64{{1, 2}}); err == nil {
+		t.Error("non-square accepted")
+	}
+	if _, _, err := Solve([][]float64{{math.NaN()}}); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, _, err := Solve([][]float64{{math.Inf(1)}}); err == nil {
+		t.Error("Inf accepted")
+	}
+}
+
+func TestSolveNegativeCosts(t *testing.T) {
+	cost := [][]float64{
+		{-5, 0},
+		{0, -5},
+	}
+	_, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != -10 {
+		t.Errorf("total=%v, want -10", total)
+	}
+}
+
+func TestSolveIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(12)
+		cost := randomMatrix(n, rng)
+		a, _, err := Solve(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, n)
+		for _, j := range a {
+			if j < 0 || j >= n || seen[j] {
+				t.Fatalf("assignment %v is not a permutation", a)
+			}
+			seen[j] = true
+		}
+	}
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(7)
+		cost := randomMatrix(n, r)
+		_, fast, err1 := Solve(cost)
+		_, slow, err2 := BruteForce(cost)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(fast-slow) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBruteForceErrors(t *testing.T) {
+	if _, _, err := BruteForce([][]float64{{1, 2}}); err == nil {
+		t.Error("non-square accepted")
+	}
+}
+
+func randomMatrix(n int, rng *rand.Rand) [][]float64 {
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			cost[i][j] = math.Floor(rng.Float64()*20) - 5
+		}
+	}
+	return cost
+}

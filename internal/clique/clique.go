@@ -1,0 +1,181 @@
+// Package clique implements maximum-clique search on small dense graphs
+// given as adjacency bitsets. It is the substrate of the clique-on-modular-
+// product formulation of maximum common subgraph (internal/product +
+// internal/mcs).
+//
+// The solver is a branch-and-bound Bron–Kerbosch variant with greedy
+// coloring bounds (a compact Tomita-style MCS algorithm). Graph sizes here
+// are products of the two compared graphs' orders, typically < 200 vertices.
+package clique
+
+import "math/bits"
+
+// BitSet is a fixed-capacity bitset over vertex indices.
+type BitSet []uint64
+
+// NewBitSet returns a bitset able to hold n bits.
+func NewBitSet(n int) BitSet { return make(BitSet, (n+63)/64) }
+
+// Set sets bit i.
+func (b BitSet) Set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear clears bit i.
+func (b BitSet) Clear(i int) { b[i/64] &^= 1 << (uint(i) % 64) }
+
+// Has reports whether bit i is set.
+func (b BitSet) Has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// Count returns the number of set bits.
+func (b BitSet) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clone returns a copy.
+func (b BitSet) Clone() BitSet {
+	c := make(BitSet, len(b))
+	copy(c, b)
+	return c
+}
+
+// IntersectInto sets dst = b ∩ o. dst must have the same length.
+func (b BitSet) IntersectInto(o, dst BitSet) {
+	for i := range b {
+		dst[i] = b[i] & o[i]
+	}
+}
+
+// Empty reports whether no bit is set.
+func (b BitSet) Empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls f for each set bit in ascending order.
+func (b BitSet) ForEach(f func(i int)) {
+	for wi, w := range b {
+		for w != 0 {
+			i := wi*64 + bits.TrailingZeros64(w)
+			f(i)
+			w &= w - 1
+		}
+	}
+}
+
+// Graph is an undirected graph in adjacency-bitset form.
+type Graph struct {
+	N   int
+	Adj []BitSet
+}
+
+// NewGraph returns an empty clique-search graph on n vertices.
+func NewGraph(n int) *Graph {
+	g := &Graph{N: n, Adj: make([]BitSet, n)}
+	for i := range g.Adj {
+		g.Adj[i] = NewBitSet(n)
+	}
+	return g
+}
+
+// AddEdge adds the undirected edge {u,v}.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	g.Adj[u].Set(v)
+	g.Adj[v].Set(u)
+}
+
+// MaxClique returns one maximum clique as a sorted vertex list. The empty
+// graph yields an empty clique. minSize, if > 0, prunes branches that
+// cannot reach that size (useful when the caller only cares about cliques
+// of at least a known bound); pass 0 for a full search.
+func (g *Graph) MaxClique(minSize int) []int {
+	if g.N == 0 {
+		return nil
+	}
+	s := &solver{g: g, bestSize: minSize - 1}
+	cand := NewBitSet(g.N)
+	for i := 0; i < g.N; i++ {
+		cand.Set(i)
+	}
+	s.expand(cand, nil)
+	return s.best
+}
+
+// MaxCliqueSize returns the size of the maximum clique.
+func (g *Graph) MaxCliqueSize() int { return len(g.MaxClique(0)) }
+
+type solver struct {
+	g        *Graph
+	best     []int
+	bestSize int
+}
+
+// expand is the Tomita-style branch and bound: order candidates by greedy
+// coloring, then try them in reverse color order, pruning when
+// |current| + color <= best.
+func (s *solver) expand(cand BitSet, cur []int) {
+	if cand.Empty() {
+		if len(cur) > s.bestSize {
+			s.bestSize = len(cur)
+			s.best = append([]int(nil), cur...)
+		}
+		return
+	}
+	order, colors := s.colorSort(cand)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		if len(cur)+colors[i] <= s.bestSize {
+			return
+		}
+		next := NewBitSet(s.g.N)
+		cand.IntersectInto(s.g.Adj[v], next)
+		s.expand(next, append(cur, v))
+		cand.Clear(v)
+	}
+}
+
+// colorSort greedily colors the candidate set and returns the vertices
+// sorted by ascending color together with their colors. color[i] is an
+// upper bound on the clique size extendable from order[i:].
+func (s *solver) colorSort(cand BitSet) (order []int, colors []int) {
+	var verts []int
+	cand.ForEach(func(i int) { verts = append(verts, i) })
+	// Color classes: vertices in one class are pairwise non-adjacent.
+	classes := make([][]int, 0, 8)
+	for _, v := range verts {
+		placed := false
+		for ci := range classes {
+			ok := true
+			for _, w := range classes[ci] {
+				if s.g.Adj[v].Has(w) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				classes[ci] = append(classes[ci], v)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			classes = append(classes, []int{v})
+		}
+	}
+	for ci, class := range classes {
+		for _, v := range class {
+			order = append(order, v)
+			colors = append(colors, ci+1)
+		}
+	}
+	return order, colors
+}

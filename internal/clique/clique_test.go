@@ -1,0 +1,192 @@
+package clique
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitSetBasics(t *testing.T) {
+	b := NewBitSet(130)
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	if !b.Has(0) || !b.Has(64) || !b.Has(129) || b.Has(1) {
+		t.Error("Set/Has broken")
+	}
+	if b.Count() != 3 {
+		t.Errorf("Count=%d", b.Count())
+	}
+	b.Clear(64)
+	if b.Has(64) || b.Count() != 2 {
+		t.Error("Clear broken")
+	}
+	var got []int
+	b.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != 2 || got[0] != 0 || got[1] != 129 {
+		t.Errorf("ForEach=%v", got)
+	}
+	c := b.Clone()
+	c.Clear(0)
+	if !b.Has(0) {
+		t.Error("Clone aliases")
+	}
+	if b.Empty() {
+		t.Error("Empty wrong")
+	}
+	if !NewBitSet(10).Empty() {
+		t.Error("fresh bitset not empty")
+	}
+}
+
+func TestBitSetIntersect(t *testing.T) {
+	a, b, dst := NewBitSet(100), NewBitSet(100), NewBitSet(100)
+	a.Set(3)
+	a.Set(70)
+	b.Set(70)
+	b.Set(99)
+	a.IntersectInto(b, dst)
+	if dst.Count() != 1 || !dst.Has(70) {
+		t.Error("IntersectInto wrong")
+	}
+}
+
+func TestMaxCliqueEmpty(t *testing.T) {
+	g := NewGraph(0)
+	if c := g.MaxClique(0); len(c) != 0 {
+		t.Errorf("clique=%v", c)
+	}
+	g1 := NewGraph(3) // no edges: max clique is any single vertex
+	if s := g1.MaxCliqueSize(); s != 1 {
+		t.Errorf("size=%d, want 1", s)
+	}
+}
+
+func TestMaxCliqueComplete(t *testing.T) {
+	n := 8
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	if s := g.MaxCliqueSize(); s != n {
+		t.Errorf("K%d clique size=%d", n, s)
+	}
+}
+
+func TestMaxCliquePlanted(t *testing.T) {
+	// 20 vertices, plant K6 on {2,5,8,11,14,17}, sprinkle random edges that
+	// do not create a larger clique among low vertices (checked by brute).
+	rng := rand.New(rand.NewSource(19))
+	planted := []int{2, 5, 8, 11, 14, 17}
+	g := NewGraph(20)
+	for i := 0; i < len(planted); i++ {
+		for j := i + 1; j < len(planted); j++ {
+			g.AddEdge(planted[i], planted[j])
+		}
+	}
+	for k := 0; k < 25; k++ {
+		g.AddEdge(rng.Intn(20), rng.Intn(20))
+	}
+	got := g.MaxClique(0)
+	want := bruteMaxCliqueSize(g)
+	if len(got) != want {
+		t.Errorf("clique size=%d, brute=%d", len(got), want)
+	}
+	if !isClique(g, got) {
+		t.Errorf("returned set %v is not a clique", got)
+	}
+	if len(got) < 6 {
+		t.Errorf("missed planted K6: %v", got)
+	}
+}
+
+func TestMaxCliqueSelfLoopIgnored(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 0)
+	if g.Adj[0].Has(0) {
+		t.Error("self loop stored")
+	}
+}
+
+func TestMaxCliqueMinSizePrune(t *testing.T) {
+	// Max clique is 3; asking for minSize 5 must return nil (nothing >= 5).
+	g := NewGraph(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(3, 4)
+	if c := g.MaxClique(5); c != nil {
+		t.Errorf("minSize prune returned %v", c)
+	}
+	if c := g.MaxClique(3); len(c) != 3 {
+		t.Errorf("minSize=3 returned %v", c)
+	}
+}
+
+func TestMaxCliqueMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		g := NewGraph(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Float64() < 0.5 {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		got := g.MaxClique(0)
+		return isClique(g, got) && len(got) == bruteMaxCliqueSize(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func isClique(g *Graph, vs []int) bool {
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			if !g.Adj[vs[i]].Has(vs[j]) {
+				return false
+			}
+		}
+	}
+	sorted := append([]int(nil), vs...)
+	sort.Ints(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func bruteMaxCliqueSize(g *Graph) int {
+	best := 0
+	var rec func(start int, cur []int)
+	rec = func(start int, cur []int) {
+		if len(cur) > best {
+			best = len(cur)
+		}
+		for v := start; v < g.N; v++ {
+			ok := true
+			for _, w := range cur {
+				if !g.Adj[v].Has(w) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				rec(v+1, append(cur, v))
+			}
+		}
+	}
+	if g.N > 0 {
+		rec(0, nil)
+	}
+	return best
+}

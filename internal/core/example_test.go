@@ -1,0 +1,85 @@
+package core_test
+
+import (
+	"fmt"
+
+	"skygraph/internal/core"
+	"skygraph/internal/dataset"
+	"skygraph/internal/graph"
+	"skygraph/internal/measure"
+)
+
+// ExampleEngine_Skyline reproduces the paper's Section VI query: the
+// similarity skyline of the seven-graph database against q.
+func ExampleEngine_Skyline() {
+	eng := core.NewEngine()
+	if err := eng.Add(dataset.PaperDB()...); err != nil {
+		panic(err)
+	}
+	res, err := eng.Skyline(dataset.PaperQuery())
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range res.Members {
+		fmt.Printf("%s (%.0f, %.2f, %.2f)\n", m.Name, m.Vector[0], m.Vector[1], m.Vector[2])
+	}
+	// Output:
+	// g1 (4, 0.33, 0.50)
+	// g4 (2, 0.50, 0.67)
+	// g5 (3, 0.38, 0.44)
+	// g7 (4, 0.40, 0.40)
+}
+
+// ExampleEngine_TopK shows the single-measure baseline the skyline
+// generalizes: the nearest graph by edit distance alone.
+func ExampleEngine_TopK() {
+	eng := core.NewEngine()
+	if err := eng.Add(dataset.PaperDB()...); err != nil {
+		panic(err)
+	}
+	top, err := eng.TopK(dataset.PaperQuery(), measure.DistEd{}, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(top[0].Name, top[0].Vector[0])
+	// Output:
+	// g4 2
+}
+
+// ExampleExplain shows how to ask why a graph was excluded from the
+// skyline.
+func ExampleExplain() {
+	eng := core.NewEngine()
+	if err := eng.Add(dataset.PaperDB()...); err != nil {
+		panic(err)
+	}
+	res, err := eng.Skyline(dataset.PaperQuery())
+	if err != nil {
+		panic(err)
+	}
+	dom, ok := core.Explain(res, "g3")
+	fmt.Println(ok, dom)
+	// Output:
+	// true g5
+}
+
+// ExampleNewEngine demonstrates building graphs programmatically and
+// querying with a custom two-measure basis.
+func ExampleNewEngine() {
+	tri := graph.Complete(3, "A", "x")
+	tri.SetName("triangle")
+	p4 := graph.Path(4, "A", "x")
+	p4.SetName("path4")
+
+	eng := core.NewEngine(core.WithBasis(measure.DistEd{}, measure.DistGu{}))
+	if err := eng.Add(tri, p4); err != nil {
+		panic(err)
+	}
+	res, err := eng.Skyline(graph.Path(3, "A", "x"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(res.Members[0].Vector), "dimensions")
+	// Output:
+	// 2 dimensions
+}

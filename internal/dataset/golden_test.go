@@ -1,0 +1,57 @@
+package dataset
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"skygraph/internal/graph"
+)
+
+// TestGoldenPaperLGF pins the reconstructed paper dataset to the committed
+// testdata/paper.lgf fixture: any accidental change to the reconstruction
+// (which would silently alter the reproduced tables) fails here. The file
+// holds, in order: q, g1..g7, fig1-g1, fig1-g2.
+func TestGoldenPaperLGF(t *testing.T) {
+	f, err := os.Open("testdata/paper.lgf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	golden, err := graph.ReadLGF(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []*graph.Graph
+	want = append(want, PaperQuery())
+	want = append(want, PaperDB()...)
+	f1, f2 := Fig1Pair()
+	want = append(want, f1, f2)
+	if len(golden) != len(want) {
+		t.Fatalf("golden holds %d graphs, want %d", len(golden), len(want))
+	}
+	for i, g := range want {
+		if !golden[i].Equal(g) {
+			t.Errorf("graph %d (%s) drifted from golden fixture:\ngolden: %s\n   now: %s",
+				i, g.Name(), golden[i], g)
+		}
+	}
+}
+
+// TestGoldenValidates double-checks every fixture graph passes Validate
+// (the same file ships as example input for cmd/gss).
+func TestGoldenValidates(t *testing.T) {
+	data, err := os.ReadFile("testdata/paper.lgf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := graph.ReadLGF(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range parsed {
+		if err := g.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package diversity implements the Section VII refinement of the paper:
+// selecting, from a (possibly large) graph similarity skyline, the size-k
+// subset with maximal diversity under a ranking-dominance criterion adapted
+// from Kukkonen & Lampinen.
+//
+// The diversity of a subset S is the vector Div(S) = (v_1, ..., v_d) where
+// v_i is the minimum pairwise distance between members of S in dimension i
+// (larger is more diverse). Every k-subset is dense-ranked per dimension
+// (rank 1 = most diverse) and val(S) = sum of its ranks; the subset
+// minimizing val(S) wins. A greedy farthest-point heuristic is provided for
+// skylines too large to enumerate.
+package diversity
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Matrix holds symmetric pairwise distances between n items in d dimensions:
+// D[dim][i][j]. Diagonals are ignored.
+type Matrix struct {
+	N    int
+	Dims int
+	D    [][][]float64
+}
+
+// NewMatrix allocates an all-zero distance matrix.
+func NewMatrix(n, dims int) *Matrix {
+	d := make([][][]float64, dims)
+	for k := range d {
+		d[k] = make([][]float64, n)
+		for i := range d[k] {
+			d[k][i] = make([]float64, n)
+		}
+	}
+	return &Matrix{N: n, Dims: dims, D: d}
+}
+
+// Set stores the distance of items i and j in dimension dim (symmetric).
+func (m *Matrix) Set(dim, i, j int, v float64) {
+	m.D[dim][i][j] = v
+	m.D[dim][j][i] = v
+}
+
+// Div returns the diversity vector of the subset sel (item indices): the
+// per-dimension minimum pairwise distance. Subsets with fewer than two
+// members have undefined diversity; by convention the vector is all +Inf
+// (a singleton is "maximally spread").
+func (m *Matrix) Div(sel []int) []float64 {
+	out := make([]float64, m.Dims)
+	for k := range out {
+		out[k] = math.Inf(1)
+	}
+	for a := 0; a < len(sel); a++ {
+		for b := a + 1; b < len(sel); b++ {
+			for k := 0; k < m.Dims; k++ {
+				if d := m.D[k][sel[a]][sel[b]]; d < out[k] {
+					out[k] = d
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Candidate is one k-subset with its diversity vector, per-dimension dense
+// ranks and rank sum.
+type Candidate struct {
+	Members []int
+	Div     []float64
+	Ranks   []int
+	Val     int
+}
+
+// Exhaustive enumerates all k-subsets of the n items, ranks them, and
+// returns the winner along with every candidate (sorted by Val ascending,
+// ties broken by lexicographic member order for determinism, matching the
+// paper's Table IV/V presentation). It errors when k is out of range or the
+// candidate count would exceed maxCandidates (pass 0 for the default of
+// 200000).
+func Exhaustive(m *Matrix, k int, maxCandidates int) (best Candidate, all []Candidate, err error) {
+	if k < 1 || k > m.N {
+		return Candidate{}, nil, fmt.Errorf("diversity: k=%d out of range [1,%d]", k, m.N)
+	}
+	if maxCandidates <= 0 {
+		maxCandidates = 200000
+	}
+	count := binomial(m.N, k)
+	if count > maxCandidates {
+		return Candidate{}, nil, fmt.Errorf("diversity: C(%d,%d)=%d candidates exceed cap %d; use Greedy", m.N, k, count, maxCandidates)
+	}
+	subsets := combinations(m.N, k)
+	all = make([]Candidate, len(subsets))
+	for i, s := range subsets {
+		all[i] = Candidate{Members: s, Div: m.Div(s)}
+	}
+	// Dense-rank each dimension: rank 1 = largest diversity.
+	for dim := 0; dim < m.Dims; dim++ {
+		vals := make([]float64, len(all))
+		for i := range all {
+			vals[i] = all[i].Div[dim]
+		}
+		ranks := DenseRanks(vals)
+		for i := range all {
+			all[i].Ranks = append(all[i].Ranks, ranks[i])
+		}
+	}
+	for i := range all {
+		v := 0
+		for _, r := range all[i].Ranks {
+			v += r
+		}
+		all[i].Val = v
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		if all[a].Val != all[b].Val {
+			return all[a].Val < all[b].Val
+		}
+		return lexLess(all[a].Members, all[b].Members)
+	})
+	return all[0], all, nil
+}
+
+// DenseRanks assigns dense competition ranks to values, descending: the
+// largest value gets rank 1, equal values share a rank, and the next
+// distinct value gets the next integer (1,2,2,3 ... as in the paper's
+// Table V).
+func DenseRanks(values []float64) []int {
+	uniq := append([]float64(nil), values...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(uniq)))
+	rank := map[float64]int{}
+	r := 0
+	for i, v := range uniq {
+		if i == 0 || v != uniq[i-1] {
+			r++
+		}
+		if _, ok := rank[v]; !ok {
+			rank[v] = r
+		}
+	}
+	out := make([]int, len(values))
+	for i, v := range values {
+		out[i] = rank[v]
+	}
+	return out
+}
+
+// Greedy selects k items with a farthest-point heuristic on the aggregated
+// (summed over dimensions) distance: start from the globally farthest pair,
+// then repeatedly add the item maximizing its minimum aggregated distance
+// to the selection. It approximates the exhaustive optimum at O(k·n²) cost.
+func Greedy(m *Matrix, k int) ([]int, error) {
+	if k < 1 || k > m.N {
+		return nil, fmt.Errorf("diversity: k=%d out of range [1,%d]", k, m.N)
+	}
+	if k == 1 {
+		return []int{0}, nil
+	}
+	agg := func(i, j int) float64 {
+		s := 0.0
+		for dim := 0; dim < m.Dims; dim++ {
+			s += m.D[dim][i][j]
+		}
+		return s
+	}
+	bi, bj, bd := 0, 1, -1.0
+	for i := 0; i < m.N; i++ {
+		for j := i + 1; j < m.N; j++ {
+			if d := agg(i, j); d > bd {
+				bi, bj, bd = i, j, d
+			}
+		}
+	}
+	sel := []int{bi, bj}
+	chosen := map[int]bool{bi: true, bj: true}
+	for len(sel) < k {
+		bestItem, bestScore := -1, -1.0
+		for i := 0; i < m.N; i++ {
+			if chosen[i] {
+				continue
+			}
+			minD := math.Inf(1)
+			for _, s := range sel {
+				if d := agg(i, s); d < minD {
+					minD = d
+				}
+			}
+			if minD > bestScore {
+				bestItem, bestScore = i, minD
+			}
+		}
+		sel = append(sel, bestItem)
+		chosen[bestItem] = true
+	}
+	sort.Ints(sel)
+	return sel, nil
+}
+
+func combinations(n, k int) [][]int {
+	var out [][]int
+	comb := make([]int, k)
+	var rec func(start, idx int)
+	rec = func(start, idx int) {
+		if idx == k {
+			out = append(out, append([]int(nil), comb...))
+			return
+		}
+		for i := start; i <= n-(k-idx); i++ {
+			comb[idx] = i
+			rec(i+1, idx+1)
+		}
+	}
+	rec(0, 0)
+	return out
+}
+
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1
+	for i := 1; i <= k; i++ {
+		r = r * (n - k + i) / i
+		if r < 0 || r > 1<<40 {
+			return 1 << 40 // saturate: "too many"
+		}
+	}
+	return r
+}
+
+func lexLess(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,256 @@
+package diversity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// paperMatrix builds the pairwise distance matrix among the paper's skyline
+// members GSS = {g1, g4, g5, g7} (indices 0..3) in the diversity basis
+// (DistNEd, DistMcs, DistGu), decoded from Table IV: each 2-subset's Div is
+// exactly the pairwise distance of its two members.
+func paperMatrix() *Matrix {
+	m := NewMatrix(4, 3)
+	set := func(i, j int, v1, v2, v3 float64) {
+		m.Set(0, i, j, v1)
+		m.Set(1, i, j, v2)
+		m.Set(2, i, j, v3)
+	}
+	set(0, 1, 0.86, 0.67, 0.80) // {g1,g4} = S1
+	set(0, 2, 0.83, 0.50, 0.60) // {g1,g5} = S2
+	set(0, 3, 0.87, 0.60, 0.67) // {g1,g7} = S3
+	set(1, 2, 0.80, 0.62, 0.73) // {g4,g5} = S4
+	set(1, 3, 0.83, 0.70, 0.77) // {g4,g7} = S5
+	set(2, 3, 0.75, 0.50, 0.61) // {g5,g7} = S6
+	return m
+}
+
+func TestPaperTable4And5(t *testing.T) {
+	m := paperMatrix()
+	best, all, err := Exhaustive(m, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 6 {
+		t.Fatalf("candidates=%d, want 6", len(all))
+	}
+	// Winner is S1 = {g1, g4} with val = 5 (Table V-b).
+	if best.Members[0] != 0 || best.Members[1] != 1 {
+		t.Errorf("winner=%v, want [0 1] (g1,g4)", best.Members)
+	}
+	if best.Val != 5 {
+		t.Errorf("val=%d, want 5", best.Val)
+	}
+	// Full Table V check: ranks and vals per subset.
+	wantRanks := map[[2]int][3]int{
+		{0, 1}: {2, 2, 1}, // S1
+		{0, 2}: {3, 5, 6}, // S2
+		{0, 3}: {1, 4, 4}, // S3
+		{1, 2}: {4, 3, 3}, // S4
+		{1, 3}: {3, 1, 2}, // S5
+		{2, 3}: {5, 5, 5}, // S6
+	}
+	wantVals := map[[2]int]int{
+		{0, 1}: 5, {0, 2}: 14, {0, 3}: 9, {1, 2}: 10, {1, 3}: 6, {2, 3}: 15,
+	}
+	for _, c := range all {
+		key := [2]int{c.Members[0], c.Members[1]}
+		wr := wantRanks[key]
+		for d := 0; d < 3; d++ {
+			if c.Ranks[d] != wr[d] {
+				t.Errorf("subset %v dim %d: rank=%d, want %d", c.Members, d, c.Ranks[d], wr[d])
+			}
+		}
+		if c.Val != wantVals[key] {
+			t.Errorf("subset %v: val=%d, want %d", c.Members, c.Val, wantVals[key])
+		}
+	}
+	// Val ordering: S1(5) < S5(6) < S3(9) < S4(10) < S2(14) < S6(15).
+	wantOrder := [][2]int{{0, 1}, {1, 3}, {0, 3}, {1, 2}, {0, 2}, {2, 3}}
+	for i, c := range all {
+		if c.Members[0] != wantOrder[i][0] || c.Members[1] != wantOrder[i][1] {
+			t.Errorf("rank order position %d: %v, want %v", i, c.Members, wantOrder[i])
+		}
+	}
+}
+
+func TestDivVector(t *testing.T) {
+	m := paperMatrix()
+	div := m.Div([]int{0, 1, 2}) // g1,g4,g5: min over 3 pairs per dim
+	want := []float64{0.80, 0.50, 0.60}
+	for i := range want {
+		if math.Abs(div[i]-want[i]) > 1e-12 {
+			t.Errorf("div[%d]=%v, want %v", i, div[i], want[i])
+		}
+	}
+	single := m.Div([]int{2})
+	for _, v := range single {
+		if !math.IsInf(v, 1) {
+			t.Errorf("singleton diversity=%v, want +Inf", v)
+		}
+	}
+}
+
+func TestDenseRanks(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want []int
+	}{
+		{[]float64{0.86, 0.83, 0.87, 0.80, 0.83, 0.75}, []int{2, 3, 1, 4, 3, 5}}, // Table V v1
+		{[]float64{0.67, 0.50, 0.60, 0.62, 0.70, 0.50}, []int{2, 5, 4, 3, 1, 5}}, // Table V v2
+		{[]float64{0.80, 0.60, 0.67, 0.73, 0.77, 0.61}, []int{1, 6, 4, 3, 2, 5}}, // Table V v3
+		{[]float64{5, 5, 5}, []int{1, 1, 1}},
+		{[]float64{}, []int{}},
+		{[]float64{1}, []int{1}},
+	}
+	for i, c := range cases {
+		got := DenseRanks(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("case %d: %v", i, got)
+			continue
+		}
+		for j := range c.want {
+			if got[j] != c.want[j] {
+				t.Errorf("case %d: got %v, want %v", i, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestExhaustiveErrors(t *testing.T) {
+	m := NewMatrix(4, 2)
+	if _, _, err := Exhaustive(m, 0, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := Exhaustive(m, 5, 0); err == nil {
+		t.Error("k>n accepted")
+	}
+	big := NewMatrix(50, 1)
+	if _, _, err := Exhaustive(big, 25, 1000); err == nil {
+		t.Error("candidate explosion not detected")
+	}
+}
+
+func TestExhaustiveK1(t *testing.T) {
+	m := paperMatrix()
+	best, all, err := Exhaustive(m, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 || len(best.Members) != 1 {
+		t.Errorf("k=1: %d candidates, best=%v", len(all), best.Members)
+	}
+	// All singletons tie at +Inf diversity; lexicographic winner is {0}.
+	if best.Members[0] != 0 {
+		t.Errorf("winner=%v", best.Members)
+	}
+}
+
+func TestGreedyBasics(t *testing.T) {
+	m := paperMatrix()
+	sel, err := Greedy(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 {
+		t.Fatalf("sel=%v", sel)
+	}
+	// Farthest pair by aggregated distance: S1 {0,1} has sum 2.33, the
+	// largest in the fixture, so greedy should agree with exhaustive here.
+	if sel[0] != 0 || sel[1] != 1 {
+		t.Errorf("greedy sel=%v, want [0 1]", sel)
+	}
+	if _, err := Greedy(m, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if one, err := Greedy(m, 1); err != nil || len(one) != 1 {
+		t.Errorf("k=1: %v %v", one, err)
+	}
+}
+
+func TestGreedyCoversAllK(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	n, dims := 10, 3
+	m := NewMatrix(n, dims)
+	for d := 0; d < dims; d++ {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				m.Set(d, i, j, rng.Float64())
+			}
+		}
+	}
+	for k := 1; k <= n; k++ {
+		sel, err := Greedy(m, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sel) != k {
+			t.Fatalf("k=%d: len=%d", k, len(sel))
+		}
+		seen := map[int]bool{}
+		for _, s := range sel {
+			if seen[s] || s < 0 || s >= n {
+				t.Fatalf("k=%d: invalid selection %v", k, sel)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestGreedyNearOptimalOnRandom(t *testing.T) {
+	// Greedy should find a subset whose val is within the candidate range;
+	// here we only require it to beat the *worst* exhaustive candidate on
+	// average, a weak but meaningful sanity bound.
+	rng := rand.New(rand.NewSource(79))
+	worse := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		n := 6 + rng.Intn(3)
+		m := NewMatrix(n, 2)
+		for d := 0; d < 2; d++ {
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					m.Set(d, i, j, rng.Float64())
+				}
+			}
+		}
+		_, all, err := Exhaustive(m, 3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel, err := Greedy(m, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		valOf := func(members []int) int {
+			for _, c := range all {
+				if c.Members[0] == members[0] && c.Members[1] == members[1] && c.Members[2] == members[2] {
+					return c.Val
+				}
+			}
+			t.Fatalf("subset %v not found", members)
+			return 0
+		}
+		if valOf(sel) > all[len(all)-1].Val {
+			worse++
+		}
+	}
+	if worse > 0 {
+		t.Errorf("greedy worse than the worst candidate %d/%d times", worse, trials)
+	}
+}
+
+func TestBinomialAndCombinations(t *testing.T) {
+	if binomial(6, 2) != 15 {
+		t.Errorf("C(6,2)=%d", binomial(6, 2))
+	}
+	if binomial(4, 0) != 1 || binomial(4, 4) != 1 || binomial(3, 5) != 0 {
+		t.Error("binomial edge cases")
+	}
+	combs := combinations(4, 2)
+	if len(combs) != 6 {
+		t.Errorf("combinations(4,2)=%v", combs)
+	}
+}

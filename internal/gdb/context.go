@@ -1,0 +1,89 @@
+package gdb
+
+import (
+	"context"
+	"time"
+
+	"skygraph/internal/graph"
+	"skygraph/internal/measure"
+	"skygraph/internal/skyline"
+)
+
+// SkylineQueryContext is SkylineQuery with cooperative cancellation: the
+// evaluation of pair vectors — the expensive part, each pair costing an
+// exact GED and MCS — checks ctx between pairs and aborts early, returning
+// ctx.Err(). Pairs already finished are discarded.
+func (db *DB) SkylineQueryContext(ctx context.Context, q *graph.Graph, opts QueryOptions) (SkylineResult, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	graphs := db.Graphs()
+	pts := make([]skyline.Point, len(graphs))
+	inexact, err := evalVectorsCtx(ctx, graphs, q, opts, pts)
+	if err != nil {
+		return SkylineResult{}, err
+	}
+	sky := opts.Algorithm(pts)
+	return SkylineResult{
+		Skyline: sky,
+		All:     pts,
+		Stats: QueryStats{
+			Evaluated: len(pts),
+			Inexact:   inexact,
+			Duration:  time.Since(start),
+		},
+	}, nil
+}
+
+func evalVectorsCtx(ctx context.Context, graphs []*graph.Graph, q *graph.Graph, opts QueryOptions, pts []skyline.Point) (int, error) {
+	type result struct {
+		i       int
+		pt      skyline.Point
+		inexact bool
+	}
+	work := make(chan int)
+	results := make(chan result)
+	done := make(chan struct{})
+	defer close(done)
+
+	for w := 0; w < opts.Workers; w++ {
+		go func() {
+			for i := range work {
+				stats := measure.Compute(graphs[i], q, opts.Eval)
+				r := result{
+					i:       i,
+					pt:      skyline.Point{ID: graphs[i].Name(), Vec: measure.GCS(stats, opts.Basis)},
+					inexact: !stats.GEDExact || !stats.MCSExact,
+				}
+				select {
+				case results <- r:
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(work)
+		for i := range graphs {
+			select {
+			case work <- i:
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	inexact := 0
+	for filled := 0; filled < len(graphs); filled++ {
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case r := <-results:
+			pts[r.i] = r.pt
+			if r.inexact {
+				inexact++
+			}
+		}
+	}
+	return inexact, nil
+}

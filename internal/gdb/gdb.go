@@ -1,0 +1,220 @@
+// Package gdb implements the graph database underneath the similarity
+// skyline query engine: named graph storage, LGF persistence, a
+// label-histogram index providing cheap edit-distance lower bounds, and
+// parallel evaluation of compound similarity vectors.
+package gdb
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"skygraph/internal/graph"
+)
+
+// DB is a concurrency-safe collection of uniquely named graphs with a
+// per-graph histogram index maintained on insert.
+type DB struct {
+	mu     sync.RWMutex
+	names  []string // insertion order
+	graphs map[string]*entry
+}
+
+type entry struct {
+	g     *graph.Graph
+	vhist map[string]int
+	ehist map[string]int
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{graphs: make(map[string]*entry)}
+}
+
+// Insert adds g. The graph must validate, carry a non-empty name, and the
+// name must be unused. The database stores g itself; callers must not
+// mutate a graph after insertion (Clone first if needed).
+func (db *DB) Insert(g *graph.Graph) error {
+	if g.Name() == "" {
+		return fmt.Errorf("gdb: graph has no name")
+	}
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("gdb: %w", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.graphs[g.Name()]; dup {
+		return fmt.Errorf("gdb: duplicate graph name %q", g.Name())
+	}
+	vh, eh := g.LabelHistogram()
+	db.graphs[g.Name()] = &entry{g: g, vhist: vh, ehist: eh}
+	db.names = append(db.names, g.Name())
+	return nil
+}
+
+// InsertAll inserts every graph, stopping at the first error.
+func (db *DB) InsertAll(gs []*graph.Graph) error {
+	for _, g := range gs {
+		if err := db.Insert(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get returns the graph with the given name.
+func (db *DB) Get(name string) (*graph.Graph, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e, ok := db.graphs[name]
+	if !ok {
+		return nil, false
+	}
+	return e.g, true
+}
+
+// Delete removes the named graph, reporting whether it existed.
+func (db *DB) Delete(name string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.graphs[name]; !ok {
+		return false
+	}
+	delete(db.graphs, name)
+	for i, n := range db.names {
+		if n == name {
+			db.names = append(db.names[:i], db.names[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Len returns the number of stored graphs.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.names)
+}
+
+// Names returns the graph names in insertion order.
+func (db *DB) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]string(nil), db.names...)
+}
+
+// Graphs returns the stored graphs in insertion order.
+func (db *DB) Graphs() []*graph.Graph {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]*graph.Graph, 0, len(db.names))
+	for _, n := range db.names {
+		out = append(out, db.graphs[n].g)
+	}
+	return out
+}
+
+// Stats summarizes the database contents.
+type Stats struct {
+	Graphs       int
+	Vertices     int
+	Edges        int
+	VertexLabels int
+	EdgeLabels   int
+	MinSize      int
+	MaxSize      int
+}
+
+// Stats returns aggregate statistics.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := Stats{Graphs: len(db.names)}
+	vl, el := map[string]bool{}, map[string]bool{}
+	first := true
+	for _, n := range db.names {
+		e := db.graphs[n]
+		s.Vertices += e.g.Order()
+		s.Edges += e.g.Size()
+		for l := range e.vhist {
+			vl[l] = true
+		}
+		for l := range e.ehist {
+			el[l] = true
+		}
+		if first || e.g.Size() < s.MinSize {
+			s.MinSize = e.g.Size()
+		}
+		if first || e.g.Size() > s.MaxSize {
+			s.MaxSize = e.g.Size()
+		}
+		first = false
+	}
+	s.VertexLabels, s.EdgeLabels = len(vl), len(el)
+	return s
+}
+
+// LowerBoundGED returns the histogram lower bound on the uniform-cost edit
+// distance between the named graph and q, served from the index without
+// touching the graph structure. ok is false for unknown names.
+func (db *DB) LowerBoundGED(name string, qv, qe map[string]int) (lb float64, ok bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e, ok := db.graphs[name]
+	if !ok {
+		return 0, false
+	}
+	return float64(graph.HistogramDistance(e.vhist, qv) + graph.HistogramDistance(e.ehist, qe)), true
+}
+
+// WriteTo streams the whole database as LGF.
+func (db *DB) WriteTo(w io.Writer) (int64, error) {
+	for _, g := range db.Graphs() {
+		if err := graph.WriteLGF(w, g); err != nil {
+			return 0, err
+		}
+	}
+	return 0, nil
+}
+
+// Save writes the database to path as LGF.
+func (db *DB) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := db.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads an LGF file into a fresh database.
+func Load(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	gs, err := graph.ReadLGF(f)
+	if err != nil {
+		return nil, err
+	}
+	db := New()
+	if err := db.InsertAll(gs); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// SortedNames returns the graph names sorted lexicographically (for
+// deterministic reporting independent of insertion order).
+func (db *DB) SortedNames() []string {
+	out := db.Names()
+	sort.Strings(out)
+	return out
+}

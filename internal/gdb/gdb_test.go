@@ -1,0 +1,163 @@
+package gdb
+
+import (
+	"path/filepath"
+	"testing"
+
+	"skygraph/internal/dataset"
+	"skygraph/internal/graph"
+)
+
+func paperDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	if err := db.InsertAll(dataset.PaperDB()); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	db := New()
+	g := graph.Path(3, "A", "x")
+	g.SetName("p3")
+	if err := db.Insert(g); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 1 {
+		t.Errorf("len=%d", db.Len())
+	}
+	got, ok := db.Get("p3")
+	if !ok || !got.Equal(g) {
+		t.Error("Get failed")
+	}
+	if _, ok := db.Get("nope"); ok {
+		t.Error("Get of missing graph succeeded")
+	}
+	if !db.Delete("p3") {
+		t.Error("Delete failed")
+	}
+	if db.Delete("p3") {
+		t.Error("double delete succeeded")
+	}
+	if db.Len() != 0 {
+		t.Errorf("len=%d after delete", db.Len())
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	db := New()
+	unnamed := graph.New("")
+	if err := db.Insert(unnamed); err == nil {
+		t.Error("unnamed graph accepted")
+	}
+	g := graph.Path(2, "A", "x")
+	g.SetName("g")
+	if err := db.Insert(g); err != nil {
+		t.Fatal(err)
+	}
+	dup := graph.Path(4, "B", "y")
+	dup.SetName("g")
+	if err := db.Insert(dup); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestNamesInsertionOrder(t *testing.T) {
+	db := paperDB(t)
+	names := db.Names()
+	want := []string{"g1", "g2", "g3", "g4", "g5", "g6", "g7"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names=%v", names)
+		}
+	}
+	gs := db.Graphs()
+	for i, g := range gs {
+		if g.Name() != want[i] {
+			t.Fatalf("graphs order wrong at %d", i)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	db := paperDB(t)
+	s := db.Stats()
+	if s.Graphs != 7 {
+		t.Errorf("graphs=%d", s.Graphs)
+	}
+	if s.MinSize != 6 || s.MaxSize != 10 {
+		t.Errorf("size range [%d,%d], want [6,10]", s.MinSize, s.MaxSize)
+	}
+	wantEdges := 0
+	for _, n := range dataset.PaperSizes {
+		wantEdges += n
+	}
+	if s.Edges != wantEdges {
+		t.Errorf("edges=%d, want %d", s.Edges, wantEdges)
+	}
+	if s.EdgeLabels != 2 { // "s" and "t"
+		t.Errorf("edge labels=%d", s.EdgeLabels)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := paperDB(t)
+	path := filepath.Join(t.TempDir(), "db.lgf")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != db.Len() {
+		t.Fatalf("len=%d, want %d", loaded.Len(), db.Len())
+	}
+	for _, name := range db.Names() {
+		a, _ := db.Get(name)
+		b, ok := loaded.Get(name)
+		if !ok || !a.Equal(b) {
+			t.Errorf("graph %s not preserved", name)
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.lgf")); err == nil {
+		t.Error("no error for missing file")
+	}
+}
+
+func TestLowerBoundGED(t *testing.T) {
+	db := paperDB(t)
+	q := dataset.PaperQuery()
+	qv, qe := q.LabelHistogram()
+	for i, name := range db.Names() {
+		lb, ok := db.LowerBoundGED(name, qv, qe)
+		if !ok {
+			t.Fatalf("LowerBoundGED(%s) not found", name)
+		}
+		if lb > dataset.PaperGED[i] {
+			t.Errorf("%s: lower bound %v exceeds true GED %v", name, lb, dataset.PaperGED[i])
+		}
+	}
+	if _, ok := db.LowerBoundGED("missing", qv, qe); ok {
+		t.Error("lower bound for missing graph")
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	db := New()
+	for _, n := range []string{"zz", "aa", "mm"} {
+		g := graph.Path(2, "A", "x")
+		g.SetName(n)
+		if err := db.Insert(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := db.SortedNames()
+	if got[0] != "aa" || got[1] != "mm" || got[2] != "zz" {
+		t.Errorf("sorted=%v", got)
+	}
+}

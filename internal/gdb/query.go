@@ -1,0 +1,315 @@
+package gdb
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"skygraph/internal/diversity"
+	"skygraph/internal/graph"
+	"skygraph/internal/measure"
+	"skygraph/internal/skyline"
+	"skygraph/internal/topk"
+)
+
+// QueryOptions configures similarity queries.
+type QueryOptions struct {
+	// Basis is the measure vector defining the GCS (Definition 11); nil
+	// means the paper's default (DistEd, DistMcs, DistGu).
+	Basis []measure.Measure
+	// Eval bounds the exact GED/MCS engines (zero = exact, unbounded).
+	Eval measure.Options
+	// Workers is the parallelism for pair evaluation; 0 means GOMAXPROCS.
+	Workers int
+	// Algorithm computes the skyline; nil means skyline.SFS.
+	Algorithm skyline.Algorithm
+}
+
+func (o QueryOptions) withDefaults() QueryOptions {
+	if o.Basis == nil {
+		o.Basis = measure.Default()
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Algorithm == nil {
+		o.Algorithm = skyline.SFS
+	}
+	return o
+}
+
+// QueryStats reports work done by a query.
+type QueryStats struct {
+	// Evaluated counts graphs whose full GCS vector was computed.
+	Evaluated int
+	// Pruned counts graphs skipped via index lower bounds (top-k and range
+	// queries only; skyline queries need every vector).
+	Pruned int
+	// Inexact counts pairs where a capped engine returned a bound rather
+	// than the exact value.
+	Inexact int
+	// Duration is the wall-clock query time.
+	Duration time.Duration
+}
+
+// SkylineResult is the answer to a similarity skyline query.
+type SkylineResult struct {
+	// Skyline is GSS(D, q): the non-dominated graphs with their GCS
+	// vectors, in database insertion order.
+	Skyline []skyline.Point
+	// All holds every evaluated (graph, vector) pair, in insertion order —
+	// the full Table III analogue.
+	All   []skyline.Point
+	Stats QueryStats
+}
+
+// SkylineQuery computes the graph similarity skyline GSS(D, q) of
+// Definition 12/Eq. 4: evaluate the GCS vector of every database graph
+// against q in parallel, then keep the Pareto-optimal ones.
+func (db *DB) SkylineQuery(q *graph.Graph, opts QueryOptions) (SkylineResult, error) {
+	return db.skylineQuery(q, opts)
+}
+
+func (db *DB) skylineQuery(q *graph.Graph, opts QueryOptions) (SkylineResult, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	graphs := db.Graphs()
+	pts := make([]skyline.Point, len(graphs))
+	inexact := evalVectors(graphs, q, opts, pts)
+	sky := opts.Algorithm(pts)
+	return SkylineResult{
+		Skyline: sky,
+		All:     pts,
+		Stats: QueryStats{
+			Evaluated: len(pts),
+			Inexact:   inexact,
+			Duration:  time.Since(start),
+		},
+	}, nil
+}
+
+// evalVectors fills pts[i] with the GCS vector of graphs[i] vs q using a
+// worker pool; it returns the number of inexact pair evaluations.
+func evalVectors(graphs []*graph.Graph, q *graph.Graph, opts QueryOptions, pts []skyline.Point) int {
+	var wg sync.WaitGroup
+	work := make(chan int)
+	var inexact int64
+	var mu sync.Mutex
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				stats := measure.Compute(graphs[i], q, opts.Eval)
+				pts[i] = skyline.Point{ID: graphs[i].Name(), Vec: measure.GCS(stats, opts.Basis)}
+				if !stats.GEDExact || !stats.MCSExact {
+					mu.Lock()
+					inexact++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range graphs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return int(inexact)
+}
+
+// TopKResult is the answer to a single-measure top-k query.
+type TopKResult struct {
+	Items []topk.Item
+	Stats QueryStats
+}
+
+// TopKQuery is the single-measure baseline (Section VI): the k database
+// graphs with the smallest distance under one measure. For DistEd the
+// histogram index prunes graphs whose lower bound already exceeds the
+// current k-th best distance, skipping the exact computation.
+func (db *DB) TopKQuery(q *graph.Graph, m measure.Measure, k int, opts QueryOptions) (TopKResult, error) {
+	if k < 1 {
+		return TopKResult{}, fmt.Errorf("gdb: k must be >= 1")
+	}
+	opts = opts.withDefaults()
+	start := time.Now()
+	qv, qe := q.LabelHistogram()
+	_, isEd := m.(measure.DistEd)
+
+	var items []topk.Item
+	stats := QueryStats{}
+	kth := math.Inf(1)
+	kthCount := 0
+	for _, g := range db.Graphs() {
+		if isEd && kthCount >= k {
+			if lb, ok := db.LowerBoundGED(g.Name(), qv, qe); ok && lb > kth {
+				stats.Pruned++
+				continue
+			}
+		}
+		ps := measure.Compute(g, q, opts.Eval)
+		if !ps.GEDExact || !ps.MCSExact {
+			stats.Inexact++
+		}
+		stats.Evaluated++
+		d := m.FromStats(ps)
+		items = append(items, topk.Item{ID: g.Name(), Score: d})
+		if d < kth || kthCount < k {
+			best := topk.Select(items, k)
+			kthCount = len(best)
+			if kthCount == k {
+				kth = best[k-1].Score
+			}
+		}
+	}
+	stats.Duration = time.Since(start)
+	return TopKResult{Items: topk.Select(items, k), Stats: stats}, nil
+}
+
+// RangeResult is the answer to a distance-range query.
+type RangeResult struct {
+	Items []topk.Item
+	Stats QueryStats
+}
+
+// RangeQuery returns every graph whose distance to q under m is at most
+// radius. For DistEd the histogram index prunes hopeless candidates.
+func (db *DB) RangeQuery(q *graph.Graph, m measure.Measure, radius float64, opts QueryOptions) (RangeResult, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	qv, qe := q.LabelHistogram()
+	_, isEd := m.(measure.DistEd)
+	var items []topk.Item
+	stats := QueryStats{}
+	for _, g := range db.Graphs() {
+		if isEd {
+			if lb, ok := db.LowerBoundGED(g.Name(), qv, qe); ok && lb > radius {
+				stats.Pruned++
+				continue
+			}
+		}
+		ps := measure.Compute(g, q, opts.Eval)
+		if !ps.GEDExact || !ps.MCSExact {
+			stats.Inexact++
+		}
+		stats.Evaluated++
+		if d := m.FromStats(ps); d <= radius {
+			items = append(items, topk.Item{ID: g.Name(), Score: d})
+		}
+	}
+	stats.Duration = time.Since(start)
+	return RangeResult{Items: items, Stats: stats}, nil
+}
+
+// DiverseResult is the answer to a diversity-refined skyline query
+// (Section VII).
+type DiverseResult struct {
+	SkylineResult
+	// Selected is the maximally diverse k-subset of the skyline (graph
+	// names, in skyline order).
+	Selected []string
+	// Val is the winning rank sum (only set by the exhaustive path).
+	Val int
+	// Exhaustive reports whether the optimal subset search ran (false =
+	// greedy fallback for very large skylines).
+	Exhaustive bool
+}
+
+// DiverseSkylineQuery computes the skyline and then extracts its most
+// diverse k-subset per Section VII: pairwise distances between skyline
+// members are evaluated in the diversity basis (DistNEd, DistMcs, DistGu),
+// every k-subset is dense-ranked per dimension, and the minimal rank sum
+// wins. Skylines whose C(n,k) exceeds maxCandidates fall back to the greedy
+// farthest-point heuristic. If k >= |skyline| the whole skyline is selected.
+func (db *DB) DiverseSkylineQuery(q *graph.Graph, k int, opts QueryOptions) (DiverseResult, error) {
+	if k < 1 {
+		return DiverseResult{}, fmt.Errorf("gdb: k must be >= 1")
+	}
+	skyRes, err := db.skylineQuery(q, opts)
+	if err != nil {
+		return DiverseResult{}, err
+	}
+	res := DiverseResult{SkylineResult: skyRes}
+	n := len(skyRes.Skyline)
+	if n == 0 {
+		return res, nil
+	}
+	if k >= n {
+		for _, p := range skyRes.Skyline {
+			res.Selected = append(res.Selected, p.ID)
+		}
+		res.Exhaustive = true
+		return res, nil
+	}
+	mat, err := db.pairwiseMatrix(skyRes.Skyline, opts)
+	if err != nil {
+		return DiverseResult{}, err
+	}
+	best, _, exErr := diversity.Exhaustive(mat, k, 0)
+	if exErr != nil {
+		sel, gErr := diversity.Greedy(mat, k)
+		if gErr != nil {
+			return DiverseResult{}, gErr
+		}
+		for _, i := range sel {
+			res.Selected = append(res.Selected, skyRes.Skyline[i].ID)
+		}
+		return res, nil
+	}
+	for _, i := range best.Members {
+		res.Selected = append(res.Selected, skyRes.Skyline[i].ID)
+	}
+	res.Val = best.Val
+	res.Exhaustive = true
+	return res, nil
+}
+
+// pairwiseMatrix evaluates the diversity-basis distances between all pairs
+// of skyline members.
+func (db *DB) pairwiseMatrix(sky []skyline.Point, opts QueryOptions) (*diversity.Matrix, error) {
+	opts = opts.withDefaults()
+	basis := measure.DiversityBasis()
+	mat := diversity.NewMatrix(len(sky), len(basis))
+	type pair struct{ i, j int }
+	var pairs []pair
+	for i := 0; i < len(sky); i++ {
+		for j := i + 1; j < len(sky); j++ {
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	var wg sync.WaitGroup
+	work := make(chan pair)
+	var firstErr error
+	var mu sync.Mutex
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range work {
+				gi, ok1 := db.Get(sky[p.i].ID)
+				gj, ok2 := db.Get(sky[p.j].ID)
+				if !ok1 || !ok2 {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("gdb: skyline member vanished during query")
+					}
+					mu.Unlock()
+					continue
+				}
+				ps := measure.Compute(gi, gj, opts.Eval)
+				for d, m := range basis {
+					mat.Set(d, p.i, p.j, m.FromStats(ps))
+				}
+			}
+		}()
+	}
+	for _, p := range pairs {
+		work <- p
+	}
+	close(work)
+	wg.Wait()
+	return mat, firstErr
+}

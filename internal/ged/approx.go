@@ -1,0 +1,176 @@
+package ged
+
+import (
+	"sort"
+
+	"skygraph/internal/assign"
+	"skygraph/internal/graph"
+)
+
+// bigCost stands in for +infinity in assignment matrices (the Hungarian
+// solver requires finite costs). It dwarfs any realistic edit cost while
+// staying far from float64 overflow.
+const bigCost = 1e12
+
+// Bipartite computes the Riesen–Bunke style assignment-based approximation:
+// a square (n1+n2)x(n1+n2) cost matrix couples every g1 vertex to every g2
+// vertex (substitution including a local edge-histogram estimate), to its
+// private deletion slot, and every g2 vertex to its private insertion slot.
+// The optimal assignment induces a full vertex mapping whose true edit cost
+// (EditCostOfMapping) is returned — always an upper bound on the exact
+// distance. cm == nil means Uniform{}.
+func Bipartite(g1, g2 *graph.Graph, cm CostModel) Result {
+	if cm == nil {
+		cm = Uniform{}
+	}
+	n1, n2 := g1.Order(), g2.Order()
+	n := n1 + n2
+	if n == 0 {
+		return Result{Distance: 0, Mapping: []int{}, Exact: true}
+	}
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+	}
+	for u := 0; u < n1; u++ {
+		for v := 0; v < n2; v++ {
+			cost[u][v] = cm.VertexSubst(g1.VertexLabel(u), g2.VertexLabel(v)) +
+				localEdgeCost(g1, g2, u, v, cm)
+		}
+		for j := n2; j < n; j++ {
+			if j == n2+u {
+				cost[u][j] = cm.VertexDel(g1.VertexLabel(u)) + incidentEdgeCost(g1, u, cm.EdgeDel)
+			} else {
+				cost[u][j] = bigCost
+			}
+		}
+	}
+	for i := n1; i < n; i++ {
+		for v := 0; v < n2; v++ {
+			if i == n1+v {
+				cost[i][v] = cm.VertexIns(g2.VertexLabel(v)) + incidentEdgeCost(g2, v, cm.EdgeIns)
+			} else {
+				cost[i][v] = bigCost
+			}
+		}
+		// Bottom-right block: epsilon -> epsilon costs nothing.
+	}
+	a, _, err := assign.Solve(cost)
+	if err != nil {
+		// Cannot happen for the matrices built above; fall back to the
+		// trivial delete-all/insert-all mapping.
+		a = make([]int, n)
+		for i := range a {
+			a[i] = (i + n2) % n
+		}
+	}
+	m := make([]int, n1)
+	for u := 0; u < n1; u++ {
+		if a[u] < n2 {
+			m[u] = a[u]
+		} else {
+			m[u] = -1
+		}
+	}
+	d := EditCostOfMapping(g1, g2, m, cm)
+	return Result{Distance: d, Mapping: m, Exact: false}
+}
+
+// localEdgeCost estimates the edge cost implied by mapping u -> v from the
+// two incident edge-label multisets: matched labels are free, the remainder
+// costs one substitution or indel each (halved because each edge has two
+// endpoints and would otherwise be double-counted across the assignment).
+func localEdgeCost(g1, g2 *graph.Graph, u, v int, cm CostModel) float64 {
+	h1 := map[string]int{}
+	for _, l := range incidentLabels(g1, u) {
+		h1[l]++
+	}
+	h2 := map[string]int{}
+	for _, l := range incidentLabels(g2, v) {
+		h2[l]++
+	}
+	return float64(graph.HistogramDistance(h1, h2)) / 2
+}
+
+func incidentLabels(g *graph.Graph, v int) []string {
+	out := make([]string, 0, g.Degree(v))
+	for _, l := range g.NeighborSet(v) {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func incidentEdgeCost(g *graph.Graph, v int, per func(string) float64) float64 {
+	c := 0.0
+	for _, l := range g.NeighborSet(v) {
+		c += per(l) / 2
+	}
+	return c
+}
+
+// Beam runs the A* search restricted to the `width` best nodes per depth
+// level. It returns an upper bound on the edit distance (exact when the
+// optimal path survives the beam; guaranteed only for width >= the full
+// branching). cm == nil means Uniform{}.
+func Beam(g1, g2 *graph.Graph, width int, cm CostModel) Result {
+	if cm == nil {
+		cm = Uniform{}
+	}
+	if width < 1 {
+		width = 1
+	}
+	s := &astar{g1: g1, g2: g2, cm: cm, order: vertexOrder(g1), useH: false}
+	n1, n2 := g1.Order(), g2.Order()
+	s.mapping = make([]int, n1)
+	s.used = make([]bool, n2)
+
+	level := []*node{{depth: 0}}
+	for depth := 0; depth < n1; depth++ {
+		var next []*node
+		for _, cur := range level {
+			s.loadState(cur)
+			u := s.order[depth]
+			for v := 0; v < n2; v++ {
+				if s.used[v] {
+					continue
+				}
+				child := &node{parent: cur, depth: depth + 1, v: v}
+				child.g = cur.g + s.assignCost(u, v)
+				if child.depth == n1 {
+					child.g += s.completionCostAfter(v)
+				}
+				next = append(next, child)
+			}
+			child := &node{parent: cur, depth: depth + 1, v: -1}
+			child.g = cur.g + s.deleteCost(u)
+			if child.depth == n1 {
+				child.g += s.completionCostAfter(-1)
+			}
+			next = append(next, child)
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i].g < next[j].g })
+		if len(next) > width {
+			next = next[:width]
+		}
+		level = next
+	}
+	best := level[0]
+	for _, n := range level[1:] {
+		if n.g < best.g {
+			best = n
+		}
+	}
+	// n1 == 0: pure insertion of g2.
+	if n1 == 0 {
+		d := 0.0
+		for v := 0; v < n2; v++ {
+			d += cm.VertexIns(g2.VertexLabel(v))
+		}
+		for _, e := range g2.Edges() {
+			d += cm.EdgeIns(e.Label)
+		}
+		return Result{Distance: d, Mapping: []int{}, Exact: true}
+	}
+	return Result{Distance: best.g, Mapping: s.extractMapping(best), Exact: false}
+}

@@ -1,0 +1,328 @@
+package ged
+
+import (
+	"container/heap"
+	"math"
+
+	"skygraph/internal/graph"
+)
+
+// Options tunes the exact search.
+type Options struct {
+	// Cost is the cost model; nil means Uniform{}.
+	Cost CostModel
+	// MaxNodes caps A* node expansions; 0 means unlimited. When the cap is
+	// hit, Exact falls back to the bipartite upper bound and reports
+	// Exact=false in the result.
+	MaxNodes int64
+	// DisableHeuristic switches A* to uniform-cost search (h = 0). The
+	// histogram heuristic is admissible for the Uniform model; for custom
+	// cost models with unit costs below 1 it could overestimate, so it is
+	// automatically disabled unless the model is Uniform.
+	DisableHeuristic bool
+}
+
+// Result reports a distance computation.
+type Result struct {
+	// Distance is the edit distance (exact) or an upper bound (inexact).
+	Distance float64
+	// Mapping is the vertex mapping realizing Distance: Mapping[u] is the
+	// g2 vertex assigned to g1 vertex u, or -1 for deletion.
+	Mapping []int
+	// Exact is true when Distance is provably minimal.
+	Exact bool
+	// Nodes is the number of A* expansions performed.
+	Nodes int64
+}
+
+// Distance returns the exact uniform-cost edit distance between g1 and g2.
+func Distance(g1, g2 *graph.Graph) float64 {
+	return Exact(g1, g2, Options{}).Distance
+}
+
+// Exact computes the edit distance by A* over vertex assignments.
+func Exact(g1, g2 *graph.Graph, opts Options) Result {
+	cm := opts.Cost
+	if cm == nil {
+		cm = Uniform{}
+	}
+	_, uniform := cm.(Uniform)
+	useH := uniform && !opts.DisableHeuristic
+
+	s := &astar{
+		g1: g1, g2: g2, cm: cm,
+		order: vertexOrder(g1),
+		useH:  useH,
+	}
+	res := s.run(opts.MaxNodes)
+	if !res.Exact {
+		// Graceful degradation: bipartite approximation upper bound.
+		ub := Bipartite(g1, g2, cm)
+		if ub.Distance < res.Distance || res.Mapping == nil {
+			res.Distance = ub.Distance
+			res.Mapping = ub.Mapping
+		}
+	}
+	return res
+}
+
+// vertexOrder processes high-degree vertices first: they constrain the most
+// edges, which tightens g early and prunes better.
+func vertexOrder(g *graph.Graph) []int {
+	order := make([]int, g.Order())
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && g.Degree(order[j]) > g.Degree(order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+type node struct {
+	parent *node
+	depth  int // number of g1 vertices assigned
+	v      int // g2 vertex assigned to order[depth-1], or -1 for deletion
+	g, h   float64
+	index  int // heap bookkeeping
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].g+h[i].h < h[j].g+h[j].h }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *nodeHeap) Push(x interface{}) { n := x.(*node); n.index = len(*h); *h = append(*h, n) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := old[len(old)-1]
+	old[len(old)-1] = nil
+	*h = old[:len(old)-1]
+	return n
+}
+
+type astar struct {
+	g1, g2 *graph.Graph
+	cm     CostModel
+	order  []int
+	useH   bool
+
+	// scratch, rebuilt per expansion
+	mapping []int  // g1 vertex -> g2 vertex or -1; -2 = unassigned
+	used    []bool // g2 vertex used
+}
+
+func (s *astar) run(maxNodes int64) Result {
+	n1, n2 := s.g1.Order(), s.g2.Order()
+	s.mapping = make([]int, n1)
+	s.used = make([]bool, n2)
+	if n1 == 0 {
+		// Pure insertion of g2.
+		return Result{Distance: s.completionCostAfter(-1), Mapping: []int{}, Exact: true}
+	}
+
+	open := &nodeHeap{}
+	root := &node{depth: 0, g: 0}
+	root.h = s.heuristic(root)
+	heap.Push(open, root)
+
+	var nodes int64
+	for open.Len() > 0 {
+		if maxNodes > 0 && nodes >= maxNodes {
+			return Result{Distance: math.Inf(1), Exact: false, Nodes: nodes}
+		}
+		cur := heap.Pop(open).(*node)
+		nodes++
+		if cur.depth == n1 {
+			// Complete assignment: add the completion cost for unused g2
+			// vertices and untouched g2 edges, already included in g via
+			// the final expansion step.
+			return Result{Distance: cur.g, Mapping: s.extractMapping(cur), Exact: true, Nodes: nodes}
+		}
+		s.loadState(cur)
+		u := s.order[cur.depth]
+		// Try assigning u to every unused g2 vertex.
+		for v := 0; v < n2; v++ {
+			if s.used[v] {
+				continue
+			}
+			child := &node{parent: cur, depth: cur.depth + 1, v: v}
+			child.g = cur.g + s.assignCost(u, v)
+			if child.depth == n1 {
+				child.g += s.completionCostAfter(v)
+			} else if s.useH {
+				child.h = s.heuristicAfter(cur, u, v)
+			}
+			heap.Push(open, child)
+		}
+		// Or delete u.
+		child := &node{parent: cur, depth: cur.depth + 1, v: -1}
+		child.g = cur.g + s.deleteCost(u)
+		if child.depth == n1 {
+			child.g += s.completionCostAfter(-1)
+		} else if s.useH {
+			child.h = s.heuristicAfter(cur, u, -1)
+		}
+		heap.Push(open, child)
+	}
+	// Unreachable: the search space always contains the all-delete mapping.
+	return Result{Distance: math.Inf(1), Nodes: nodes}
+}
+
+// loadState rebuilds the mapping/used scratch arrays for cur by walking its
+// parent chain.
+func (s *astar) loadState(cur *node) {
+	for i := range s.mapping {
+		s.mapping[i] = -2
+	}
+	for i := range s.used {
+		s.used[i] = false
+	}
+	for n := cur; n != nil && n.depth > 0; n = n.parent {
+		u := s.order[n.depth-1]
+		s.mapping[u] = n.v
+		if n.v >= 0 {
+			s.used[n.v] = true
+		}
+	}
+}
+
+func (s *astar) extractMapping(cur *node) []int {
+	s.loadState(cur)
+	out := make([]int, len(s.mapping))
+	for i, v := range s.mapping {
+		if v == -2 {
+			v = -1
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// assignCost is the incremental cost of mapping u -> v given the scratch
+// state: the vertex substitution plus every edge between u and an
+// already-assigned g1 vertex (substitution, deletion, or the matching g2
+// edge insertion).
+func (s *astar) assignCost(u, v int) float64 {
+	cost := s.cm.VertexSubst(s.g1.VertexLabel(u), s.g2.VertexLabel(v))
+	// Edges of g1 between u and assigned vertices.
+	for w, l1 := range s.g1.NeighborSet(u) {
+		mw := s.mapping[w]
+		if mw == -2 {
+			continue // w not processed yet; charged later
+		}
+		if mw >= 0 {
+			if l2, ok := s.g2.EdgeLabel(v, mw); ok {
+				cost += s.cm.EdgeSubst(l1, l2)
+				continue
+			}
+		}
+		cost += s.cm.EdgeDel(l1)
+	}
+	// Edges of g2 between v and used vertices with no g1 counterpart.
+	for x, l2 := range s.g2.NeighborSet(v) {
+		if !s.used[x] {
+			continue
+		}
+		w := s.inverse(x)
+		if _, ok := s.g1.EdgeLabel(u, w); ok {
+			continue // handled above as substitution
+		}
+		cost += s.cm.EdgeIns(l2)
+	}
+	return cost
+}
+
+// deleteCost charges the deletion of u and of its edges toward already-
+// processed vertices.
+func (s *astar) deleteCost(u int) float64 {
+	cost := s.cm.VertexDel(s.g1.VertexLabel(u))
+	for w, l1 := range s.g1.NeighborSet(u) {
+		if s.mapping[w] != -2 {
+			cost += s.cm.EdgeDel(l1)
+		}
+	}
+	return cost
+}
+
+// inverse returns the g1 vertex currently mapped to g2 vertex x (x must be
+// used).
+func (s *astar) inverse(x int) int {
+	for w, v := range s.mapping {
+		if v == x {
+			return w
+		}
+	}
+	return -1
+}
+
+// completionCostAfter charges, once all g1 vertices are processed, the
+// insertion of every g2 vertex left unused and of every g2 edge with at
+// least one unused endpoint. (g2 edges between two used vertices were
+// charged during assignment.) The scratch state corresponds to the parent;
+// v is the g2 vertex the final step consumes (-1 when the final g1 vertex
+// was deleted).
+func (s *astar) completionCostAfter(v int) float64 {
+	cost := 0.0
+	for x := 0; x < s.g2.Order(); x++ {
+		if s.open2(x, v) {
+			cost += s.cm.VertexIns(s.g2.VertexLabel(x))
+		}
+	}
+	for _, e := range s.g2.Edges() {
+		if s.open2(e.U, v) || s.open2(e.V, v) {
+			cost += s.cm.EdgeIns(e.Label)
+		}
+	}
+	return cost
+}
+
+// heuristic returns the admissible histogram bound for the root.
+func (s *astar) heuristic(*node) float64 {
+	if !s.useH {
+		return 0
+	}
+	return LowerBound(s.g1, s.g2)
+}
+
+// heuristicAfter bounds the remaining cost after additionally assigning
+// u -> v (or deleting u when v == -1) on top of cur's state: the histogram
+// distance between the labels of unprocessed g1 vertices and unused g2
+// vertices, plus the same bound over edges with at least one open endpoint.
+// Scratch state must correspond to cur (loadState(cur) called earlier in
+// the expansion loop).
+func (s *astar) heuristicAfter(cur *node, u, v int) float64 {
+	// Unprocessed g1 vertices, excluding u.
+	v1 := map[string]int{}
+	for i := cur.depth + 1; i < len(s.order); i++ {
+		v1[s.g1.VertexLabel(s.order[i])]++
+	}
+	v2 := map[string]int{}
+	for x := 0; x < s.g2.Order(); x++ {
+		if !s.used[x] && x != v {
+			v2[s.g2.VertexLabel(x)]++
+		}
+	}
+	e1 := map[string]int{}
+	for _, e := range s.g1.Edges() {
+		if s.open1(e.U, u) || s.open1(e.V, u) {
+			e1[e.Label]++
+		}
+	}
+	e2 := map[string]int{}
+	for _, e := range s.g2.Edges() {
+		if s.open2(e.U, v) || s.open2(e.V, v) {
+			e2[e.Label]++
+		}
+	}
+	return float64(graph.HistogramDistance(v1, v2) + graph.HistogramDistance(e1, e2))
+}
+
+// open1 reports whether g1 vertex w is still unprocessed after u is
+// processed.
+func (s *astar) open1(w, u int) bool { return w != u && s.mapping[w] == -2 }
+
+// open2 reports whether g2 vertex x is still unused after v is used.
+func (s *astar) open2(x, v int) bool { return x != v && !s.used[x] }

@@ -1,0 +1,159 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonicalStringInvariantUnderPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := ErdosRenyi(1+r.Intn(7), 0.4, []string{"A", "B"}, []string{"x", "y"}, r)
+		return CanonicalString(g) == CanonicalString(permute(g, r))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonicalEqualMatchesVF2(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := ErdosRenyi(1+r.Intn(6), 0.5, []string{"A", "B"}, []string{"x"}, r)
+		h := ErdosRenyi(1+r.Intn(6), 0.5, []string{"A", "B"}, []string{"x"}, r)
+		return CanonicalEqual(g, h) == Isomorphic(g, h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonicalStringSeparates(t *testing.T) {
+	a := Path(4, "A", "x")
+	b := Star(4, "A", "x")
+	if CanonicalString(a) == CanonicalString(b) {
+		t.Error("P4 and S4 share canonical string")
+	}
+	c := Path(4, "A", "x")
+	c.RelabelEdge(1, 2, "y")
+	if CanonicalString(a) == CanonicalString(c) {
+		t.Error("edge relabel not reflected")
+	}
+}
+
+func TestCanonicalStringEmpty(t *testing.T) {
+	if CanonicalString(New("e")) != "canon:0:" {
+		t.Error("empty canonical string")
+	}
+}
+
+func TestCanonicalDeduplication(t *testing.T) {
+	// Generate permuted duplicates; canonical strings must collapse them.
+	rng := rand.New(rand.NewSource(47))
+	base := Molecule(7, rng)
+	seen := map[string]int{}
+	for i := 0; i < 5; i++ {
+		seen[CanonicalString(permute(base, rng))]++
+	}
+	if len(seen) != 1 {
+		t.Errorf("permuted copies produced %d distinct canonical strings", len(seen))
+	}
+}
+
+func TestWLColorsStable(t *testing.T) {
+	g := Cycle(6, "A", "x")
+	colors, rounds := WLColors(g)
+	// All vertices of C6 are equivalent: one color class.
+	for _, c := range colors[1:] {
+		if c != colors[0] {
+			t.Fatalf("C6 colors=%v", colors)
+		}
+	}
+	if rounds < 1 {
+		t.Error("no rounds executed")
+	}
+}
+
+func TestWLDistinguishesLabels(t *testing.T) {
+	g := Path(4, "A", "x")
+	colors, _ := WLColors(g)
+	// Path endpoints vs middle vertices must differ.
+	if colors[0] == colors[1] {
+		t.Errorf("endpoint and interior share a color: %v", colors)
+	}
+	if colors[0] != colors[3] || colors[1] != colors[2] {
+		t.Errorf("symmetric vertices differ: %v", colors)
+	}
+}
+
+func TestWLEquivalentNecessaryForIso(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := ConnectedErdosRenyi(3+r.Intn(7), 0.35, []string{"A", "B"}, []string{"x", "y"}, r)
+		return WLEquivalent(g, permute(g, r))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWLClassicBlindSpot(t *testing.T) {
+	// C6 vs 2xC3 (all labels equal) is the classic pair that 1-WL cannot
+	// distinguish; document the limitation and confirm the exact matcher
+	// does distinguish them.
+	c6 := Cycle(6, "A", "x")
+	twoTriangles := New("2tri")
+	twoTriangles.AddVertices(6, "A")
+	twoTriangles.MustAddEdge(0, 1, "x")
+	twoTriangles.MustAddEdge(1, 2, "x")
+	twoTriangles.MustAddEdge(0, 2, "x")
+	twoTriangles.MustAddEdge(3, 4, "x")
+	twoTriangles.MustAddEdge(4, 5, "x")
+	twoTriangles.MustAddEdge(3, 5, "x")
+	if !WLEquivalent(c6, twoTriangles) {
+		t.Log("note: WL separated C6 from 2xC3 (stronger than classic 1-WL)")
+	}
+	if Isomorphic(c6, twoTriangles) {
+		t.Error("exact matcher confused C6 with 2xC3")
+	}
+	if CanonicalEqual(c6, twoTriangles) {
+		t.Error("canonical form confused C6 with 2xC3")
+	}
+}
+
+func TestWLSeparatesDifferentDegrees(t *testing.T) {
+	if WLEquivalent(Path(4, "A", "x"), Star(4, "A", "x")) {
+		t.Error("WL failed to separate P4 from S4")
+	}
+}
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	g := BarabasiAlbert(30, 2, []string{"A"}, []string{"x"}, rng)
+	if g.Order() != 30 {
+		t.Errorf("order=%d", g.Order())
+	}
+	// Edges: C(3,2)=3 seed + 2*(30-3) attachments.
+	if want := 3 + 2*27; g.Size() != want {
+		t.Errorf("size=%d, want %d", g.Size(), want)
+	}
+	if !g.IsConnected() {
+		t.Error("BA graph disconnected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBarabasiAlbertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for n < m+1")
+		}
+	}()
+	BarabasiAlbert(2, 2, []string{"A"}, []string{"x"}, rand.New(rand.NewSource(1)))
+}

@@ -1,0 +1,108 @@
+package graph
+
+import "fmt"
+
+// EditOp is one elementary edit operation of the paper's Section IV-A: an
+// insertion or deletion of a vertex/edge, or a relabeling of a vertex/edge.
+// Applying a sequence of edit ops transforms one graph into another; the
+// edit distance engine (internal/ged) searches over such sequences.
+type EditOp interface {
+	// Apply mutates g in place, returning an error if the operation is not
+	// applicable (e.g. deleting a missing edge).
+	Apply(g *Graph) error
+	// String renders a human-readable description.
+	String() string
+}
+
+// InsertVertex adds a vertex with the given label. The new vertex receives
+// the next dense identifier.
+type InsertVertex struct{ Label string }
+
+// DeleteVertex removes vertex V, which must be isolated (graph edit
+// distance conventions delete incident edges explicitly first).
+type DeleteVertex struct{ V int }
+
+// RelabelVertex changes the label of vertex V to Label.
+type RelabelVertexOp struct {
+	V     int
+	Label string
+}
+
+// InsertEdge adds the labeled edge {U,V}.
+type InsertEdge struct {
+	U, V  int
+	Label string
+}
+
+// DeleteEdge removes the edge {U,V}.
+type DeleteEdge struct{ U, V int }
+
+// RelabelEdge changes the label of edge {U,V} to Label.
+type RelabelEdgeOp struct {
+	U, V  int
+	Label string
+}
+
+func (op InsertVertex) Apply(g *Graph) error {
+	g.AddVertex(op.Label)
+	return nil
+}
+func (op InsertVertex) String() string { return fmt.Sprintf("insert-vertex(%s)", op.Label) }
+
+func (op DeleteVertex) Apply(g *Graph) error {
+	if !g.HasVertex(op.V) {
+		return fmt.Errorf("delete-vertex: no vertex %d", op.V)
+	}
+	if g.Degree(op.V) != 0 {
+		return fmt.Errorf("delete-vertex: vertex %d has degree %d; delete incident edges first", op.V, g.Degree(op.V))
+	}
+	g.RemoveVertex(op.V)
+	return nil
+}
+func (op DeleteVertex) String() string { return fmt.Sprintf("delete-vertex(%d)", op.V) }
+
+func (op RelabelVertexOp) Apply(g *Graph) error {
+	if !g.HasVertex(op.V) {
+		return fmt.Errorf("relabel-vertex: no vertex %d", op.V)
+	}
+	g.RelabelVertex(op.V, op.Label)
+	return nil
+}
+func (op RelabelVertexOp) String() string {
+	return fmt.Sprintf("relabel-vertex(%d -> %s)", op.V, op.Label)
+}
+
+func (op InsertEdge) Apply(g *Graph) error { return g.AddEdge(op.U, op.V, op.Label) }
+func (op InsertEdge) String() string {
+	return fmt.Sprintf("insert-edge(%d-%d:%s)", op.U, op.V, op.Label)
+}
+
+func (op DeleteEdge) Apply(g *Graph) error {
+	if !g.RemoveEdge(op.U, op.V) {
+		return fmt.Errorf("delete-edge: no edge {%d,%d}", op.U, op.V)
+	}
+	return nil
+}
+func (op DeleteEdge) String() string { return fmt.Sprintf("delete-edge(%d-%d)", op.U, op.V) }
+
+func (op RelabelEdgeOp) Apply(g *Graph) error {
+	if !g.RelabelEdge(op.U, op.V, op.Label) {
+		return fmt.Errorf("relabel-edge: no edge {%d,%d}", op.U, op.V)
+	}
+	return nil
+}
+func (op RelabelEdgeOp) String() string {
+	return fmt.Sprintf("relabel-edge(%d-%d -> %s)", op.U, op.V, op.Label)
+}
+
+// ApplyScript applies ops to a clone of g and returns the result. g itself
+// is not modified. The first failing operation aborts with an error.
+func ApplyScript(g *Graph, ops []EditOp) (*Graph, error) {
+	out := g.Clone()
+	for i, op := range ops {
+		if err := op.Apply(out); err != nil {
+			return nil, fmt.Errorf("op %d (%s): %w", i, op, err)
+		}
+	}
+	return out, nil
+}

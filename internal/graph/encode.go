@@ -1,0 +1,198 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements two codecs for graphs:
+//
+//   - LGF ("labeled graph format"), a line-oriented text format:
+//
+//       graph <name>
+//       v <id> <label>
+//       e <u> <v> <label>
+//
+//     Blank lines and lines starting with '#' are ignored. Vertex ids must
+//     be dense and declared in ascending order. Multiple graphs may appear
+//     in one stream, each introduced by a "graph" line.
+//
+//   - JSON, for interop with other tooling.
+
+// WriteLGF writes g in LGF form.
+func WriteLGF(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	name := g.Name()
+	if name == "" {
+		name = "unnamed"
+	}
+	fmt.Fprintf(bw, "graph %s\n", name)
+	for v := 0; v < g.Order(); v++ {
+		fmt.Fprintf(bw, "v %d %s\n", v, quoteLabel(g.VertexLabel(v)))
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "e %d %d %s\n", e.U, e.V, quoteLabel(e.Label))
+	}
+	return bw.Flush()
+}
+
+// MarshalLGF renders g as an LGF string.
+func MarshalLGF(g *Graph) string {
+	var b strings.Builder
+	_ = WriteLGF(&b, g)
+	return b.String()
+}
+
+// ReadLGF parses every graph in the stream.
+func ReadLGF(r io.Reader) ([]*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []*Graph
+	var cur *Graph
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "graph":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("lgf line %d: graph directive needs a name", lineno)
+			}
+			cur = New(fields[1])
+			out = append(out, cur)
+		case "v":
+			if cur == nil {
+				return nil, fmt.Errorf("lgf line %d: vertex before graph directive", lineno)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("lgf line %d: want 'v <id> <label>'", lineno)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("lgf line %d: bad vertex id %q", lineno, fields[1])
+			}
+			if id != cur.Order() {
+				return nil, fmt.Errorf("lgf line %d: vertex ids must be dense ascending (got %d, want %d)", lineno, id, cur.Order())
+			}
+			cur.AddVertex(unquoteLabel(fields[2]))
+		case "e":
+			if cur == nil {
+				return nil, fmt.Errorf("lgf line %d: edge before graph directive", lineno)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("lgf line %d: want 'e <u> <v> <label>'", lineno)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("lgf line %d: bad edge endpoints", lineno)
+			}
+			if err := cur.AddEdge(u, v, unquoteLabel(fields[3])); err != nil {
+				return nil, fmt.Errorf("lgf line %d: %w", lineno, err)
+			}
+		default:
+			return nil, fmt.Errorf("lgf line %d: unknown directive %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, g := range out {
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ParseLGF parses LGF text expected to contain exactly one graph.
+func ParseLGF(s string) (*Graph, error) {
+	gs, err := ReadLGF(strings.NewReader(s))
+	if err != nil {
+		return nil, err
+	}
+	if len(gs) != 1 {
+		return nil, fmt.Errorf("lgf: want exactly 1 graph, got %d", len(gs))
+	}
+	return gs[0], nil
+}
+
+// quoteLabel makes a label safe for the whitespace-separated LGF format.
+// Labels containing whitespace (or empty labels) are URL-style escaped.
+func quoteLabel(l string) string {
+	if l == "" {
+		return "%00"
+	}
+	var b strings.Builder
+	for _, r := range l {
+		switch r {
+		case ' ':
+			b.WriteString("%20")
+		case '\t':
+			b.WriteString("%09")
+		case '\n':
+			b.WriteString("%0A")
+		case '%':
+			b.WriteString("%25")
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func unquoteLabel(l string) string {
+	if l == "%00" {
+		return ""
+	}
+	r := strings.NewReplacer("%20", " ", "%09", "\t", "%0A", "\n", "%25", "%")
+	return r.Replace(l)
+}
+
+// jsonGraph is the JSON wire form of a Graph.
+type jsonGraph struct {
+	Name     string     `json:"name"`
+	Vertices []string   `json:"vertices"`
+	Edges    []jsonEdge `json:"edges"`
+}
+
+type jsonEdge struct {
+	U     int    `json:"u"`
+	V     int    `json:"v"`
+	Label string `json:"label"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Name: g.Name(), Vertices: g.VertexLabels(), Edges: []jsonEdge{}}
+	for _, e := range g.Edges() {
+		jg.Edges = append(jg.Edges, jsonEdge{U: e.U, V: e.V, Label: e.Label})
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return err
+	}
+	*g = Graph{name: jg.Name}
+	for _, l := range jg.Vertices {
+		g.AddVertex(l)
+	}
+	for _, e := range jg.Edges {
+		if err := g.AddEdge(e.U, e.V, e.Label); err != nil {
+			return err
+		}
+	}
+	return g.Validate()
+}

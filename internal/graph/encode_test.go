@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLGFRoundTrip(t *testing.T) {
+	g := New("mol 1") // name with space is written as-is; parse keeps first token
+	g.SetName("mol1")
+	g.AddVertex("C")
+	g.AddVertex("N")
+	g.AddVertex("O")
+	g.MustAddEdge(0, 1, "-")
+	g.MustAddEdge(1, 2, "=")
+	s := MarshalLGF(g)
+	got, err := ParseLGF(s)
+	if err != nil {
+		t.Fatalf("ParseLGF: %v\n%s", err, s)
+	}
+	if !g.Equal(got) {
+		t.Errorf("round-trip mismatch:\n%s\n%s", g, got)
+	}
+}
+
+func TestLGFQuotedLabels(t *testing.T) {
+	g := New("g")
+	g.AddVertex("has space")
+	g.AddVertex("")
+	g.AddVertex("pct%sign")
+	g.MustAddEdge(0, 1, "tab\there")
+	s := MarshalLGF(g)
+	got, err := ParseLGF(s)
+	if err != nil {
+		t.Fatalf("ParseLGF: %v\n%s", err, s)
+	}
+	if got.VertexLabel(0) != "has space" || got.VertexLabel(1) != "" || got.VertexLabel(2) != "pct%sign" {
+		t.Errorf("labels: %v", got.VertexLabels())
+	}
+	if l, _ := got.EdgeLabel(0, 1); l != "tab\there" {
+		t.Errorf("edge label %q", l)
+	}
+}
+
+func TestLGFMultipleGraphs(t *testing.T) {
+	src := `
+# two graphs
+graph a
+v 0 A
+v 1 B
+e 0 1 x
+
+graph b
+v 0 C
+`
+	gs, err := ReadLGF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 2 || gs[0].Name() != "a" || gs[1].Name() != "b" {
+		t.Fatalf("parsed %d graphs", len(gs))
+	}
+	if gs[0].Size() != 1 || gs[1].Order() != 1 {
+		t.Error("graph contents wrong")
+	}
+}
+
+func TestLGFErrors(t *testing.T) {
+	cases := []string{
+		"v 0 A",                        // vertex before graph
+		"graph g\nv 1 A",               // non-dense id
+		"graph g\nv 0 A\ne 0 0 x",      // self loop
+		"graph g\nv 0 A\ne 0 1 x",      // missing endpoint
+		"graph g\nbogus 1 2",           // unknown directive
+		"graph",                        // missing name
+		"graph g\nv 0 A\nv 1 B\ne 0 1", // short edge line
+		"graph g\nv zero A",            // bad id
+	}
+	for _, src := range cases {
+		if _, err := ReadLGF(strings.NewReader(src)); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := Molecule(12, rng)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Graph
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(&got) {
+		t.Errorf("JSON round-trip mismatch")
+	}
+}
+
+func TestJSONRejectsBadEdges(t *testing.T) {
+	var g Graph
+	if err := json.Unmarshal([]byte(`{"name":"g","vertices":["A"],"edges":[{"u":0,"v":5,"label":"x"}]}`), &g); err == nil {
+		t.Error("bad edge accepted")
+	}
+}
+
+func TestLGFRoundTripQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := ErdosRenyi(2+r.Intn(10), 0.4, []string{"A", "B", "C"}, []string{"x", "y"}, r)
+		got, err := ParseLGF(MarshalLGF(g))
+		return err == nil && g.Equal(got)
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,231 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func triangle(t *testing.T) *Graph {
+	t.Helper()
+	g := New("tri")
+	g.AddVertex("A")
+	g.AddVertex("B")
+	g.AddVertex("C")
+	g.MustAddEdge(0, 1, "x")
+	g.MustAddEdge(1, 2, "y")
+	g.MustAddEdge(0, 2, "z")
+	return g
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := New("empty")
+	if g.Order() != 0 || g.Size() != 0 {
+		t.Fatalf("empty graph: order=%d size=%d", g.Order(), g.Size())
+	}
+	if !g.IsConnected() {
+		t.Error("empty graph should be connected by convention")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestAddVertexAndEdge(t *testing.T) {
+	g := triangle(t)
+	if g.Order() != 3 || g.Size() != 3 {
+		t.Fatalf("order=%d size=%d, want 3,3", g.Order(), g.Size())
+	}
+	if got := g.VertexLabel(1); got != "B" {
+		t.Errorf("VertexLabel(1)=%q", got)
+	}
+	if l, ok := g.EdgeLabel(2, 0); !ok || l != "z" {
+		t.Errorf("EdgeLabel(2,0)=%q,%v", l, ok)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New("g")
+	g.AddVertices(2, "A")
+	if err := g.AddEdge(0, 0, "x"); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 5, "x"); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	if err := g.AddEdge(0, 1, "x"); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if err := g.AddEdge(1, 0, "y"); err == nil {
+		t.Error("duplicate (reversed) edge accepted")
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := triangle(t)
+	if !g.RemoveEdge(1, 0) {
+		t.Fatal("RemoveEdge(1,0) failed")
+	}
+	if g.Size() != 2 {
+		t.Errorf("size=%d, want 2", g.Size())
+	}
+	if g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Error("edge still present after removal")
+	}
+	if g.RemoveEdge(0, 1) {
+		t.Error("double removal reported success")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestRemoveVertexSwapDelete(t *testing.T) {
+	g := triangle(t)
+	g.AddVertex("D")
+	g.MustAddEdge(3, 0, "w")
+	moved := g.RemoveVertex(1) // last vertex (3, "D") is renumbered to 1
+	if moved != 3 {
+		t.Errorf("moved=%d, want 3", moved)
+	}
+	if g.Order() != 3 {
+		t.Fatalf("order=%d, want 3", g.Order())
+	}
+	if g.VertexLabel(1) != "D" {
+		t.Errorf("renumbered vertex label=%q, want D", g.VertexLabel(1))
+	}
+	if l, ok := g.EdgeLabel(1, 0); !ok || l != "w" {
+		t.Errorf("edge D-A after renumber: %q,%v", l, ok)
+	}
+	if g.Size() != 2 { // edges 0-1(x) and 1-2(y) of B deleted; 0-2(z), 0-D(w) remain
+		t.Errorf("size=%d, want 2", g.Size())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestRemoveLastVertex(t *testing.T) {
+	g := triangle(t)
+	if moved := g.RemoveVertex(2); moved != -1 {
+		t.Errorf("moved=%d, want -1", moved)
+	}
+	if g.Order() != 2 || g.Size() != 1 {
+		t.Errorf("order=%d size=%d, want 2,1", g.Order(), g.Size())
+	}
+}
+
+func TestRelabel(t *testing.T) {
+	g := triangle(t)
+	g.RelabelVertex(0, "Z")
+	if g.VertexLabel(0) != "Z" {
+		t.Error("vertex relabel lost")
+	}
+	if !g.RelabelEdge(0, 1, "q") {
+		t.Fatal("RelabelEdge failed")
+	}
+	if l, _ := g.EdgeLabel(1, 0); l != "q" {
+		t.Errorf("edge label=%q, want q (both directions)", l)
+	}
+	if g.RelabelEdge(1, 2+5, "q") {
+		t.Error("relabel of missing edge reported success")
+	}
+}
+
+func TestNeighborsSortedAndDegree(t *testing.T) {
+	g := New("g")
+	g.AddVertices(4, "A")
+	g.MustAddEdge(2, 0, "x")
+	g.MustAddEdge(2, 3, "x")
+	g.MustAddEdge(2, 1, "x")
+	nb := g.Neighbors(2)
+	want := []int{0, 1, 3}
+	if len(nb) != 3 {
+		t.Fatalf("neighbors=%v", nb)
+	}
+	for i := range want {
+		if nb[i] != want[i] {
+			t.Fatalf("neighbors=%v, want %v", nb, want)
+		}
+	}
+	if g.Degree(2) != 3 || g.Degree(0) != 1 {
+		t.Errorf("degrees: %d,%d", g.Degree(2), g.Degree(0))
+	}
+}
+
+func TestEdgesDeterministic(t *testing.T) {
+	g := triangle(t)
+	es := g.Edges()
+	if len(es) != 3 {
+		t.Fatalf("edges=%v", es)
+	}
+	for _, e := range es {
+		if e.U >= e.V {
+			t.Errorf("edge %v not normalized", e)
+		}
+	}
+	if es[0] != (Edge{0, 1, "x"}) || es[1] != (Edge{0, 2, "z"}) || es[2] != (Edge{1, 2, "y"}) {
+		t.Errorf("edge order: %v", es)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := triangle(t)
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.RelabelVertex(0, "Q")
+	c.RemoveEdge(0, 1)
+	if g.VertexLabel(0) != "A" || !g.HasEdge(0, 1) {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	g := triangle(t)
+	h := triangle(t)
+	if !g.Equal(h) {
+		t.Error("identical graphs not Equal")
+	}
+	h.RelabelEdge(0, 1, "different")
+	if g.Equal(h) {
+		t.Error("edge-label difference missed")
+	}
+	h2 := triangle(t)
+	h2.RelabelVertex(2, "Q")
+	if g.Equal(h2) {
+		t.Error("vertex-label difference missed")
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	g := triangle(t)
+	s := g.String()
+	if !strings.Contains(s, "tri(V=3,E=3)") {
+		t.Errorf("String()=%q", s)
+	}
+	if s != g.String() {
+		t.Error("String not deterministic")
+	}
+}
+
+func TestVertexLabelsCopy(t *testing.T) {
+	g := triangle(t)
+	ls := g.VertexLabels()
+	ls[0] = "mutated"
+	if g.VertexLabel(0) != "A" {
+		t.Error("VertexLabels returned aliasing slice")
+	}
+}
+
+func TestMustVertexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on invalid vertex")
+		}
+	}()
+	New("g").VertexLabel(0)
+}

@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements 1-dimensional Weisfeiler–Leman (color refinement):
+// vertices start colored by their label and are iteratively recolored by
+// the multiset of (edge label, neighbor color) pairs until stable. The
+// stable color histogram is an isomorphism invariant that is strictly
+// stronger than label/degree histograms and almost always separates
+// non-isomorphic graphs in practice, at O((V+E)·iters) cost — the standard
+// cheap pre-filter before running an exact matcher.
+
+// WLColors returns the stable WL colors (arbitrary but deterministic
+// integers) per vertex, and the number of refinement rounds executed.
+func WLColors(g *Graph) ([]int, int) {
+	n := g.Order()
+	colors := make([]int, n)
+	names := map[string]int{}
+	for v := 0; v < n; v++ {
+		key := "l:" + g.VertexLabel(v)
+		id, ok := names[key]
+		if !ok {
+			id = len(names)
+			names[key] = id
+		}
+		colors[v] = id
+	}
+	rounds := 0
+	for {
+		next := make([]int, n)
+		nextNames := map[string]int{}
+		for v := 0; v < n; v++ {
+			sig := make([]string, 0, g.Degree(v))
+			for w, el := range g.NeighborSet(v) {
+				sig = append(sig, fmt.Sprintf("%s~%d", el, colors[w]))
+			}
+			sort.Strings(sig)
+			key := fmt.Sprintf("%d(%s)", colors[v], strings.Join(sig, ","))
+			id, ok := nextNames[key]
+			if !ok {
+				id = len(nextNames)
+				nextNames[key] = id
+			}
+			next[v] = id
+		}
+		rounds++
+		if samePartition(colors, next) {
+			return colors, rounds
+		}
+		colors = next
+		if rounds > n+1 {
+			// Refinement stabilizes within |V| rounds; this is a safety net.
+			return colors, rounds
+		}
+	}
+}
+
+// samePartition reports whether two colorings induce the same partition of
+// the vertices.
+func samePartition(a, b []int) bool {
+	fwd := map[int]int{}
+	bwd := map[int]int{}
+	for i := range a {
+		if m, ok := fwd[a[i]]; ok {
+			if m != b[i] {
+				return false
+			}
+		} else {
+			fwd[a[i]] = b[i]
+		}
+		if m, ok := bwd[b[i]]; ok {
+			if m != a[i] {
+				return false
+			}
+		} else {
+			bwd[b[i]] = a[i]
+		}
+	}
+	return true
+}
+
+// WLSignature returns a canonical string for the stable WL color
+// histogram. Isomorphic graphs always share a signature; unequal
+// signatures prove non-isomorphism (the converse does not hold: rare
+// WL-equivalent non-isomorphic pairs exist, e.g. C6 vs two triangles).
+func WLSignature(g *Graph) string {
+	colors, _ := WLColors(g)
+	// Rebuild a canonical naming: color class -> (class signature) where
+	// the signature is derived from one more refinement-style expansion,
+	// then histogram.
+	n := g.Order()
+	classSig := make([]string, n)
+	for v := 0; v < n; v++ {
+		sig := make([]string, 0, g.Degree(v))
+		for w, el := range g.NeighborSet(v) {
+			sig = append(sig, fmt.Sprintf("%s~%s", el, classLabel(g, colors, w)))
+		}
+		sort.Strings(sig)
+		classSig[v] = classLabel(g, colors, v) + "(" + strings.Join(sig, ",") + ")"
+	}
+	sort.Strings(classSig)
+	return strings.Join(classSig, "|")
+}
+
+// classLabel names a color class by invariant data only (original label +
+// class size), never by the arbitrary integer id.
+func classLabel(g *Graph, colors []int, v int) string {
+	size := 0
+	for _, c := range colors {
+		if c == colors[v] {
+			size++
+		}
+	}
+	return fmt.Sprintf("%s#%d", g.VertexLabel(v), size)
+}
+
+// WLEquivalent reports whether the graphs are indistinguishable by color
+// refinement — a necessary condition for isomorphism.
+func WLEquivalent(g, h *Graph) bool {
+	if g.Order() != h.Order() || g.Size() != h.Size() {
+		return false
+	}
+	return WLSignature(g) == WLSignature(h)
+}

@@ -1,0 +1,79 @@
+// Package product builds the modular (association) product of two labeled
+// graphs. Maximum cliques of the modular product correspond to maximum
+// common *induced* subgraphs of the two factors, which gives the classic
+// clique-based MCS formulation used as an ablation against the McGregor
+// search in internal/mcs.
+package product
+
+import (
+	"skygraph/internal/clique"
+	"skygraph/internal/graph"
+)
+
+// Pair is one vertex of the modular product: the hypothesis that vertex U
+// of the first factor corresponds to vertex V of the second.
+type Pair struct{ U, V int }
+
+// Modular returns the modular product of g and h restricted to
+// label-compatible pairs, together with the pair corresponding to each
+// product vertex. Product vertices (u1,v1) and (u2,v2) are adjacent iff
+// u1 != u2, v1 != v2 and either both factors have an equally-labeled edge
+// between the respective vertices, or neither factor has any edge there.
+func Modular(g, h *graph.Graph) (*clique.Graph, []Pair) {
+	var pairs []Pair
+	for u := 0; u < g.Order(); u++ {
+		for v := 0; v < h.Order(); v++ {
+			if g.VertexLabel(u) == h.VertexLabel(v) {
+				pairs = append(pairs, Pair{U: u, V: v})
+			}
+		}
+	}
+	pg := clique.NewGraph(len(pairs))
+	for i := 0; i < len(pairs); i++ {
+		for j := i + 1; j < len(pairs); j++ {
+			a, b := pairs[i], pairs[j]
+			if a.U == b.U || a.V == b.V {
+				continue
+			}
+			gl, gok := g.EdgeLabel(a.U, b.U)
+			hl, hok := h.EdgeLabel(a.V, b.V)
+			if (gok && hok && gl == hl) || (!gok && !hok) {
+				pg.AddEdge(i, j)
+			}
+		}
+	}
+	return pg, pairs
+}
+
+// MaxCommonInducedSubgraph returns a maximum common induced subgraph of g
+// and h via max clique on the modular product. The result is the list of
+// corresponding vertex pairs; the induced common subgraph may be
+// disconnected. This is the Levi/Barrow–Burstall formulation; note the
+// *induced* semantics differ from the paper's Definition 7 (connected,
+// edge-maximal partial subgraph), which internal/mcs implements directly.
+func MaxCommonInducedSubgraph(g, h *graph.Graph) []Pair {
+	pg, pairs := Modular(g, h)
+	cl := pg.MaxClique(0)
+	out := make([]Pair, 0, len(cl))
+	for _, i := range cl {
+		out = append(out, pairs[i])
+	}
+	return out
+}
+
+// CommonEdges counts the factor edges realized by a set of corresponding
+// pairs: edges (u1,u2) of g such that both pairs are present, the matching
+// (v1,v2) edge exists in h, and the labels agree.
+func CommonEdges(g, h *graph.Graph, pairs []Pair) int {
+	n := 0
+	for i := 0; i < len(pairs); i++ {
+		for j := i + 1; j < len(pairs); j++ {
+			gl, gok := g.EdgeLabel(pairs[i].U, pairs[j].U)
+			hl, hok := h.EdgeLabel(pairs[i].V, pairs[j].V)
+			if gok && hok && gl == hl {
+				n++
+			}
+		}
+	}
+	return n
+}

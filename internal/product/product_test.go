@@ -1,0 +1,90 @@
+package product
+
+import (
+	"math/rand"
+	"testing"
+
+	"skygraph/internal/graph"
+)
+
+func TestModularPairsLabelCompatible(t *testing.T) {
+	g := graph.Path(2, "A", "x")
+	h := graph.New("h")
+	h.AddVertex("A")
+	h.AddVertex("B")
+	_, pairs := Modular(g, h)
+	if len(pairs) != 2 { // (0,0) and (1,0)
+		t.Errorf("pairs=%v", pairs)
+	}
+}
+
+func TestMCISIdentical(t *testing.T) {
+	g := graph.Cycle(4, "A", "x")
+	pairs := MaxCommonInducedSubgraph(g, g.Clone())
+	if len(pairs) != 4 {
+		t.Errorf("MCIS of identical C4: %d pairs, want 4", len(pairs))
+	}
+	if ce := CommonEdges(g, g, pairs); ce != 4 {
+		t.Errorf("common edges=%d, want 4", ce)
+	}
+}
+
+func TestMCISInducedSemantics(t *testing.T) {
+	// P3 (path a-b-c) vs K3: the max common *induced* subgraph is a single
+	// edge plus possibly an isolated vertex; the three P3 vertices cannot
+	// all be chosen because K3 has the closing edge and P3 does not.
+	p := graph.Path(3, "A", "x")
+	k := graph.Complete(3, "A", "x")
+	pairs := MaxCommonInducedSubgraph(p, k)
+	if ce := CommonEdges(p, k, pairs); ce > 1 {
+		t.Errorf("induced MCIS realizes %d edges; induced semantics violated", ce)
+	}
+}
+
+func TestMCISWitnessValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.Molecule(7, rng)
+		h := graph.Molecule(7, rng)
+		pairs := MaxCommonInducedSubgraph(g, h)
+		seenU, seenV := map[int]bool{}, map[int]bool{}
+		for _, p := range pairs {
+			if seenU[p.U] || seenV[p.V] {
+				t.Fatalf("not injective: %v", pairs)
+			}
+			seenU[p.U], seenV[p.V] = true, true
+			if g.VertexLabel(p.U) != h.VertexLabel(p.V) {
+				t.Fatalf("label mismatch: %v", p)
+			}
+		}
+		// Induced property: adjacency patterns must agree on all pairs.
+		for i := 0; i < len(pairs); i++ {
+			for j := i + 1; j < len(pairs); j++ {
+				gl, gok := g.EdgeLabel(pairs[i].U, pairs[j].U)
+				hl, hok := h.EdgeLabel(pairs[i].V, pairs[j].V)
+				if gok != hok || (gok && gl != hl) {
+					t.Fatalf("induced property violated at %v,%v", pairs[i], pairs[j])
+				}
+			}
+		}
+	}
+}
+
+func TestCommonEdgesEmpty(t *testing.T) {
+	g := graph.Path(3, "A", "x")
+	if CommonEdges(g, g, nil) != 0 {
+		t.Error("CommonEdges(nil) != 0")
+	}
+}
+
+func TestModularDisjointLabels(t *testing.T) {
+	g := graph.Path(3, "A", "x")
+	h := graph.Path(3, "B", "x")
+	pg, pairs := Modular(g, h)
+	if len(pairs) != 0 || pg.N != 0 {
+		t.Errorf("expected empty product, got %d pairs", len(pairs))
+	}
+	if got := MaxCommonInducedSubgraph(g, h); len(got) != 0 {
+		t.Errorf("MCIS=%v", got)
+	}
+}

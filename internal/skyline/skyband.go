@@ -1,0 +1,79 @@
+package skyline
+
+// This file extends the plain skyline with two classical result-set
+// controls from the skyline literature the paper builds on:
+//
+//   - the k-skyband: all points dominated by fewer than k others (the
+//     1-skyband is exactly the skyline). Where the Section VII diversity
+//     refinement shrinks a too-large skyline, the skyband relaxes a
+//     too-small one.
+//   - skyline layers ("onion peeling"): layer 1 is the skyline, layer 2
+//     the skyline of the rest, and so on — a total stratification usable
+//     for progressive result delivery.
+
+// Skyband returns the points dominated by fewer than k other points, in
+// input order. k <= 0 returns nil; k = 1 equals the skyline.
+func Skyband(points []Point, k int) []Point {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]Point, 0)
+	for i, p := range points {
+		dominators := 0
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if Dominates(q.Vec, p.Vec) {
+				dominators++
+				if dominators >= k {
+					break
+				}
+			}
+		}
+		if dominators < k {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// DominationCount returns, for each point, how many other points dominate
+// it (0 = skyline member).
+func DominationCount(points []Point) []int {
+	out := make([]int, len(points))
+	for i, p := range points {
+		for j, q := range points {
+			if i != j && Dominates(q.Vec, p.Vec) {
+				out[i]++
+			}
+		}
+	}
+	return out
+}
+
+// Layers peels the point set into skyline layers: Layers(P)[0] is the
+// skyline of P, Layers(P)[1] the skyline of the remainder, etc. Every
+// point appears in exactly one layer; points within a layer keep input
+// order.
+func Layers(points []Point) [][]Point {
+	remaining := append([]Point(nil), points...)
+	var layers [][]Point
+	for len(remaining) > 0 {
+		layer := Compute(remaining)
+		layers = append(layers, layer)
+		inLayer := make(map[int]bool, len(layer))
+		li := 0
+		var rest []Point
+		for _, p := range remaining {
+			if li < len(layer) && p.ID == layer[li].ID && sameVec(p.Vec, layer[li].Vec) {
+				inLayer[li] = true
+				li++
+				continue
+			}
+			rest = append(rest, p)
+		}
+		remaining = rest
+	}
+	return layers
+}

@@ -1,0 +1,82 @@
+// Package topk implements the single-measure top-k retrieval baseline the
+// paper argues against (Section VI): ranking database graphs by one scalar
+// distance and returning the k smallest. It is used by experiment E11 to
+// quantify how much of the similarity skyline a single measure misses.
+package topk
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Item couples an identifier with a scalar score (smaller is better).
+type Item struct {
+	ID    string
+	Score float64
+}
+
+// maxHeap keeps the k best (smallest) items by evicting the current worst.
+// Ordering is by (score, ID) so ties are resolved deterministically.
+type maxHeap []Item
+
+func worse(a, b Item) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID > b.ID
+}
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return worse(h[i], h[j]) }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(Item)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	it := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return it
+}
+
+// Select returns the k items with the smallest scores, sorted ascending by
+// score with ties broken by ID for determinism. k larger than the input
+// returns everything.
+func Select(items []Item, k int) []Item {
+	if k <= 0 {
+		return []Item{}
+	}
+	h := make(maxHeap, 0, k)
+	heap.Init(&h)
+	for _, it := range items {
+		if len(h) < k {
+			heap.Push(&h, it)
+			continue
+		}
+		if worse(h[0], it) {
+			h[0] = it
+			heap.Fix(&h, 0)
+		}
+	}
+	out := []Item(h)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score < out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Recall returns |got ∩ want| / |want|: the fraction of the reference set
+// covered by the retrieved IDs. An empty reference yields 1.
+func Recall(got []Item, want map[string]bool) float64 {
+	if len(want) == 0 {
+		return 1
+	}
+	hit := 0
+	for _, it := range got {
+		if want[it.ID] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(want))
+}

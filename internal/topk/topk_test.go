@@ -1,0 +1,98 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSelectBasic(t *testing.T) {
+	items := []Item{
+		{"a", 3}, {"b", 1}, {"c", 2}, {"d", 5}, {"e", 0.5},
+	}
+	got := Select(items, 3)
+	want := []string{"e", "b", "c"}
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i].ID != want[i] {
+			t.Errorf("got %v, want %v", got, want)
+			break
+		}
+	}
+}
+
+func TestSelectKLargerThanInput(t *testing.T) {
+	items := []Item{{"a", 2}, {"b", 1}}
+	got := Select(items, 10)
+	if len(got) != 2 || got[0].ID != "b" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestSelectKZero(t *testing.T) {
+	if got := Select([]Item{{"a", 1}}, 0); len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestSelectTiesDeterministic(t *testing.T) {
+	items := []Item{{"z", 1}, {"a", 1}, {"m", 1}, {"b", 2}}
+	got := Select(items, 2)
+	if got[0].ID != "a" || got[1].ID != "m" {
+		t.Errorf("tie-break wrong: %v", got)
+	}
+}
+
+func TestSelectMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(50)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{ID: string(rune('a' + i%26)), Score: float64(r.Intn(10))}
+		}
+		k := r.Intn(n + 2)
+		got := Select(items, k)
+		ref := append([]Item(nil), items...)
+		sort.Slice(ref, func(i, j int) bool {
+			if ref[i].Score != ref[j].Score {
+				return ref[i].Score < ref[j].Score
+			}
+			return ref[i].ID < ref[j].ID
+		})
+		if k > len(ref) {
+			k = len(ref)
+		}
+		ref = ref[:k]
+		if len(got) != len(ref) {
+			return false
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecall(t *testing.T) {
+	got := []Item{{"a", 1}, {"b", 2}, {"x", 3}}
+	want := map[string]bool{"a": true, "b": true, "c": true, "d": true}
+	if r := Recall(got, want); r != 0.5 {
+		t.Errorf("recall=%v, want 0.5", r)
+	}
+	if r := Recall(nil, map[string]bool{}); r != 1 {
+		t.Errorf("empty reference recall=%v, want 1", r)
+	}
+	if r := Recall(nil, want); r != 0 {
+		t.Errorf("empty retrieval recall=%v, want 0", r)
+	}
+}
