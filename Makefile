@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test bench run-server vet
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+run-server:
+	$(GO) run ./cmd/skygraphd -addr :8091 -cache 128

@@ -1,0 +1,97 @@
+// Command skygraphd is the skygraph query-serving daemon: it loads a
+// graph database from LGF and serves similarity skyline, top-k and range
+// queries over an HTTP/JSON API, with an LRU cache of query vector
+// tables in front of the GED/MCS pair-evaluation hot path.
+//
+// Usage:
+//
+//	skygraphd -addr :8091 -db db.lgf -cache 128 -timeout 30s
+//
+// Endpoints:
+//
+//	POST   /query/skyline   graph similarity skyline GSS(D, q)
+//	POST   /query/topk      single-measure top-k baseline
+//	POST   /query/range     single-measure range query
+//	GET    /graphs          list graph names
+//	POST   /graphs          insert graph(s), invalidating the cache
+//	GET    /graphs/{name}   fetch one graph as JSON
+//	DELETE /graphs/{name}   delete a graph, invalidating the cache
+//	GET    /stats           database, cache and request counters
+//	GET    /healthz         liveness probe
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"skygraph/internal/gdb"
+	"skygraph/internal/measure"
+	"skygraph/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8091", "listen address")
+	dbPath := flag.String("db", "", "database LGF file (empty = start with an empty database)")
+	cacheSize := flag.Int("cache", 128, "vector-table cache capacity (entries; 0 disables)")
+	workers := flag.Int("workers", 0, "pair-evaluation workers per query (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-query timeout (0 = none)")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "hard cap on request-supplied timeouts (0 = none)")
+	inflight := flag.Int("inflight", 0, "max concurrently evaluating queries (0 = unlimited)")
+	gedBudget := flag.Int64("ged-budget", 0, "default GED search-node cap (0 = exact)")
+	mcsBudget := flag.Int64("mcs-budget", 0, "default MCS search-node cap (0 = exact)")
+	flag.Parse()
+
+	db := gdb.New()
+	if *dbPath != "" {
+		loaded, err := gdb.Load(*dbPath)
+		if err != nil {
+			log.Fatalf("skygraphd: loading %s: %v", *dbPath, err)
+		}
+		db = loaded
+	}
+	stats := db.Stats()
+	log.Printf("skygraphd: serving %d graphs (%d vertices, %d edges) on %s",
+		stats.Graphs, stats.Vertices, stats.Edges, *addr)
+
+	srv := server.New(db, server.Config{
+		CacheSize:      *cacheSize,
+		Workers:        *workers,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxInflight:    *inflight,
+		DefaultEval:    measure.Options{GEDMaxNodes: *gedBudget, MCSMaxNodes: *mcsBudget},
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatalf("skygraphd: %v", err)
+	case sig := <-sigCh:
+		log.Printf("skygraphd: received %v, draining", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("skygraphd: shutdown: %v", err)
+	}
+	fmt.Println("skygraphd: stopped")
+}

@@ -1,0 +1,3 @@
+module skygraph
+
+go 1.24

@@ -20,6 +20,7 @@ type DB struct {
 	mu     sync.RWMutex
 	names  []string // insertion order
 	graphs map[string]*entry
+	gen    uint64 // bumped on every successful Insert/Delete
 }
 
 type entry struct {
@@ -51,6 +52,7 @@ func (db *DB) Insert(g *graph.Graph) error {
 	vh, eh := g.LabelHistogram()
 	db.graphs[g.Name()] = &entry{g: g, vhist: vh, ehist: eh}
 	db.names = append(db.names, g.Name())
+	db.gen++
 	return nil
 }
 
@@ -89,7 +91,18 @@ func (db *DB) Delete(name string) bool {
 			break
 		}
 	}
+	db.gen++
 	return true
+}
+
+// Generation returns a counter that changes on every successful mutation
+// (insert or delete). Caches keyed by (generation, query) are therefore
+// automatically invalidated by any database change: stale entries can
+// never be served because no future lookup carries an old generation.
+func (db *DB) Generation() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.gen
 }
 
 // Len returns the number of stored graphs.
@@ -170,14 +183,28 @@ func (db *DB) LowerBoundGED(name string, qv, qe map[string]int) (lb float64, ok 
 	return float64(graph.HistogramDistance(e.vhist, qv) + graph.HistogramDistance(e.ehist, qe)), true
 }
 
-// WriteTo streams the whole database as LGF.
+// WriteTo streams the whole database as LGF, returning the bytes written
+// per io.WriterTo.
 func (db *DB) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
 	for _, g := range db.Graphs() {
-		if err := graph.WriteLGF(w, g); err != nil {
-			return 0, err
+		if err := graph.WriteLGF(cw, g); err != nil {
+			return cw.n, err
 		}
 	}
-	return 0, nil
+	return cw.n, nil
+}
+
+// countingWriter tracks bytes written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
 }
 
 // Save writes the database to path as LGF.

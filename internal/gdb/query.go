@@ -5,6 +5,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"skygraph/internal/diversity"
@@ -95,8 +96,7 @@ func (db *DB) skylineQuery(q *graph.Graph, opts QueryOptions) (SkylineResult, er
 func evalVectors(graphs []*graph.Graph, q *graph.Graph, opts QueryOptions, pts []skyline.Point) int {
 	var wg sync.WaitGroup
 	work := make(chan int)
-	var inexact int64
-	var mu sync.Mutex
+	var inexact atomic.Int64
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -105,9 +105,7 @@ func evalVectors(graphs []*graph.Graph, q *graph.Graph, opts QueryOptions, pts [
 				stats := measure.Compute(graphs[i], q, opts.Eval)
 				pts[i] = skyline.Point{ID: graphs[i].Name(), Vec: measure.GCS(stats, opts.Basis)}
 				if !stats.GEDExact || !stats.MCSExact {
-					mu.Lock()
-					inexact++
-					mu.Unlock()
+					inexact.Add(1)
 				}
 			}
 		}()
@@ -117,7 +115,7 @@ func evalVectors(graphs []*graph.Graph, q *graph.Graph, opts QueryOptions, pts [
 	}
 	close(work)
 	wg.Wait()
-	return int(inexact)
+	return int(inexact.Load())
 }
 
 // TopKResult is the answer to a single-measure top-k query.

@@ -1,0 +1,116 @@
+package gdb
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"skygraph/internal/graph"
+	"skygraph/internal/measure"
+	"skygraph/internal/skyline"
+	"skygraph/internal/topk"
+)
+
+// VectorTable is the full GCS evaluation of one query graph against a
+// database snapshot: one point per database graph, in insertion order.
+// It is the unit of caching for a query-serving layer — skyline, top-k
+// and range answers for the same (query, basis, eval options) are all
+// derivable from it without touching the GED/MCS engines again.
+type VectorTable struct {
+	// Generation is the database generation the table was computed at.
+	Generation uint64
+	// Basis is the measure basis defining the vector columns.
+	Basis []measure.Measure
+	// Points holds every (graph, GCS vector) pair in insertion order.
+	Points []skyline.Point
+	// Inexact counts pairs where a capped engine returned a bound.
+	Inexact int
+	// Duration is the wall-clock time of the evaluation.
+	Duration time.Duration
+}
+
+// snapshot returns the stored graphs and the generation they belong to
+// under a single lock acquisition, so the pair is always consistent.
+func (db *DB) snapshot() ([]*graph.Graph, uint64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]*graph.Graph, 0, len(db.names))
+	for _, n := range db.names {
+		out = append(out, db.graphs[n].g)
+	}
+	return out, db.gen
+}
+
+// VectorTable evaluates the GCS vector of every database graph against q
+// in parallel, honoring ctx cancellation between pairs. It is the
+// cache-aware query entry point: callers memoize the returned table and
+// answer subsequent skyline/top-k/range requests from it via the table's
+// own methods, with zero new pair evaluations.
+func (db *DB) VectorTable(ctx context.Context, q *graph.Graph, opts QueryOptions) (*VectorTable, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	graphs, gen := db.snapshot()
+	pts := make([]skyline.Point, len(graphs))
+	inexact, err := evalVectorsCtx(ctx, graphs, q, opts, pts)
+	if err != nil {
+		return nil, err
+	}
+	return &VectorTable{
+		Generation: gen,
+		Basis:      opts.Basis,
+		Points:     pts,
+		Inexact:    inexact,
+		Duration:   time.Since(start),
+	}, nil
+}
+
+// Skyline computes the similarity skyline of the table under alg (nil
+// means skyline.SFS). No pair evaluation happens.
+func (t *VectorTable) Skyline(alg skyline.Algorithm) []skyline.Point {
+	if alg == nil {
+		alg = skyline.SFS
+	}
+	return alg(t.Points)
+}
+
+// column returns the index of measure m in the table's basis.
+func (t *VectorTable) column(m measure.Measure) (int, error) {
+	for i, b := range t.Basis {
+		if b.Name() == m.Name() {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("gdb: measure %s not in table basis %v", m.Name(), measure.BasisNames(t.Basis))
+}
+
+// TopK returns the k table rows with the smallest distance under m, which
+// must be one of the table's basis measures.
+func (t *VectorTable) TopK(m measure.Measure, k int) ([]topk.Item, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("gdb: k must be >= 1")
+	}
+	col, err := t.column(m)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]topk.Item, len(t.Points))
+	for i, p := range t.Points {
+		items[i] = topk.Item{ID: p.ID, Score: p.Vec[col]}
+	}
+	return topk.Select(items, k), nil
+}
+
+// Range returns every table row whose distance under m is at most radius.
+func (t *VectorTable) Range(m measure.Measure, radius float64) ([]topk.Item, error) {
+	col, err := t.column(m)
+	if err != nil {
+		return nil, err
+	}
+	var items []topk.Item
+	for _, p := range t.Points {
+		if d := p.Vec[col]; d <= radius {
+			items = append(items, topk.Item{ID: p.ID, Score: d})
+		}
+	}
+	return items, nil
+}

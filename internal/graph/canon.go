@@ -22,19 +22,34 @@ import (
 // Isomorphic graphs produce identical strings; non-isomorphic graphs
 // produce different ones.
 func CanonicalString(g *Graph) string {
+	s, _ := CanonicalStringBudget(g, 0)
+	return s
+}
+
+// CanonicalStringBudget is CanonicalString with a cap on search-tree
+// nodes (0 = unlimited). ok is false when the budget was exhausted; the
+// returned string is then a best-effort encoding that is deterministic
+// for this exact graph but NOT isomorphism-invariant, so callers needing
+// the invariant must discard it. Highly symmetric graphs (many tied
+// labels) are where the branch and bound degenerates; the budget turns
+// a potentially exponential stall into a clean refusal.
+func CanonicalStringBudget(g *Graph, maxNodes int) (s string, ok bool) {
 	n := g.Order()
 	if n == 0 {
-		return "canon:0:"
+		return "canon:0:", true
 	}
-	cs := &canonSearch{g: g}
+	cs := &canonSearch{g: g, budget: maxNodes}
 	cs.search(make([]int, 0, n), make([]bool, n), "")
-	return fmt.Sprintf("canon:%d:%s", n, cs.best)
+	return fmt.Sprintf("canon:%d:%s", n, cs.best), !cs.exhausted
 }
 
 type canonSearch struct {
-	g    *Graph
-	best string
-	done bool
+	g         *Graph
+	best      string
+	done      bool
+	budget    int // max search nodes; 0 = unlimited
+	nodes     int
+	exhausted bool
 }
 
 // block renders vertex v's contribution given the already-placed prefix:
@@ -53,6 +68,14 @@ func (cs *canonSearch) block(v int, order []int) string {
 }
 
 func (cs *canonSearch) search(order []int, used []bool, partial string) {
+	if cs.exhausted {
+		return
+	}
+	cs.nodes++
+	if cs.budget > 0 && cs.nodes > cs.budget {
+		cs.exhausted = true
+		return
+	}
 	n := cs.g.Order()
 	if len(order) == n {
 		if !cs.done || partial < cs.best {

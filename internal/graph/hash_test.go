@@ -1,0 +1,183 @@
+package graph
+
+import (
+	"testing"
+	"time"
+)
+
+// permuted rebuilds g with vertex i renamed to perm[i].
+func permuted(g *Graph, perm []int) *Graph {
+	inv := make([]int, len(perm))
+	for i, p := range perm {
+		inv[p] = i
+	}
+	out := New(g.Name() + "-perm")
+	for i := 0; i < g.Order(); i++ {
+		out.AddVertex(g.VertexLabel(inv[i]))
+	}
+	for _, e := range g.Edges() {
+		out.MustAddEdge(perm[e.U], perm[e.V], e.Label)
+	}
+	return out
+}
+
+func hashTestGraph() *Graph {
+	g := New("h")
+	g.AddVertex("a")
+	g.AddVertex("b")
+	g.AddVertex("c")
+	g.AddVertex("a")
+	g.MustAddEdge(0, 1, "x")
+	g.MustAddEdge(1, 2, "y")
+	g.MustAddEdge(2, 3, "x")
+	g.MustAddEdge(3, 0, "z")
+	return g
+}
+
+func TestQueryHashIsomorphismInvariant(t *testing.T) {
+	g := hashTestGraph()
+	want := QueryHash(g)
+	perms := [][]int{
+		{3, 2, 1, 0},
+		{1, 0, 3, 2},
+		{2, 3, 0, 1},
+	}
+	for _, p := range perms {
+		h := permuted(g, p)
+		if got := QueryHash(h); got != want {
+			t.Errorf("perm %v: hash %s != %s", p, got, want)
+		}
+	}
+}
+
+func TestQueryHashIgnoresName(t *testing.T) {
+	g := hashTestGraph()
+	h := g.Clone()
+	h.SetName("renamed")
+	if QueryHash(g) != QueryHash(h) {
+		t.Error("hash must not depend on the graph name")
+	}
+}
+
+func TestQueryHashSeparatesGraphs(t *testing.T) {
+	g := hashTestGraph()
+	seen := map[string]string{QueryHash(g): "base"}
+
+	variants := map[string]func() *Graph{
+		"relabel vertex": func() *Graph {
+			h := g.Clone()
+			h.RelabelVertex(0, "zz")
+			return h
+		},
+		"relabel edge": func() *Graph {
+			h := g.Clone()
+			h.RelabelEdge(0, 1, "w")
+			return h
+		},
+		"drop edge": func() *Graph {
+			h := g.Clone()
+			h.RemoveEdge(0, 1)
+			return h
+		},
+		"extra vertex": func() *Graph {
+			h := g.Clone()
+			h.AddVertex("q")
+			return h
+		},
+	}
+	for name, build := range variants {
+		hash := QueryHash(build())
+		if prev, dup := seen[hash]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		seen[hash] = name
+	}
+}
+
+func TestQueryHashSymmetricGraphIsFast(t *testing.T) {
+	// A uniformly-labeled K10 makes the unbudgeted canonical search
+	// exponential (every prefix ties). The budget must turn that into a
+	// quick fallback, not a multi-second stall — this runs on a
+	// synchronous, unauthenticated server path.
+	k10 := New("k10")
+	for i := 0; i < 10; i++ {
+		k10.AddVertex("v")
+	}
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			k10.MustAddEdge(i, j, "e")
+		}
+	}
+	start := time.Now()
+	h := QueryHash(k10)
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("QueryHash(K10) took %v; the canon budget is not biting", d)
+	}
+	if h != QueryHash(k10.Clone()) {
+		t.Error("budgeted hash must stay deterministic")
+	}
+}
+
+func TestCanonicalStringBudget(t *testing.T) {
+	p := New("path")
+	p.AddVertex("a")
+	p.AddVertex("b")
+	p.AddVertex("c")
+	p.MustAddEdge(0, 1, "x")
+	p.MustAddEdge(1, 2, "y")
+	s, ok := CanonicalStringBudget(p, 1000)
+	if !ok {
+		t.Fatal("easy graph exhausted a generous budget")
+	}
+	if s != CanonicalString(p) {
+		t.Errorf("budgeted result %q differs from unbudgeted %q", s, CanonicalString(p))
+	}
+	if _, ok := CanonicalStringBudget(p, 1); ok {
+		t.Error("budget of 1 node cannot complete a 3-vertex search")
+	}
+}
+
+func TestQueryHashLargeGraphFallback(t *testing.T) {
+	// Above canonHashOrder vertices the exact-encoding fallback runs:
+	// deterministic, and collision-free even for graphs that 1-WL cannot
+	// distinguish.
+	cycle := func(name string, n, offset int, g *Graph) *Graph {
+		if g == nil {
+			g = New(name)
+		}
+		base := g.Order()
+		for i := 0; i < n; i++ {
+			g.AddVertex("v")
+		}
+		for i := 0; i < n; i++ {
+			g.MustAddEdge(base+i, base+(i+1)%n, "e")
+		}
+		return g
+	}
+
+	c12 := cycle("c12", 12, 0, nil)
+	if QueryHash(c12) != QueryHash(cycle("c12-again", 12, 0, nil)) {
+		t.Error("identical large graphs must hash identically")
+	}
+
+	// One 12-cycle vs two disjoint 6-cycles: indistinguishable by 1-WL
+	// (same order, size, labels, stable colors) — the exact fallback must
+	// separate them.
+	two6 := cycle("two6", 6, 0, nil)
+	two6 = cycle("", 6, 6, two6)
+	if QueryHash(c12) == QueryHash(two6) {
+		t.Error("12-cycle and two 6-cycles must not collide")
+	}
+
+	path := New("bigpath")
+	n := 12
+	for i := 0; i < n; i++ {
+		path.AddVertex("v")
+	}
+	for i := 0; i+1 < n; i++ {
+		path.MustAddEdge(i, i+1, "e")
+	}
+	if QueryHash(c12) == QueryHash(path) {
+		t.Error("cycle and path should hash differently")
+	}
+}

@@ -48,13 +48,19 @@ type PairStats struct {
 }
 
 // Options bounds the exact engines; zero values mean exact, unbounded
-// computation.
+// computation. The struct is wire- and cache-friendly: it serializes to
+// JSON and Key renders it as a stable cache-key fragment.
 type Options struct {
 	// GEDMaxNodes caps A* expansions (0 = unlimited). On cap the bipartite
 	// upper bound is used and GEDExact is false.
-	GEDMaxNodes int64
+	GEDMaxNodes int64 `json:"ged_max_nodes,omitempty"`
 	// MCSMaxNodes caps the MCS branch and bound (0 = unlimited).
-	MCSMaxNodes int64
+	MCSMaxNodes int64 `json:"mcs_max_nodes,omitempty"`
+}
+
+// Key renders the options as a short stable string for use in cache keys.
+func (o Options) Key() string {
+	return fmt.Sprintf("ged=%d,mcs=%d", o.GEDMaxNodes, o.MCSMaxNodes)
 }
 
 // Compute evaluates the shared statistics for the pair (g1, g2).
@@ -173,6 +179,33 @@ func ByName(name string) (Measure, error) {
 		return DistDegree{}, nil
 	}
 	return nil, fmt.Errorf("measure: unknown measure %q", name)
+}
+
+// BasisNames returns the measure names of a basis, in order — the
+// serializable form of a basis for wire formats and cache keys.
+func BasisNames(basis []Measure) []string {
+	out := make([]string, len(basis))
+	for i, m := range basis {
+		out[i] = m.Name()
+	}
+	return out
+}
+
+// BasisByNames resolves measure names back into a basis; an empty list
+// yields the paper's default basis.
+func BasisByNames(names []string) ([]Measure, error) {
+	if len(names) == 0 {
+		return Default(), nil
+	}
+	out := make([]Measure, len(names))
+	for i, n := range names {
+		m, err := ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
 }
 
 // GCS evaluates the compound similarity vector (Definition 11) of the pair

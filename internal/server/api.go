@@ -1,0 +1,159 @@
+// Package server implements skygraphd's query-serving subsystem: an
+// HTTP/JSON API over a gdb.DB with a vector-table cache in front of the
+// pair-evaluation hot path. The three layers are
+//
+//   - cache.go: an LRU of full GCS vector tables keyed by (database
+//     generation, canonical query hash, basis, engine options), so a
+//     repeated or refined query — same query graph, different k, radius
+//     or skyline algorithm — answers with zero new pair evaluations;
+//   - api.go (this file): the wire types;
+//   - server.go: the handlers, per-request timeouts and worker limits.
+package server
+
+import (
+	"skygraph/internal/graph"
+	"skygraph/internal/measure"
+)
+
+// QueryRequest is the shared body of the three query endpoints
+// (/query/skyline, /query/topk, /query/range). Graph uses the same JSON
+// encoding as internal/graph: {"name", "vertices": ["label", ...],
+// "edges": [{"u", "v", "label"}, ...]}.
+type QueryRequest struct {
+	// Graph is the query graph q (required).
+	Graph *graph.Graph `json:"graph"`
+	// K is the result size for /query/topk (required there, >= 1).
+	K int `json:"k,omitempty"`
+	// Radius is the distance threshold for /query/range (required there).
+	Radius *float64 `json:"radius,omitempty"`
+	// Measure names the ranking measure for topk/range (default DistEd).
+	Measure string `json:"measure,omitempty"`
+	// Basis names the GCS basis (default: DistEd, DistMcs, DistGu). For
+	// topk/range the ranking measure is appended when absent, so default
+	// topk/range tables are shared with default skyline tables.
+	Basis []string `json:"basis,omitempty"`
+	// Algorithm picks the skyline algorithm: "sfs" (default), "bnl",
+	// "dac". Ignored by topk/range.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Eval bounds the exact GED/MCS engines, merged per field over the
+	// server defaults: zero (or omitted) keeps the server default, a
+	// negative value explicitly requests unbounded exact computation.
+	Eval *measure.Options `json:"eval,omitempty"`
+	// TimeoutMS caps this request's evaluation time (0 = server default;
+	// values above the server maximum are clamped).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// All requests the full vector table in the skyline response.
+	All bool `json:"all,omitempty"`
+}
+
+// QueryStats reports the work a request caused.
+type QueryStats struct {
+	// Evaluated counts pair evaluations performed for this request;
+	// it is 0 on a cache hit.
+	Evaluated int `json:"evaluated"`
+	// Inexact counts table pairs where a capped engine returned a bound
+	// (a property of the answer, whether cached or fresh).
+	Inexact int `json:"inexact"`
+	// CacheHit reports whether the vector table came from the cache.
+	CacheHit bool `json:"cache_hit"`
+	// DurationMS is the server-side wall-clock time for the request.
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// PointJSON is one (graph, GCS vector) row.
+type PointJSON struct {
+	ID  string    `json:"id"`
+	Vec []float64 `json:"vec"`
+}
+
+// SkylineResponse answers /query/skyline.
+type SkylineResponse struct {
+	Basis   []string    `json:"basis"`
+	Skyline []PointJSON `json:"skyline"`
+	// All holds the full vector table when requested.
+	All   []PointJSON `json:"all,omitempty"`
+	Stats QueryStats  `json:"stats"`
+}
+
+// ItemJSON is one (graph, scalar distance) row.
+type ItemJSON struct {
+	ID    string  `json:"id"`
+	Score float64 `json:"score"`
+}
+
+// TopKResponse answers /query/topk.
+type TopKResponse struct {
+	Measure string     `json:"measure"`
+	K       int        `json:"k"`
+	Items   []ItemJSON `json:"items"`
+	Stats   QueryStats `json:"stats"`
+}
+
+// RangeResponse answers /query/range.
+type RangeResponse struct {
+	Measure string     `json:"measure"`
+	Radius  float64    `json:"radius"`
+	Items   []ItemJSON `json:"items"`
+	Stats   QueryStats `json:"stats"`
+}
+
+// InsertRequest is the body of POST /graphs. Exactly one of Graph or
+// Graphs must be set.
+type InsertRequest struct {
+	Graph  *graph.Graph   `json:"graph,omitempty"`
+	Graphs []*graph.Graph `json:"graphs,omitempty"`
+}
+
+// InsertResponse confirms an insert.
+type InsertResponse struct {
+	Inserted   []string `json:"inserted"`
+	Generation uint64   `json:"generation"`
+}
+
+// DeleteResponse confirms a delete.
+type DeleteResponse struct {
+	Deleted    string `json:"deleted"`
+	Generation uint64 `json:"generation"`
+}
+
+// ListResponse answers GET /graphs.
+type ListResponse struct {
+	Names      []string `json:"names"`
+	Generation uint64   `json:"generation"`
+}
+
+// StatsResponse answers GET /stats.
+type StatsResponse struct {
+	UptimeSeconds float64    `json:"uptime_seconds"`
+	Generation    uint64     `json:"generation"`
+	DB            DBStats    `json:"db"`
+	Cache         CacheStats `json:"cache"`
+	Requests      ReqStats   `json:"requests"`
+}
+
+// DBStats mirrors gdb.Stats in wire form.
+type DBStats struct {
+	Graphs       int `json:"graphs"`
+	Vertices     int `json:"vertices"`
+	Edges        int `json:"edges"`
+	VertexLabels int `json:"vertex_labels"`
+	EdgeLabels   int `json:"edge_labels"`
+	MinSize      int `json:"min_size"`
+	MaxSize      int `json:"max_size"`
+}
+
+// ReqStats counts requests served since startup.
+type ReqStats struct {
+	Queries          uint64 `json:"queries"`
+	Inserts          uint64 `json:"inserts"`
+	Deletes          uint64 `json:"deletes"`
+	Errors           uint64 `json:"errors"`
+	PairEvals        uint64 `json:"pair_evals"`
+	QueryTimeouts    uint64 `json:"query_timeouts"`
+	InflightRejected uint64 `json:"inflight_rejected"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

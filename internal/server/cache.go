@@ -1,0 +1,155 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+	"sync"
+
+	"skygraph/internal/gdb"
+	"skygraph/internal/measure"
+)
+
+// Cache is a bounded LRU of query vector tables. A key binds a table to
+// the exact inputs that produced it — database generation, canonical
+// query-graph hash, measure basis and engine options — so a lookup can
+// only ever return a table that answers the current request exactly.
+// Because the generation participates in the key, a database mutation
+// implicitly invalidates every cached entry: old-generation tables become
+// unreachable and are either aged out by the LRU or dropped eagerly by
+// PruneStale.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits          uint64
+	misses        uint64
+	evictions     uint64
+	invalidations uint64
+}
+
+type cacheEntry struct {
+	key   string
+	table *gdb.VectorTable
+}
+
+// NewCache returns an LRU holding at most capacity tables. Capacity < 1
+// disables caching (every Get misses, Put is a no-op).
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// CacheKey renders the canonical cache key for a query vector table.
+func CacheKey(generation uint64, queryHash string, basis []measure.Measure, eval measure.Options) string {
+	return fmt.Sprintf("g%d|q%s|b%s|%s",
+		generation, queryHash, strings.Join(measure.BasisNames(basis), ","), eval.Key())
+}
+
+// Get returns the cached table for key, marking it most recently used.
+func (c *Cache) Get(key string) (*gdb.VectorTable, bool) {
+	return c.get(key, false)
+}
+
+// getRecheck is Get for a lookup that re-checks a key already counted
+// as a miss: absence is not counted again (presence still counts as a
+// hit, since the caller serves the table without evaluating).
+func (c *Cache) getRecheck(key string) (*gdb.VectorTable, bool) {
+	return c.get(key, true)
+}
+
+func (c *Cache) get(key string, quiet bool) (*gdb.VectorTable, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		if !quiet {
+			c.misses++
+		}
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).table, true
+}
+
+// Put stores a table under key, evicting the least recently used entry
+// when the cache is full.
+func (c *Cache) Put(key string, t *gdb.VectorTable) {
+	if c.capacity < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).table = t
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, table: t})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// PruneStale eagerly drops every entry computed before generation gen,
+// returning how many were dropped. Correctness never depends on this —
+// stale keys are unreachable — but pruning on mutation frees their
+// memory immediately instead of waiting for LRU pressure. Generations
+// only increase, so the strict < keeps entries newer than the caller's
+// (possibly stale) generation read.
+func (c *Cache) PruneStale(gen uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*cacheEntry); e.table.Generation < gen {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			dropped++
+		}
+		el = next
+	}
+	c.invalidations += uint64(dropped)
+	return dropped
+}
+
+// Len returns the number of cached tables.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheStats is a point-in-time snapshot of cache counters.
+type CacheStats struct {
+	Capacity      int    `json:"capacity"`
+	Entries       int    `json:"entries"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	Invalidations uint64 `json:"invalidations"`
+}
+
+// Stats returns the current counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Capacity:      c.capacity,
+		Entries:       c.ll.Len(),
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+	}
+}

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"skygraph/internal/gdb"
+	"skygraph/internal/measure"
+)
+
+func tableAt(gen uint64) *gdb.VectorTable {
+	return &gdb.VectorTable{Generation: gen, Basis: measure.Default()}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	tab := tableAt(1)
+	c.Put("a", tab)
+	got, ok := c.Get("a")
+	if !ok || got != tab {
+		t.Fatalf("Get(a) = %v, %v; want stored table", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v; want 1 hit, 1 miss, 1 entry", st)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", tableAt(1))
+	c.Put("b", tableAt(1))
+	c.Get("a") // a is now more recent than b
+	c.Put("c", tableAt(1))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as least recently used")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived eviction")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c should be cached")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d; want 1", st.Evictions)
+	}
+}
+
+func TestCachePutExistingRefreshes(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", tableAt(1))
+	c.Put("b", tableAt(1))
+	c.Put("a", tableAt(2)) // refresh, not a new entry
+	c.Put("c", tableAt(1))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should be evicted: a was refreshed to most recent")
+	}
+	got, ok := c.Get("a")
+	if !ok || got.Generation != 2 {
+		t.Fatalf("a should hold the refreshed table, got %+v, %v", got, ok)
+	}
+}
+
+func TestCachePruneStale(t *testing.T) {
+	c := NewCache(8)
+	c.Put("g1-a", tableAt(1))
+	c.Put("g1-b", tableAt(1))
+	c.Put("g2-a", tableAt(2))
+	if dropped := c.PruneStale(2); dropped != 2 {
+		t.Fatalf("PruneStale dropped %d; want 2", dropped)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d after prune; want 1", c.Len())
+	}
+	if _, ok := c.Get("g2-a"); !ok {
+		t.Fatal("current-generation entry must survive pruning")
+	}
+	if st := c.Stats(); st.Invalidations != 2 {
+		t.Fatalf("invalidations = %d; want 2", st.Invalidations)
+	}
+}
+
+func TestCachePruneStaleKeepsNewer(t *testing.T) {
+	// A handler racing with a later mutation may call PruneStale with a
+	// stale (smaller) generation; entries newer than it must survive.
+	c := NewCache(8)
+	c.Put("g2-a", tableAt(2))
+	if dropped := c.PruneStale(1); dropped != 0 {
+		t.Fatalf("PruneStale(1) dropped %d newer entries; want 0", dropped)
+	}
+	if _, ok := c.Get("g2-a"); !ok {
+		t.Fatal("newer-generation entry must survive a stale prune")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0)
+	c.Put("a", tableAt(1))
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("capacity-0 cache must never hit")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d; want 0", c.Len())
+	}
+}
+
+func TestCacheKeyDistinguishesInputs(t *testing.T) {
+	base := CacheKey(1, "qh", measure.Default(), measure.Options{})
+	variants := []string{
+		CacheKey(2, "qh", measure.Default(), measure.Options{}),
+		CacheKey(1, "other", measure.Default(), measure.Options{}),
+		CacheKey(1, "qh", []measure.Measure{measure.DistEd{}}, measure.Options{}),
+		CacheKey(1, "qh", measure.Default(), measure.Options{GEDMaxNodes: 10}),
+	}
+	for i, v := range variants {
+		if v == base {
+			t.Errorf("variant %d collides with base key %s", i, base)
+		}
+	}
+	if again := CacheKey(1, "qh", measure.Default(), measure.Options{}); again != base {
+		t.Errorf("key is not stable: %s vs %s", base, again)
+	}
+}
+
+func TestCacheManyEntriesBounded(t *testing.T) {
+	c := NewCache(16)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), tableAt(1))
+	}
+	if c.Len() != 16 {
+		t.Fatalf("len = %d; want capacity 16", c.Len())
+	}
+}

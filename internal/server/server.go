@@ -1,0 +1,528 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skygraph/internal/gdb"
+	"skygraph/internal/graph"
+	"skygraph/internal/measure"
+	"skygraph/internal/skyline"
+	"skygraph/internal/topk"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// CacheSize is the vector-table LRU capacity (entries; < 1 disables).
+	CacheSize int
+	// Workers is the pair-evaluation parallelism per query (0 =
+	// GOMAXPROCS), wired through gdb.QueryOptions.
+	Workers int
+	// DefaultTimeout bounds a query when the request does not ask for a
+	// timeout (0 = no default).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps request-supplied timeouts (0 = no clamp).
+	MaxTimeout time.Duration
+	// MaxInflight caps concurrently evaluating queries; excess requests
+	// are rejected with 503 rather than queued (0 = unlimited).
+	MaxInflight int
+	// DefaultEval bounds the exact engines when the request does not
+	// carry its own options.
+	DefaultEval measure.Options
+}
+
+// Server serves similarity queries over a graph database with a vector-
+// table cache in front of pair evaluation. Create with New, mount via
+// Handler.
+type Server struct {
+	db    *gdb.DB
+	cache *Cache
+	cfg   Config
+	start time.Time
+	sem   chan struct{}
+
+	flightMu sync.Mutex
+	flight   map[string]*flightCall
+
+	queries   atomic.Uint64
+	inserts   atomic.Uint64
+	deletes   atomic.Uint64
+	errors    atomic.Uint64
+	pairEvals atomic.Uint64
+	timeouts  atomic.Uint64
+	rejected  atomic.Uint64
+}
+
+// New returns a Server over db.
+func New(db *gdb.DB, cfg Config) *Server {
+	s := &Server{
+		db:     db,
+		cache:  NewCache(cfg.CacheSize),
+		cfg:    cfg,
+		start:  time.Now(),
+		flight: make(map[string]*flightCall),
+	}
+	if cfg.MaxInflight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInflight)
+	}
+	return s
+}
+
+// Cache exposes the server's vector-table cache (read-mostly; for tests
+// and stats tooling).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Handler returns the HTTP routing for the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query/skyline", s.handleSkyline)
+	mux.HandleFunc("POST /query/topk", s.handleTopK)
+	mux.HandleFunc("POST /query/range", s.handleRange)
+	mux.HandleFunc("GET /graphs", s.handleList)
+	mux.HandleFunc("POST /graphs", s.handleInsert)
+	mux.HandleFunc("GET /graphs/{name}", s.handleGet)
+	mux.HandleFunc("DELETE /graphs/{name}", s.handleDelete)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	s.errors.Add(1)
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+const maxBodyBytes = 64 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// resolveQuery validates a query request and resolves its wire fields
+// into engine values.
+type resolved struct {
+	q     *graph.Graph
+	basis []measure.Measure
+	m     measure.Measure // ranking measure (topk/range)
+	alg   skyline.Algorithm
+	opts  gdb.QueryOptions
+}
+
+// needMeasure selects whether the ranking measure must resolve (topk and
+// range requests).
+func (s *Server) resolveQuery(req *QueryRequest, needMeasure bool) (resolved, error) {
+	var res resolved
+	if req.Graph == nil {
+		return res, errors.New("missing query graph")
+	}
+	if err := req.Graph.Validate(); err != nil {
+		return res, fmt.Errorf("invalid query graph: %w", err)
+	}
+	res.q = req.Graph
+
+	basis, err := measure.BasisByNames(req.Basis)
+	if err != nil {
+		return res, err
+	}
+	if needMeasure {
+		name := req.Measure
+		if name == "" {
+			name = "DistEd"
+		}
+		m, err := measure.ByName(name)
+		if err != nil {
+			return res, err
+		}
+		res.m = m
+		// Share tables with skyline queries on the same basis: only
+		// extend the basis when the ranking measure is missing from it.
+		found := false
+		for _, b := range basis {
+			if b.Name() == m.Name() {
+				found = true
+				break
+			}
+		}
+		if !found {
+			basis = append(basis, m)
+		}
+	}
+	res.basis = basis
+
+	switch req.Algorithm {
+	case "", "sfs":
+		res.alg = skyline.SFS
+	case "bnl":
+		res.alg = skyline.BNL
+	case "dac":
+		res.alg = skyline.DivideAndConquer
+	default:
+		return res, fmt.Errorf("unknown skyline algorithm %q (want sfs, bnl or dac)", req.Algorithm)
+	}
+
+	res.opts = gdb.QueryOptions{Basis: basis, Eval: s.mergeEval(req.Eval), Workers: s.cfg.Workers}
+	return res, nil
+}
+
+// mergeEval overlays request engine budgets on the server defaults,
+// per field: zero keeps the server default, a negative value explicitly
+// requests unbounded exact computation.
+func (s *Server) mergeEval(req *measure.Options) measure.Options {
+	eval := s.cfg.DefaultEval
+	if req == nil {
+		return eval
+	}
+	merge := func(dst *int64, v int64) {
+		switch {
+		case v < 0:
+			*dst = 0
+		case v > 0:
+			*dst = v
+		}
+	}
+	merge(&eval.GEDMaxNodes, req.GEDMaxNodes)
+	merge(&eval.MCSMaxNodes, req.MCSMaxNodes)
+	return eval
+}
+
+// timeout picks the effective deadline for a request: the request's own
+// timeout (clamped to MaxTimeout) when given, else the server default.
+// Zero means no deadline.
+func (s *Server) timeout(req *QueryRequest) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		d = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if d > 0 && s.cfg.MaxTimeout > 0 && d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// flightCall is one in-progress table computation that concurrent
+// identical requests wait on instead of recomputing.
+type flightCall struct {
+	done chan struct{} // closed once t/err are set
+	t    *gdb.VectorTable
+	err  error
+}
+
+// table returns the vector table for a resolved query, from the cache
+// when possible. Concurrent identical cold queries are coalesced: one
+// leader evaluates, the rest wait on its result and report a cache hit
+// (they caused no pair evaluations). A follower whose leader fails —
+// e.g. the leader's own shorter timeout fired — retries under its own
+// deadline instead of inheriting the failure.
+func (s *Server) table(ctx context.Context, res resolved) (t *gdb.VectorTable, hit bool, err error) {
+	qh := graph.QueryHash(res.q)
+	for {
+		key := CacheKey(s.db.Generation(), qh, res.basis, res.opts.Eval)
+		if t, ok := s.cache.Get(key); ok {
+			return t, true, nil
+		}
+		s.flightMu.Lock()
+		leader, inflight := s.flight[key]
+		if !inflight {
+			c := &flightCall{done: make(chan struct{})}
+			s.flight[key] = c
+			s.flightMu.Unlock()
+			return s.lead(ctx, res, qh, key, c)
+		}
+		s.flightMu.Unlock()
+		select {
+		case <-leader.done:
+			if leader.err == nil {
+				return leader.t, true, nil
+			}
+			// Leader failed for its own reasons; try again ourselves.
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+}
+
+// lead evaluates the table as the flight leader for key, publishing the
+// result to followers via c.
+func (s *Server) lead(ctx context.Context, res resolved, qh, key string, c *flightCall) (t *gdb.VectorTable, hit bool, err error) {
+	defer func() {
+		c.t, c.err = t, err
+		s.flightMu.Lock()
+		delete(s.flight, key)
+		s.flightMu.Unlock()
+		close(c.done)
+	}()
+
+	// A previous leader may have published between our cache miss and
+	// flight takeover; its removal from the flight map happens after its
+	// Put, so re-checking here closes the window.
+	if t0, ok := s.cache.getRecheck(key); ok {
+		return t0, true, nil
+	}
+
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			s.rejected.Add(1)
+			return nil, false, errTooBusy
+		}
+	}
+	t, err = s.db.VectorTable(ctx, res.q, res.opts)
+	if err != nil {
+		return nil, false, err
+	}
+	s.pairEvals.Add(uint64(len(t.Points)))
+	// The snapshot generation is authoritative: if the database changed
+	// between the key computation and the snapshot, rekey so the entry
+	// stays reachable exactly as long as it is valid.
+	s.cache.Put(CacheKey(t.Generation, qh, res.basis, res.opts.Eval), t)
+	return t, false, nil
+}
+
+var errTooBusy = errors.New("server is at its concurrent query limit")
+
+// runQuery wraps the shared decode / resolve / timeout / table plumbing
+// of the three query endpoints, leaving only answer shaping to fn.
+func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, needMeasure bool,
+	validate func(*QueryRequest) error,
+	answer func(*QueryRequest, resolved, *gdb.VectorTable, QueryStats) any) {
+	s.queries.Add(1)
+	start := time.Now()
+	var req QueryRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if validate != nil {
+		if err := validate(&req); err != nil {
+			s.writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	res, err := s.resolveQuery(&req, needMeasure)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx := r.Context()
+	if d := s.timeout(&req); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	t, hit, err := s.table(ctx, res)
+	if err != nil {
+		switch {
+		case errors.Is(err, errTooBusy):
+			s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.Is(err, context.DeadlineExceeded):
+			s.timeouts.Add(1)
+			s.writeError(w, http.StatusGatewayTimeout, "query timed out")
+		case errors.Is(err, context.Canceled):
+			s.writeError(w, http.StatusBadRequest, "query canceled")
+		default:
+			s.writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	evaluated := 0
+	if !hit {
+		evaluated = len(t.Points)
+	}
+	stats := QueryStats{
+		Evaluated:  evaluated,
+		Inexact:    t.Inexact,
+		CacheHit:   hit,
+		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	writeJSON(w, http.StatusOK, answer(&req, res, t, stats))
+}
+
+func (s *Server) handleSkyline(w http.ResponseWriter, r *http.Request) {
+	s.runQuery(w, r, false, nil,
+		func(req *QueryRequest, res resolved, t *gdb.VectorTable, stats QueryStats) any {
+			resp := SkylineResponse{
+				Basis:   measure.BasisNames(res.basis),
+				Skyline: toPointJSON(t.Skyline(res.alg)),
+				Stats:   stats,
+			}
+			if req.All {
+				resp.All = toPointJSON(t.Points)
+			}
+			return resp
+		})
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	s.runQuery(w, r, true,
+		func(req *QueryRequest) error {
+			if req.K < 1 {
+				return errors.New("k must be >= 1")
+			}
+			return nil
+		},
+		func(req *QueryRequest, res resolved, t *gdb.VectorTable, stats QueryStats) any {
+			items, err := t.TopK(res.m, req.K)
+			if err != nil {
+				// Unreachable: resolveQuery guarantees m is in the basis.
+				items = nil
+			}
+			return TopKResponse{Measure: res.m.Name(), K: req.K, Items: toItemJSON(items), Stats: stats}
+		})
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	s.runQuery(w, r, true,
+		func(req *QueryRequest) error {
+			if req.Radius == nil {
+				return errors.New("missing radius")
+			}
+			if *req.Radius < 0 {
+				return errors.New("radius must be >= 0")
+			}
+			return nil
+		},
+		func(req *QueryRequest, res resolved, t *gdb.VectorTable, stats QueryStats) any {
+			items, _ := t.Range(res.m, *req.Radius)
+			return RangeResponse{Measure: res.m.Name(), Radius: *req.Radius, Items: toItemJSON(items), Stats: stats}
+		})
+}
+
+func toPointJSON(pts []skyline.Point) []PointJSON {
+	out := make([]PointJSON, len(pts))
+	for i, p := range pts {
+		out[i] = PointJSON{ID: p.ID, Vec: p.Vec}
+	}
+	return out
+}
+
+func toItemJSON(items []topk.Item) []ItemJSON {
+	out := make([]ItemJSON, len(items))
+	for i, it := range items {
+		out[i] = ItemJSON{ID: it.ID, Score: it.Score}
+	}
+	return out
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	s.inserts.Add(1)
+	var req InsertRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	var gs []*graph.Graph
+	switch {
+	case req.Graph != nil && req.Graphs != nil:
+		s.writeError(w, http.StatusBadRequest, "set exactly one of graph, graphs")
+		return
+	case req.Graph != nil:
+		gs = []*graph.Graph{req.Graph}
+	case len(req.Graphs) > 0:
+		gs = req.Graphs
+	default:
+		s.writeError(w, http.StatusBadRequest, "missing graph")
+		return
+	}
+	// Validate everything up front so malformed payloads are a clean 400
+	// with nothing inserted; only name collisions can fail past here.
+	for _, g := range gs {
+		if g.Name() == "" {
+			s.writeError(w, http.StatusBadRequest, "graph has no name")
+			return
+		}
+		if err := g.Validate(); err != nil {
+			s.writeError(w, http.StatusBadRequest, "invalid graph %q: %v", g.Name(), err)
+			return
+		}
+	}
+	inserted := make([]string, 0, len(gs))
+	for _, g := range gs {
+		if err := s.db.Insert(g); err != nil {
+			// Partial inserts stand (each bumped the generation); report
+			// the duplicate with what landed.
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error":      err.Error(),
+				"inserted":   inserted,
+				"generation": s.db.Generation(),
+			})
+			s.errors.Add(1)
+			s.cache.PruneStale(s.db.Generation())
+			return
+		}
+		inserted = append(inserted, g.Name())
+	}
+	gen := s.db.Generation()
+	s.cache.PruneStale(gen)
+	writeJSON(w, http.StatusOK, InsertResponse{Inserted: inserted, Generation: gen})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	s.deletes.Add(1)
+	name := r.PathValue("name")
+	if !s.db.Delete(name) {
+		s.writeError(w, http.StatusNotFound, "no graph named %q", name)
+		return
+	}
+	gen := s.db.Generation()
+	s.cache.PruneStale(gen)
+	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: name, Generation: gen})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	g, ok := s.db.Get(name)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "no graph named %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, g)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ListResponse{Names: s.db.Names(), Generation: s.db.Generation()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	dbs := s.db.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Generation:    s.db.Generation(),
+		DB: DBStats{
+			Graphs:       dbs.Graphs,
+			Vertices:     dbs.Vertices,
+			Edges:        dbs.Edges,
+			VertexLabels: dbs.VertexLabels,
+			EdgeLabels:   dbs.EdgeLabels,
+			MinSize:      dbs.MinSize,
+			MaxSize:      dbs.MaxSize,
+		},
+		Cache: s.cache.Stats(),
+		Requests: ReqStats{
+			Queries:        s.queries.Load(),
+			Inserts:        s.inserts.Load(),
+			Deletes:        s.deletes.Load(),
+			Errors:         s.errors.Load(),
+			PairEvals:        s.pairEvals.Load(),
+			QueryTimeouts:    s.timeouts.Load(),
+			InflightRejected: s.rejected.Load(),
+		},
+	})
+}
