@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench run-server vet
+.PHONY: build test race fuzz bench run-server vet
 
 build:
 	$(GO) build ./...
@@ -11,8 +11,15 @@ vet:
 test: vet
 	$(GO) test ./...
 
+race:
+	$(GO) test -race ./...
+
+fuzz:
+	$(GO) test ./internal/graph -run='^$$' -fuzz=FuzzQueryHash -fuzztime=10s
+	$(GO) test ./internal/graph -run='^$$' -fuzz=FuzzLGFRoundTrip -fuzztime=10s
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 run-server:
-	$(GO) run ./cmd/skygraphd -addr :8091 -cache 128
+	$(GO) run ./cmd/skygraphd -addr :8091 -shards 4 -cache 128

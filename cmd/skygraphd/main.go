@@ -1,22 +1,26 @@
 // Command skygraphd is the skygraph query-serving daemon: it loads a
-// graph database from LGF and serves similarity skyline, top-k and range
-// queries over an HTTP/JSON API, with an LRU cache of query vector
-// tables in front of the GED/MCS pair-evaluation hot path.
+// graph database from LGF into N hash-routed shards and serves
+// similarity skyline, top-k and range queries over an HTTP/JSON API.
+// Queries evaluate per shard in parallel and merge (divide-and-conquer
+// skyline combiner, per-shard top-k heaps); an LRU cache of per-shard
+// query vector tables sits in front of the GED/MCS pair-evaluation hot
+// path, so a mutation invalidates only its own shard's tables.
 //
 // Usage:
 //
-//	skygraphd -addr :8091 -db db.lgf -cache 128 -timeout 30s
+//	skygraphd -addr :8091 -db db.lgf -shards 4 -cache 128 -timeout 30s
 //
 // Endpoints:
 //
 //	POST   /query/skyline   graph similarity skyline GSS(D, q)
 //	POST   /query/topk      single-measure top-k baseline
 //	POST   /query/range     single-measure range query
+//	POST   /query/batch     many queries, one request and time budget
 //	GET    /graphs          list graph names
-//	POST   /graphs          insert graph(s), invalidating the cache
+//	POST   /graphs          insert graph(s), invalidating owning shards
 //	GET    /graphs/{name}   fetch one graph as JSON
-//	DELETE /graphs/{name}   delete a graph, invalidating the cache
-//	GET    /stats           database, cache and request counters
+//	DELETE /graphs/{name}   delete a graph, invalidating its shard
+//	GET    /stats           database, shard, cache and request counters
 //	GET    /healthz         liveness probe
 package main
 
@@ -40,33 +44,36 @@ import (
 func main() {
 	addr := flag.String("addr", ":8091", "listen address")
 	dbPath := flag.String("db", "", "database LGF file (empty = start with an empty database)")
-	cacheSize := flag.Int("cache", 128, "vector-table cache capacity (entries; 0 disables)")
-	workers := flag.Int("workers", 0, "pair-evaluation workers per query (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 1, "storage/evaluation shards (graphs are hash-routed by name)")
+	shardWorkers := flag.Int("shard-workers", 0, "pair-evaluation workers per shard per query (0 = spread GOMAXPROCS across shards)")
+	cacheSize := flag.Int("cache", 128, "vector-table cache capacity (entries, one per shard per query; 0 disables)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-query timeout (0 = none)")
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "hard cap on request-supplied timeouts (0 = none)")
-	inflight := flag.Int("inflight", 0, "max concurrently evaluating queries (0 = unlimited)")
+	inflight := flag.Int("inflight", 0, "max concurrently evaluating shard tables (0 = unlimited; set >= -shards)")
+	maxBatch := flag.Int("max-batch", 0, "max queries per /query/batch request (0 = default)")
 	gedBudget := flag.Int64("ged-budget", 0, "default GED search-node cap (0 = exact)")
 	mcsBudget := flag.Int64("mcs-budget", 0, "default MCS search-node cap (0 = exact)")
 	flag.Parse()
 
-	db := gdb.New()
+	db := gdb.NewSharded(*shards)
 	if *dbPath != "" {
-		loaded, err := gdb.Load(*dbPath)
+		loaded, err := gdb.LoadSharded(*dbPath, *shards)
 		if err != nil {
 			log.Fatalf("skygraphd: loading %s: %v", *dbPath, err)
 		}
 		db = loaded
 	}
 	stats := db.Stats()
-	log.Printf("skygraphd: serving %d graphs (%d vertices, %d edges) on %s",
-		stats.Graphs, stats.Vertices, stats.Edges, *addr)
+	log.Printf("skygraphd: serving %d graphs (%d vertices, %d edges) across %d shards on %s",
+		stats.Graphs, stats.Vertices, stats.Edges, db.NumShards(), *addr)
 
 	srv := server.New(db, server.Config{
 		CacheSize:      *cacheSize,
-		Workers:        *workers,
+		Workers:        *shardWorkers,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		MaxInflight:    *inflight,
+		MaxBatch:       *maxBatch,
 		DefaultEval:    measure.Options{GEDMaxNodes: *gedBudget, MCSMaxNodes: *mcsBudget},
 	})
 

@@ -143,6 +143,14 @@ type Stats struct {
 
 // Stats returns aggregate statistics.
 func (db *DB) Stats() Stats {
+	s, _, _ := db.statsAndLabels()
+	return s
+}
+
+// statsAndLabels computes the statistics and the distinct label sets in
+// one pass; shard aggregation needs the sets because distinct counts
+// union rather than sum.
+func (db *DB) statsAndLabels() (Stats, map[string]bool, map[string]bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	s := Stats{Graphs: len(db.names)}
@@ -167,7 +175,7 @@ func (db *DB) Stats() Stats {
 		first = false
 	}
 	s.VertexLabels, s.EdgeLabels = len(vl), len(el)
-	return s
+	return s, vl, el
 }
 
 // LowerBoundGED returns the histogram lower bound on the uniform-cost edit

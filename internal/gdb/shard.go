@@ -1,0 +1,426 @@
+package gdb
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"skygraph/internal/graph"
+	"skygraph/internal/measure"
+	"skygraph/internal/skyline"
+	"skygraph/internal/topk"
+)
+
+// Sharded partitions a graph database across N independent DB shards by
+// a stable hash of the graph name. Each shard keeps its own storage,
+// histogram index and generation counter, so a mutation invalidates
+// only its own shard's cached vector tables. Queries evaluate per shard
+// in parallel and merge: the skyline of a union is the skyline of the
+// per-partition skylines (the divide-and-conquer identity), top-k
+// merges per-shard heaps, and range results concatenate. Answers are
+// identical — including order — to a single unsharded DB holding the
+// same graphs, because Sharded tracks the global insertion order and
+// sorts merged results by it.
+type Sharded struct {
+	shards []*DB
+
+	mu    sync.RWMutex
+	order []string       // global insertion order of live graph names
+	pos   map[string]int // name -> index in order
+}
+
+// NewSharded returns an empty database split across n shards (n < 1 is
+// treated as 1).
+func NewSharded(n int) *Sharded {
+	if n < 1 {
+		n = 1
+	}
+	sh := &Sharded{shards: make([]*DB, n), pos: make(map[string]int)}
+	for i := range sh.shards {
+		sh.shards[i] = New()
+	}
+	return sh
+}
+
+// NumShards returns the shard count.
+func (sh *Sharded) NumShards() int { return len(sh.shards) }
+
+// Shard returns the i-th shard's DB. Callers must not mutate it
+// directly; route inserts and deletes through Sharded so the global
+// order stays consistent.
+func (sh *Sharded) Shard(i int) *DB { return sh.shards[i] }
+
+// ShardFor returns the shard owning the given graph name (stable FNV-1a
+// hash, so the mapping survives restarts).
+func (sh *Sharded) ShardFor(name string) int {
+	if len(sh.shards) == 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(len(sh.shards)))
+}
+
+// Insert routes g to its shard. Name uniqueness is global for free:
+// a duplicate name always hashes to the same shard, which rejects it.
+// sh.mu is held across both the shard mutation and the order update so
+// a concurrent Delete of the same name cannot interleave between them
+// and leave the global order out of sync with the shards; queries never
+// take sh.mu (only the rank snapshot does, briefly), so mutations
+// serializing against each other costs nothing on the hot path.
+func (sh *Sharded) Insert(g *graph.Graph) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.shards[sh.ShardFor(g.Name())].Insert(g); err != nil {
+		return err
+	}
+	sh.pos[g.Name()] = len(sh.order)
+	sh.order = append(sh.order, g.Name())
+	return nil
+}
+
+// InsertAll inserts every graph, stopping at the first error.
+func (sh *Sharded) InsertAll(gs []*graph.Graph) error {
+	for _, g := range gs {
+		if err := sh.Insert(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get returns the named graph from its owning shard.
+func (sh *Sharded) Get(name string) (*graph.Graph, bool) {
+	return sh.shards[sh.ShardFor(name)].Get(name)
+}
+
+// Delete removes the named graph, reporting whether it existed. Only
+// the owning shard's generation bumps. Like Insert, the shard mutation
+// and the order update happen under one sh.mu critical section.
+func (sh *Sharded) Delete(name string) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if !sh.shards[sh.ShardFor(name)].Delete(name) {
+		return false
+	}
+	if p, ok := sh.pos[name]; ok {
+		sh.order = append(sh.order[:p], sh.order[p+1:]...)
+		delete(sh.pos, name)
+		for j := p; j < len(sh.order); j++ {
+			sh.pos[sh.order[j]] = j
+		}
+	}
+	return true
+}
+
+// Len returns the total number of stored graphs.
+func (sh *Sharded) Len() int {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.order)
+}
+
+// Names returns all graph names in global insertion order.
+func (sh *Sharded) Names() []string {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return append([]string(nil), sh.order...)
+}
+
+// Graphs returns all stored graphs in global insertion order.
+func (sh *Sharded) Graphs() []*graph.Graph {
+	var out []*graph.Graph
+	for _, n := range sh.Names() {
+		if g, ok := sh.Get(n); ok {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// ShardGeneration returns shard i's generation counter.
+func (sh *Sharded) ShardGeneration(i int) uint64 { return sh.shards[i].Generation() }
+
+// Generations returns every shard's generation counter.
+func (sh *Sharded) Generations() []uint64 {
+	out := make([]uint64, len(sh.shards))
+	for i, db := range sh.shards {
+		out[i] = db.Generation()
+	}
+	return out
+}
+
+// Generation returns the sum of the shard generations: a single counter
+// that changes on every successful mutation anywhere in the database.
+func (sh *Sharded) Generation() uint64 {
+	var sum uint64
+	for _, db := range sh.shards {
+		sum += db.Generation()
+	}
+	return sum
+}
+
+// Stats aggregates statistics across shards. Distinct label counts are
+// unioned, not summed.
+func (sh *Sharded) Stats() Stats {
+	s := Stats{}
+	vl, el := map[string]bool{}, map[string]bool{}
+	first := true
+	for _, db := range sh.shards {
+		ds, svl, sel := db.statsAndLabels()
+		if ds.Graphs == 0 {
+			continue
+		}
+		s.Graphs += ds.Graphs
+		s.Vertices += ds.Vertices
+		s.Edges += ds.Edges
+		if first || ds.MinSize < s.MinSize {
+			s.MinSize = ds.MinSize
+		}
+		if first || ds.MaxSize > s.MaxSize {
+			s.MaxSize = ds.MaxSize
+		}
+		first = false
+		for l := range svl {
+			vl[l] = true
+		}
+		for l := range sel {
+			el[l] = true
+		}
+	}
+	s.VertexLabels, s.EdgeLabels = len(vl), len(el)
+	return s
+}
+
+// shardedWorkers resolves the per-shard pair-evaluation parallelism:
+// an explicit value is taken as-is (per shard); the default spreads
+// GOMAXPROCS across the shards evaluating concurrently.
+func (sh *Sharded) shardedWorkers(w int) int {
+	if w > 0 {
+		return w
+	}
+	n := len(sh.shards)
+	return (runtime.GOMAXPROCS(0) + n - 1) / n
+}
+
+// VectorTables evaluates q against every shard concurrently, returning
+// one VectorTable per shard (indexed by shard). opts.Workers is the
+// pair-evaluation parallelism per shard; 0 spreads GOMAXPROCS across
+// the shards. The first shard error aborts the whole evaluation.
+//
+// This is the library-level entry point (every shard evaluates, so the
+// flat worker spread is right). The serving layer instead fetches shard
+// tables individually through its cache and sizes workers by the
+// shards actually evaluating — if you change evaluation semantics
+// here, check Server.tables keeps matching; the equivalence harness
+// covers both paths.
+func (sh *Sharded) VectorTables(ctx context.Context, q *graph.Graph, opts QueryOptions) ([]*VectorTable, error) {
+	opts.Workers = sh.shardedWorkers(opts.Workers)
+	tables := make([]*VectorTable, len(sh.shards))
+	errs := make([]error, len(sh.shards))
+	var wg sync.WaitGroup
+	for i, db := range sh.shards {
+		wg.Add(1)
+		go func(i int, db *DB) {
+			defer wg.Done()
+			tables[i], errs[i] = db.VectorTable(ctx, q, opts)
+		}(i, db)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return tables, nil
+}
+
+// byRank orders by global insertion rank; names no longer present
+// (deleted since the tables were built) sort last, by name, so the
+// order is still deterministic.
+func byRank(rank map[string]int, a, b string) bool {
+	ra, aok := rank[a]
+	rb, bok := rank[b]
+	if aok != bok {
+		return aok
+	}
+	if !aok {
+		return a < b
+	}
+	return ra < rb
+}
+
+// sortPointsByRank restores global insertion order. The rank map is
+// read in place under the read lock rather than copied — the sort is
+// O(result·log result), not O(database) — and a single shard's results
+// are already in insertion order, so nothing to do there.
+func (sh *Sharded) sortPointsByRank(pts []skyline.Point) {
+	if len(sh.shards) == 1 {
+		return
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	sort.SliceStable(pts, func(i, j int) bool { return byRank(sh.pos, pts[i].ID, pts[j].ID) })
+}
+
+// sortItemsByRank is sortPointsByRank for scalar result rows.
+func (sh *Sharded) sortItemsByRank(items []topk.Item) {
+	if len(sh.shards) == 1 {
+		return
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	sort.SliceStable(items, func(i, j int) bool { return byRank(sh.pos, items[i].ID, items[j].ID) })
+}
+
+// MergeTables concatenates per-shard tables into the full global vector
+// table in insertion order — exactly the Points of an unsharded
+// VectorTable over the same graphs.
+func (sh *Sharded) MergeTables(tables []*VectorTable) []skyline.Point {
+	out := []skyline.Point{}
+	for _, t := range tables {
+		out = append(out, t.Points...)
+	}
+	sh.sortPointsByRank(out)
+	return out
+}
+
+// MergeSkyline computes each shard's local skyline and cross-filters
+// them with the divide-and-conquer combiner, returning the global
+// skyline in insertion order. Only local skyline members cross shard
+// boundaries — the merge never re-examines dominated points.
+func (sh *Sharded) MergeSkyline(tables []*VectorTable, alg skyline.Algorithm) []skyline.Point {
+	parts := make([][]skyline.Point, len(tables))
+	for i, t := range tables {
+		parts[i] = t.Skyline(alg)
+	}
+	merged := skyline.Merge(parts)
+	sh.sortPointsByRank(merged)
+	return merged
+}
+
+// MergeTopK merges per-shard top-k heaps: each shard contributes its k
+// best rows under m, and one final selection over the (at most
+// k*shards) candidates yields the global top-k in the deterministic
+// (score, ID) order of topk.Select.
+func (sh *Sharded) MergeTopK(tables []*VectorTable, m measure.Measure, k int) ([]topk.Item, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("gdb: k must be >= 1")
+	}
+	var all []topk.Item
+	for _, t := range tables {
+		items, err := t.TopK(m, k)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, items...)
+	}
+	return topk.Select(all, k), nil
+}
+
+// MergeRange concatenates per-shard range results and restores global
+// insertion order.
+func (sh *Sharded) MergeRange(tables []*VectorTable, m measure.Measure, radius float64) ([]topk.Item, error) {
+	var all []topk.Item
+	for _, t := range tables {
+		items, err := t.Range(m, radius)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, items...)
+	}
+	sh.sortItemsByRank(all)
+	return all, nil
+}
+
+// mergedStats folds per-shard table stats into query stats.
+func mergedStats(tables []*VectorTable, start time.Time) QueryStats {
+	s := QueryStats{Duration: time.Since(start)}
+	for _, t := range tables {
+		s.Evaluated += len(t.Points)
+		s.Inexact += t.Inexact
+	}
+	return s
+}
+
+// SkylineQueryContext is the sharded analogue of DB.SkylineQueryContext:
+// per-shard parallel evaluation and local skylines, merged.
+func (sh *Sharded) SkylineQueryContext(ctx context.Context, q *graph.Graph, opts QueryOptions) (SkylineResult, error) {
+	start := time.Now()
+	tables, err := sh.VectorTables(ctx, q, opts)
+	if err != nil {
+		return SkylineResult{}, err
+	}
+	return SkylineResult{
+		Skyline: sh.MergeSkyline(tables, opts.Algorithm),
+		All:     sh.MergeTables(tables),
+		Stats:   mergedStats(tables, start),
+	}, nil
+}
+
+// withMeasure ensures m is one of the basis columns so table-derived
+// answers can rank by it (mirrors the server's basis extension).
+func withMeasure(opts QueryOptions, m measure.Measure) QueryOptions {
+	basis := opts.Basis
+	if basis == nil {
+		basis = measure.Default()
+	}
+	for _, b := range basis {
+		if b.Name() == m.Name() {
+			opts.Basis = basis
+			return opts
+		}
+	}
+	opts.Basis = append(append([]measure.Measure{}, basis...), m)
+	return opts
+}
+
+// TopKQueryContext answers a single-measure top-k query from per-shard
+// tables and heap merge.
+func (sh *Sharded) TopKQueryContext(ctx context.Context, q *graph.Graph, m measure.Measure, k int, opts QueryOptions) (TopKResult, error) {
+	if k < 1 {
+		return TopKResult{}, fmt.Errorf("gdb: k must be >= 1")
+	}
+	start := time.Now()
+	tables, err := sh.VectorTables(ctx, q, withMeasure(opts, m))
+	if err != nil {
+		return TopKResult{}, err
+	}
+	items, err := sh.MergeTopK(tables, m, k)
+	if err != nil {
+		return TopKResult{}, err
+	}
+	return TopKResult{Items: items, Stats: mergedStats(tables, start)}, nil
+}
+
+// RangeQueryContext answers a single-measure range query from per-shard
+// tables and concatenation.
+func (sh *Sharded) RangeQueryContext(ctx context.Context, q *graph.Graph, m measure.Measure, radius float64, opts QueryOptions) (RangeResult, error) {
+	start := time.Now()
+	tables, err := sh.VectorTables(ctx, q, withMeasure(opts, m))
+	if err != nil {
+		return RangeResult{}, err
+	}
+	items, err := sh.MergeRange(tables, m, radius)
+	if err != nil {
+		return RangeResult{}, err
+	}
+	return RangeResult{Items: items, Stats: mergedStats(tables, start)}, nil
+}
+
+// LoadSharded reads an LGF file into a fresh n-shard database.
+func LoadSharded(path string, n int) (*Sharded, error) {
+	db, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	sh := NewSharded(n)
+	if err := sh.InsertAll(db.Graphs()); err != nil {
+		return nil, err
+	}
+	return sh, nil
+}

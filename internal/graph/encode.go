@@ -7,6 +7,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"unicode"
+	"unicode/utf8"
 )
 
 // This file implements two codecs for graphs:
@@ -125,36 +127,69 @@ func ParseLGF(s string) (*Graph, error) {
 	return gs[0], nil
 }
 
-// quoteLabel makes a label safe for the whitespace-separated LGF format.
-// Labels containing whitespace (or empty labels) are URL-style escaped.
+// quoteLabel makes a label safe for the whitespace-separated LGF
+// format: the empty label becomes %00, and every '%' or whitespace rune
+// (anything the field splitter could split on, including multi-byte
+// unicode spaces) is percent-escaped byte-wise. All other bytes pass
+// through untouched — in particular invalid UTF-8 is preserved, not
+// replaced, so quote/unquote round-trips arbitrary byte strings.
 func quoteLabel(l string) string {
 	if l == "" {
 		return "%00"
 	}
 	var b strings.Builder
-	for _, r := range l {
-		switch r {
-		case ' ':
-			b.WriteString("%20")
-		case '\t':
-			b.WriteString("%09")
-		case '\n':
-			b.WriteString("%0A")
-		case '%':
-			b.WriteString("%25")
-		default:
-			b.WriteRune(r)
+	for i := 0; i < len(l); {
+		r, size := utf8.DecodeRuneInString(l[i:])
+		if (r == utf8.RuneError && size == 1) || (r != '%' && !unicode.IsSpace(r)) {
+			b.WriteByte(l[i])
+			i++
+			continue
 		}
+		for j := 0; j < size; j++ {
+			fmt.Fprintf(&b, "%%%02X", l[i+j])
+		}
+		i += size
 	}
 	return b.String()
 }
 
+// unquoteLabel decodes %XX escapes (any byte); malformed escapes stay
+// literal, which is safe because quoteLabel always escapes real '%'
+// characters.
 func unquoteLabel(l string) string {
 	if l == "%00" {
 		return ""
 	}
-	r := strings.NewReplacer("%20", " ", "%09", "\t", "%0A", "\n", "%25", "%")
-	return r.Replace(l)
+	if !strings.Contains(l, "%") {
+		return l
+	}
+	var b strings.Builder
+	for i := 0; i < len(l); {
+		if l[i] == '%' && i+3 <= len(l) {
+			if hi, ok1 := unhex(l[i+1]); ok1 {
+				if lo, ok2 := unhex(l[i+2]); ok2 {
+					b.WriteByte(hi<<4 | lo)
+					i += 3
+					continue
+				}
+			}
+		}
+		b.WriteByte(l[i])
+		i++
+	}
+	return b.String()
+}
+
+func unhex(c byte) (byte, bool) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', true
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, true
+	case 'A' <= c && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
 }
 
 // jsonGraph is the JSON wire form of a Graph.

@@ -1,13 +1,19 @@
 // Package server implements skygraphd's query-serving subsystem: an
-// HTTP/JSON API over a gdb.DB with a vector-table cache in front of the
-// pair-evaluation hot path. The three layers are
+// HTTP/JSON API over a sharded gdb database with a per-shard
+// vector-table cache in front of the pair-evaluation hot path. The
+// layers are
 //
-//   - cache.go: an LRU of full GCS vector tables keyed by (database
-//     generation, canonical query hash, basis, engine options), so a
-//     repeated or refined query — same query graph, different k, radius
-//     or skyline algorithm — answers with zero new pair evaluations;
+//   - cache.go: an LRU of per-shard GCS vector tables keyed by (shard,
+//     shard generation, canonical query hash, basis, engine options),
+//     so a repeated or refined query — same query graph, different k,
+//     radius or skyline algorithm — answers with zero new pair
+//     evaluations, and a mutation invalidates only its own shard's
+//     tables;
 //   - api.go (this file): the wire types;
-//   - server.go: the handlers, per-request timeouts and worker limits.
+//   - server.go: the handlers, per-shard table assembly and merging,
+//     per-request timeouts and worker limits;
+//   - batch.go: POST /query/batch, answering many queries with at most
+//     one table build per (shard, query-hash) pair under one budget.
 package server
 
 import (
@@ -49,13 +55,18 @@ type QueryRequest struct {
 // QueryStats reports the work a request caused.
 type QueryStats struct {
 	// Evaluated counts pair evaluations performed for this request;
-	// it is 0 on a cache hit.
+	// it is 0 when every shard table came from the cache.
 	Evaluated int `json:"evaluated"`
 	// Inexact counts table pairs where a capped engine returned a bound
 	// (a property of the answer, whether cached or fresh).
 	Inexact int `json:"inexact"`
-	// CacheHit reports whether the vector table came from the cache.
+	// CacheHit reports whether every shard table came from the cache.
 	CacheHit bool `json:"cache_hit"`
+	// Shards is the number of shards the query ran against.
+	Shards int `json:"shards"`
+	// ShardHits counts shard tables served from the cache (or a
+	// coalesced in-flight leader).
+	ShardHits int `json:"shard_hits"`
 	// DurationMS is the server-side wall-clock time for the request.
 	DurationMS float64 `json:"duration_ms"`
 }
@@ -97,6 +108,74 @@ type RangeResponse struct {
 	Stats   QueryStats `json:"stats"`
 }
 
+// BatchRequest is the body of POST /query/batch: many queries answered
+// in one request, sharing the shard pool, the per-shard table cache and
+// one time budget. Identical (or isomorphic) query graphs in a batch
+// cost one vector-table build per (shard, query-hash) pair.
+type BatchRequest struct {
+	// Queries holds the batch items (required, at most the server's
+	// batch limit).
+	Queries []BatchQuery `json:"queries"`
+	// TimeoutMS is the budget for the whole batch (0 = server default;
+	// clamped to the server maximum). Per-item timeout_ms fields are
+	// ignored inside a batch.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// BatchQuery is one batch item: a query kind plus the usual query
+// fields.
+type BatchQuery struct {
+	// Kind selects the query type: "skyline" (default), "topk", "range".
+	Kind string `json:"kind,omitempty"`
+	QueryRequest
+}
+
+// BatchResult answers one batch item: exactly one of Skyline/TopK/Range
+// is set on success, Error on failure. Item failures do not fail the
+// batch.
+type BatchResult struct {
+	Kind    string           `json:"kind"`
+	Skyline *SkylineResponse `json:"skyline,omitempty"`
+	TopK    *TopKResponse    `json:"topk,omitempty"`
+	Range   *RangeResponse   `json:"range,omitempty"`
+	Error   string           `json:"error,omitempty"`
+}
+
+// stats returns the per-item query stats of whichever answer is set.
+func (r BatchResult) stats() QueryStats {
+	switch {
+	case r.Skyline != nil:
+		return r.Skyline.Stats
+	case r.TopK != nil:
+		return r.TopK.Stats
+	case r.Range != nil:
+		return r.Range.Stats
+	}
+	return QueryStats{}
+}
+
+// BatchStats aggregates the work one batch caused.
+type BatchStats struct {
+	// Queries is the number of items in the batch.
+	Queries int `json:"queries"`
+	// Errors counts items that failed.
+	Errors int `json:"errors"`
+	// Evaluated counts pair evaluations across the batch; coalesced and
+	// cached items contribute 0.
+	Evaluated int `json:"evaluated"`
+	// ShardHits counts shard tables served from the cache or a
+	// coalesced leader across the batch.
+	ShardHits int `json:"shard_hits"`
+	// DurationMS is the server-side wall-clock time for the batch.
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// BatchResponse answers /query/batch, one result per query in order.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+	Stats   BatchStats    `json:"stats"`
+}
+
 // InsertRequest is the body of POST /graphs. Exactly one of Graph or
 // Graphs must be set.
 type InsertRequest struct {
@@ -124,11 +203,19 @@ type ListResponse struct {
 
 // StatsResponse answers GET /stats.
 type StatsResponse struct {
-	UptimeSeconds float64    `json:"uptime_seconds"`
-	Generation    uint64     `json:"generation"`
-	DB            DBStats    `json:"db"`
-	Cache         CacheStats `json:"cache"`
-	Requests      ReqStats   `json:"requests"`
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	Generation    uint64      `json:"generation"`
+	DB            DBStats     `json:"db"`
+	Shards        []ShardInfo `json:"shards"`
+	Cache         CacheStats  `json:"cache"`
+	Requests      ReqStats    `json:"requests"`
+}
+
+// ShardInfo is one shard's occupancy and generation.
+type ShardInfo struct {
+	Index      int    `json:"index"`
+	Graphs     int    `json:"graphs"`
+	Generation uint64 `json:"generation"`
 }
 
 // DBStats mirrors gdb.Stats in wire form.
@@ -145,6 +232,7 @@ type DBStats struct {
 // ReqStats counts requests served since startup.
 type ReqStats struct {
 	Queries          uint64 `json:"queries"`
+	Batches          uint64 `json:"batches"`
 	Inserts          uint64 `json:"inserts"`
 	Deletes          uint64 `json:"deletes"`
 	Errors           uint64 `json:"errors"`

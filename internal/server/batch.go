@@ -1,0 +1,140 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// DefaultMaxBatch is the /query/batch size limit when Config.MaxBatch
+// is unset.
+const DefaultMaxBatch = 256
+
+// handleBatch answers POST /query/batch: many queries, one request.
+// Items run concurrently through the same per-shard table path as the
+// dedicated endpoints, so identical (or isomorphic) query graphs in one
+// batch coalesce onto a single table build per (shard, query-hash) pair
+// — first via the in-flight leader, then via the cache. The whole batch
+// shares one time budget; an item that fails (bad request, timeout)
+// reports its error in place without failing the rest.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.batches.Add(1)
+	start := time.Now()
+	var req BatchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	maxBatch := s.cfg.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	if len(req.Queries) > maxBatch {
+		s.writeError(w, http.StatusBadRequest, "batch of %d queries exceeds the limit of %d", len(req.Queries), maxBatch)
+		return
+	}
+
+	ctx := r.Context()
+	if d := s.timeout(&QueryRequest{TimeoutMS: req.TimeoutMS}); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
+	workers := s.cfg.BatchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(req.Queries) {
+		workers = len(req.Queries)
+	}
+	results := make([]BatchResult, len(req.Queries))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = s.runBatchQuery(ctx, &req.Queries[i])
+			}
+		}()
+	}
+	for i := range req.Queries {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	stats := BatchStats{Queries: len(results), DurationMS: float64(time.Since(start).Microseconds()) / 1000}
+	for _, res := range results {
+		if res.Error != "" {
+			stats.Errors++
+			continue
+		}
+		qs := res.stats()
+		stats.Evaluated += qs.Evaluated
+		stats.ShardHits += qs.ShardHits
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results, Stats: stats})
+}
+
+// runBatchQuery executes one batch item end to end, reporting failures
+// in the result instead of aborting the batch.
+func (s *Server) runBatchQuery(ctx context.Context, bq *BatchQuery) BatchResult {
+	s.queries.Add(1)
+	start := time.Now()
+	kind := bq.Kind
+	if kind == "" {
+		kind = "skyline"
+	}
+	out := BatchResult{Kind: kind}
+	fail := func(msg string) BatchResult {
+		s.errors.Add(1)
+		out.Error = msg
+		return out
+	}
+
+	var validate func(*QueryRequest) error
+	needMeasure := false
+	switch kind {
+	case "skyline":
+	case "topk":
+		needMeasure, validate = true, validateTopK
+	case "range":
+		needMeasure, validate = true, validateRange
+	default:
+		return fail(fmt.Sprintf("unknown query kind %q (want skyline, topk or range)", kind))
+	}
+	if validate != nil {
+		if err := validate(&bq.QueryRequest); err != nil {
+			return fail(err.Error())
+		}
+	}
+	res, err := s.resolveQuery(&bq.QueryRequest, needMeasure)
+	if err != nil {
+		return fail(err.Error())
+	}
+	ts, err := s.tables(ctx, res)
+	if err != nil {
+		_, msg := s.classifyQueryErr(err)
+		return fail(msg)
+	}
+	stats := s.queryStats(ts, start)
+	switch kind {
+	case "skyline":
+		out.Skyline = s.skylineAnswer(&bq.QueryRequest, res, ts, stats)
+	case "topk":
+		out.TopK = s.topkAnswer(&bq.QueryRequest, res, ts, stats)
+	case "range":
+		out.Range = s.rangeAnswer(&bq.QueryRequest, res, ts, stats)
+	}
+	return out
+}

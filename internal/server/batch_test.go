@@ -1,0 +1,177 @@
+package server
+
+import (
+	"net/http"
+	"reflect"
+	"testing"
+
+	"skygraph/internal/dataset"
+	"skygraph/internal/graph"
+)
+
+// permutedPaperQuery returns the paper query with its vertices
+// renumbered in reverse: a different wire encoding of an isomorphic
+// graph, which must share cache entries via the canonical query hash.
+func permutedPaperQuery(t *testing.T) *graph.Graph {
+	t.Helper()
+	q := dataset.PaperQuery()
+	n := q.Order()
+	perm := graph.New("permuted-q")
+	for i := n - 1; i >= 0; i-- {
+		perm.AddVertex(q.VertexLabel(i))
+	}
+	for _, e := range q.Edges() {
+		if err := perm.AddEdge(n-1-e.U, n-1-e.V, e.Label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return perm
+}
+
+// TestBatchCoalescesTableBuilds is the batch acceptance check: M
+// queries over the same (isomorphism class of) query graph cost at most
+// one vector-table build per (shard, query-hash) pair — here exactly
+// one per shard, i.e. 7 pair evaluations total over the paper database,
+// no matter how many batch items ask.
+func TestBatchCoalescesTableBuilds(t *testing.T) {
+	for _, shards := range []int{1, 2, 3} {
+		s, ts := newShardedTestServer(t, shards, Config{CacheSize: 32})
+		radius := 3.0
+		batch := BatchRequest{Queries: []BatchQuery{
+			{Kind: "skyline", QueryRequest: QueryRequest{Graph: dataset.PaperQuery()}},
+			{Kind: "skyline", QueryRequest: QueryRequest{Graph: dataset.PaperQuery(), Algorithm: "bnl"}},
+			{Kind: "topk", QueryRequest: QueryRequest{Graph: dataset.PaperQuery(), K: 3}},
+			{Kind: "topk", QueryRequest: QueryRequest{Graph: dataset.PaperQuery(), K: 5}},
+			{Kind: "range", QueryRequest: QueryRequest{Graph: dataset.PaperQuery(), Radius: &radius}},
+			{Kind: "skyline", QueryRequest: QueryRequest{Graph: permutedPaperQuery(t)}},
+		}}
+		var resp BatchResponse
+		r := postJSON(t, ts.URL+"/query/batch", batch, &resp)
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("%d shards: batch status = %d", shards, r.StatusCode)
+		}
+		if len(resp.Results) != 6 || resp.Stats.Errors != 0 {
+			t.Fatalf("%d shards: results = %d, errors = %d", shards, len(resp.Results), resp.Stats.Errors)
+		}
+		for i, res := range resp.Results {
+			if res.Error != "" {
+				t.Fatalf("%d shards: item %d failed: %s", shards, i, res.Error)
+			}
+		}
+		// At most one build per (shard, query-hash): the whole batch
+		// evaluated each of the 7 database graphs exactly once, and the
+		// cache holds exactly one table per shard.
+		st := statsOf(t, ts.URL)
+		if st.Requests.PairEvals != 7 {
+			t.Fatalf("%d shards: pair evals = %d across the batch; want 7", shards, st.Requests.PairEvals)
+		}
+		if got := s.Cache().Len(); got != shards {
+			t.Fatalf("%d shards: cache holds %d tables; want one per shard (%d)", shards, got, shards)
+		}
+		if resp.Stats.Evaluated != 7 {
+			t.Fatalf("%d shards: batch stats evaluated = %d; want 7", shards, resp.Stats.Evaluated)
+		}
+		// Repeating the whole batch is free: every item hits.
+		var again BatchResponse
+		postJSON(t, ts.URL+"/query/batch", batch, &again)
+		if again.Stats.Evaluated != 0 {
+			t.Fatalf("%d shards: repeat batch evaluated %d pairs; want 0", shards, again.Stats.Evaluated)
+		}
+		for i, res := range again.Results {
+			if qs := res.stats(); !qs.CacheHit || qs.ShardHits != shards {
+				t.Fatalf("%d shards: repeat item %d stats = %+v; want full cache hit", shards, i, qs)
+			}
+		}
+	}
+}
+
+// TestBatchMatchesSingleEndpoints: each batch item's answer is
+// byte-identical to the dedicated endpoint's (stats aside).
+func TestBatchMatchesSingleEndpoints(t *testing.T) {
+	_, ts := newShardedTestServer(t, 3, Config{CacheSize: 32})
+	radius := 3.0
+
+	var sky SkylineResponse
+	postJSON(t, ts.URL+"/query/skyline", QueryRequest{Graph: dataset.PaperQuery(), All: true}, &sky)
+	var tk TopKResponse
+	postJSON(t, ts.URL+"/query/topk", QueryRequest{Graph: dataset.PaperQuery(), K: 3}, &tk)
+	var rg RangeResponse
+	postJSON(t, ts.URL+"/query/range", QueryRequest{Graph: dataset.PaperQuery(), Radius: &radius}, &rg)
+
+	var batch BatchResponse
+	postJSON(t, ts.URL+"/query/batch", BatchRequest{Queries: []BatchQuery{
+		{Kind: "skyline", QueryRequest: QueryRequest{Graph: dataset.PaperQuery(), All: true}},
+		{Kind: "topk", QueryRequest: QueryRequest{Graph: dataset.PaperQuery(), K: 3}},
+		{Kind: "range", QueryRequest: QueryRequest{Graph: dataset.PaperQuery(), Radius: &radius}},
+	}}, &batch)
+	if len(batch.Results) != 3 {
+		t.Fatalf("batch results = %d; want 3", len(batch.Results))
+	}
+	bSky, bTk, bRg := batch.Results[0].Skyline, batch.Results[1].TopK, batch.Results[2].Range
+	if bSky == nil || bTk == nil || bRg == nil {
+		t.Fatalf("batch results missing answers: %+v", batch.Results)
+	}
+	if !reflect.DeepEqual(bSky.Skyline, sky.Skyline) || !reflect.DeepEqual(bSky.All, sky.All) {
+		t.Fatalf("batch skyline differs from endpoint:\n batch %+v\n single %+v", bSky, sky)
+	}
+	if bTk.Measure != tk.Measure || bTk.K != tk.K || !reflect.DeepEqual(bTk.Items, tk.Items) {
+		t.Fatalf("batch topk differs from endpoint:\n batch %+v\n single %+v", bTk, tk)
+	}
+	if bRg.Measure != rg.Measure || bRg.Radius != rg.Radius || !reflect.DeepEqual(bRg.Items, rg.Items) {
+		t.Fatalf("batch range differs from endpoint:\n batch %+v\n single %+v", bRg, rg)
+	}
+}
+
+// TestBatchItemErrorsDoNotFailBatch: invalid items report in place.
+func TestBatchItemErrorsDoNotFailBatch(t *testing.T) {
+	_, ts := newShardedTestServer(t, 2, Config{CacheSize: 8})
+	var resp BatchResponse
+	r := postJSON(t, ts.URL+"/query/batch", BatchRequest{Queries: []BatchQuery{
+		{Kind: "topk", QueryRequest: QueryRequest{Graph: dataset.PaperQuery()}},    // missing k
+		{Kind: "warp", QueryRequest: QueryRequest{Graph: dataset.PaperQuery()}},    // unknown kind
+		{Kind: "skyline", QueryRequest: QueryRequest{}},                            // missing graph
+		{Kind: "skyline", QueryRequest: QueryRequest{Graph: dataset.PaperQuery()}}, // fine
+	}}, &resp)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d; want 200 with per-item errors", r.StatusCode)
+	}
+	if resp.Stats.Errors != 3 {
+		t.Fatalf("batch errors = %d; want 3", resp.Stats.Errors)
+	}
+	for i := 0; i < 3; i++ {
+		if resp.Results[i].Error == "" {
+			t.Fatalf("item %d should carry an error", i)
+		}
+	}
+	if resp.Results[3].Error != "" || resp.Results[3].Skyline == nil {
+		t.Fatalf("valid item failed: %+v", resp.Results[3])
+	}
+}
+
+// TestBatchLimits: empty and oversized batches are rejected whole.
+func TestBatchLimits(t *testing.T) {
+	_, ts := newShardedTestServer(t, 1, Config{CacheSize: 8, MaxBatch: 2})
+	if r := postJSON(t, ts.URL+"/query/batch", BatchRequest{}, nil); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch status = %d; want 400", r.StatusCode)
+	}
+	over := BatchRequest{Queries: []BatchQuery{
+		{QueryRequest: QueryRequest{Graph: dataset.PaperQuery()}},
+		{QueryRequest: QueryRequest{Graph: dataset.PaperQuery()}},
+		{QueryRequest: QueryRequest{Graph: dataset.PaperQuery()}},
+	}}
+	if r := postJSON(t, ts.URL+"/query/batch", over, nil); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch status = %d; want 400", r.StatusCode)
+	}
+}
+
+// TestBatchDefaultKindIsSkyline: omitting kind runs a skyline query.
+func TestBatchDefaultKindIsSkyline(t *testing.T) {
+	_, ts := newShardedTestServer(t, 2, Config{CacheSize: 8})
+	var resp BatchResponse
+	postJSON(t, ts.URL+"/query/batch", BatchRequest{Queries: []BatchQuery{
+		{QueryRequest: QueryRequest{Graph: dataset.PaperQuery()}},
+	}}, &resp)
+	if len(resp.Results) != 1 || resp.Results[0].Kind != "skyline" || resp.Results[0].Skyline == nil {
+		t.Fatalf("defaulted batch item = %+v; want a skyline answer", resp.Results)
+	}
+}

@@ -5,33 +5,40 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"skygraph/internal/gdb"
 	"skygraph/internal/measure"
 )
 
-// Cache is a bounded LRU of query vector tables. A key binds a table to
-// the exact inputs that produced it — database generation, canonical
-// query-graph hash, measure basis and engine options — so a lookup can
-// only ever return a table that answers the current request exactly.
-// Because the generation participates in the key, a database mutation
-// implicitly invalidates every cached entry: old-generation tables become
-// unreachable and are either aged out by the LRU or dropped eagerly by
-// PruneStale.
+// Cache is a bounded LRU of per-shard query vector tables. A key binds
+// a table to the exact inputs that produced it — shard index, that
+// shard's generation, canonical query-graph hash, measure basis and
+// engine options — so a lookup can only ever return a table that
+// answers the current request exactly. Because the owning shard's
+// generation participates in the key, a mutation invalidates exactly
+// that shard's entries: old-generation tables become unreachable and
+// are either aged out by the LRU or dropped eagerly by PruneStale;
+// tables of the other shards stay live.
+//
+// Counters are atomics, read without the LRU lock: /stats can hammer
+// the cache while queries run without contending on (or racing with)
+// the hot lookup path.
 type Cache struct {
 	mu       sync.Mutex
 	capacity int
 	ll       *list.List // front = most recently used
 	items    map[string]*list.Element
 
-	hits          uint64
-	misses        uint64
-	evictions     uint64
-	invalidations uint64
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	evictions     atomic.Uint64
+	invalidations atomic.Uint64
 }
 
 type cacheEntry struct {
 	key   string
+	shard int
 	table *gdb.VectorTable
 }
 
@@ -45,10 +52,10 @@ func NewCache(capacity int) *Cache {
 	}
 }
 
-// CacheKey renders the canonical cache key for a query vector table.
-func CacheKey(generation uint64, queryHash string, basis []measure.Measure, eval measure.Options) string {
-	return fmt.Sprintf("g%d|q%s|b%s|%s",
-		generation, queryHash, strings.Join(measure.BasisNames(basis), ","), eval.Key())
+// CacheKey renders the canonical cache key for one shard's vector table.
+func CacheKey(shard int, generation uint64, queryHash string, basis []measure.Measure, eval measure.Options) string {
+	return fmt.Sprintf("s%d|g%d|q%s|b%s|%s",
+		shard, generation, queryHash, strings.Join(measure.BasisNames(basis), ","), eval.Key())
 }
 
 // Get returns the cached table for key, marking it most recently used.
@@ -65,61 +72,74 @@ func (c *Cache) getRecheck(key string) (*gdb.VectorTable, bool) {
 
 func (c *Cache) get(key string, quiet bool) (*gdb.VectorTable, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
+		c.mu.Unlock()
 		if !quiet {
-			c.misses++
+			c.misses.Add(1)
 		}
 		return nil, false
 	}
-	c.hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).table, true
+	t := el.Value.(*cacheEntry).table
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return t, true
 }
 
-// Put stores a table under key, evicting the least recently used entry
-// when the cache is full.
-func (c *Cache) Put(key string, t *gdb.VectorTable) {
+// contains reports whether key is cached, without touching recency or
+// the hit/miss counters — a planning peek, not a lookup.
+func (c *Cache) contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
+// Put stores shard's table under key, evicting the least recently used
+// entry when the cache is full.
+func (c *Cache) Put(key string, shard int, t *gdb.VectorTable) {
 	if c.capacity < 1 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).table = t
+		e := el.Value.(*cacheEntry)
+		e.shard, e.table = shard, t
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, table: t})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, shard: shard, table: t})
 	for c.ll.Len() > c.capacity {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
-		c.evictions++
+		c.evictions.Add(1)
 	}
 }
 
-// PruneStale eagerly drops every entry computed before generation gen,
-// returning how many were dropped. Correctness never depends on this —
-// stale keys are unreachable — but pruning on mutation frees their
-// memory immediately instead of waiting for LRU pressure. Generations
-// only increase, so the strict < keeps entries newer than the caller's
-// (possibly stale) generation read.
-func (c *Cache) PruneStale(gen uint64) int {
+// PruneStale eagerly drops every entry of shard computed before
+// generation gen, returning how many were dropped. Correctness never
+// depends on this — stale keys are unreachable — but pruning on
+// mutation frees their memory immediately instead of waiting for LRU
+// pressure. Generations only increase, so the strict < keeps entries
+// newer than the caller's (possibly stale) generation read, and other
+// shards' entries are never touched.
+func (c *Cache) PruneStale(shard int, gen uint64) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	dropped := 0
 	for el := c.ll.Front(); el != nil; {
 		next := el.Next()
-		if e := el.Value.(*cacheEntry); e.table.Generation < gen {
+		if e := el.Value.(*cacheEntry); e.shard == shard && e.table.Generation < gen {
 			c.ll.Remove(el)
 			delete(c.items, e.key)
 			dropped++
 		}
 		el = next
 	}
-	c.invalidations += uint64(dropped)
+	c.invalidations.Add(uint64(dropped))
 	return dropped
 }
 
@@ -140,16 +160,15 @@ type CacheStats struct {
 	Invalidations uint64 `json:"invalidations"`
 }
 
-// Stats returns the current counters.
+// Stats returns the current counters. Counter reads are atomic and do
+// not block concurrent lookups.
 func (c *Cache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return CacheStats{
 		Capacity:      c.capacity,
-		Entries:       c.ll.Len(),
-		Hits:          c.hits,
-		Misses:        c.misses,
-		Evictions:     c.evictions,
-		Invalidations: c.invalidations,
+		Entries:       c.Len(),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
 	}
 }

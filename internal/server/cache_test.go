@@ -18,7 +18,7 @@ func TestCacheHitMiss(t *testing.T) {
 		t.Fatal("empty cache reported a hit")
 	}
 	tab := tableAt(1)
-	c.Put("a", tab)
+	c.Put("a", 0, tab)
 	got, ok := c.Get("a")
 	if !ok || got != tab {
 		t.Fatalf("Get(a) = %v, %v; want stored table", got, ok)
@@ -31,10 +31,10 @@ func TestCacheHitMiss(t *testing.T) {
 
 func TestCacheEvictsLRU(t *testing.T) {
 	c := NewCache(2)
-	c.Put("a", tableAt(1))
-	c.Put("b", tableAt(1))
+	c.Put("a", 0, tableAt(1))
+	c.Put("b", 0, tableAt(1))
 	c.Get("a") // a is now more recent than b
-	c.Put("c", tableAt(1))
+	c.Put("c", 0, tableAt(1))
 	if _, ok := c.Get("b"); ok {
 		t.Fatal("b should have been evicted as least recently used")
 	}
@@ -51,10 +51,10 @@ func TestCacheEvictsLRU(t *testing.T) {
 
 func TestCachePutExistingRefreshes(t *testing.T) {
 	c := NewCache(2)
-	c.Put("a", tableAt(1))
-	c.Put("b", tableAt(1))
-	c.Put("a", tableAt(2)) // refresh, not a new entry
-	c.Put("c", tableAt(1))
+	c.Put("a", 0, tableAt(1))
+	c.Put("b", 0, tableAt(1))
+	c.Put("a", 0, tableAt(2)) // refresh, not a new entry
+	c.Put("c", 0, tableAt(1))
 	if _, ok := c.Get("b"); ok {
 		t.Fatal("b should be evicted: a was refreshed to most recent")
 	}
@@ -66,10 +66,10 @@ func TestCachePutExistingRefreshes(t *testing.T) {
 
 func TestCachePruneStale(t *testing.T) {
 	c := NewCache(8)
-	c.Put("g1-a", tableAt(1))
-	c.Put("g1-b", tableAt(1))
-	c.Put("g2-a", tableAt(2))
-	if dropped := c.PruneStale(2); dropped != 2 {
+	c.Put("g1-a", 0, tableAt(1))
+	c.Put("g1-b", 0, tableAt(1))
+	c.Put("g2-a", 0, tableAt(2))
+	if dropped := c.PruneStale(0, 2); dropped != 2 {
 		t.Fatalf("PruneStale dropped %d; want 2", dropped)
 	}
 	if c.Len() != 1 {
@@ -87,8 +87,8 @@ func TestCachePruneStaleKeepsNewer(t *testing.T) {
 	// A handler racing with a later mutation may call PruneStale with a
 	// stale (smaller) generation; entries newer than it must survive.
 	c := NewCache(8)
-	c.Put("g2-a", tableAt(2))
-	if dropped := c.PruneStale(1); dropped != 0 {
+	c.Put("g2-a", 0, tableAt(2))
+	if dropped := c.PruneStale(0, 1); dropped != 0 {
 		t.Fatalf("PruneStale(1) dropped %d newer entries; want 0", dropped)
 	}
 	if _, ok := c.Get("g2-a"); !ok {
@@ -98,7 +98,7 @@ func TestCachePruneStaleKeepsNewer(t *testing.T) {
 
 func TestCacheDisabled(t *testing.T) {
 	c := NewCache(0)
-	c.Put("a", tableAt(1))
+	c.Put("a", 0, tableAt(1))
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("capacity-0 cache must never hit")
 	}
@@ -108,19 +108,19 @@ func TestCacheDisabled(t *testing.T) {
 }
 
 func TestCacheKeyDistinguishesInputs(t *testing.T) {
-	base := CacheKey(1, "qh", measure.Default(), measure.Options{})
+	base := CacheKey(0, 1, "qh", measure.Default(), measure.Options{})
 	variants := []string{
-		CacheKey(2, "qh", measure.Default(), measure.Options{}),
-		CacheKey(1, "other", measure.Default(), measure.Options{}),
-		CacheKey(1, "qh", []measure.Measure{measure.DistEd{}}, measure.Options{}),
-		CacheKey(1, "qh", measure.Default(), measure.Options{GEDMaxNodes: 10}),
+		CacheKey(0, 2, "qh", measure.Default(), measure.Options{}),
+		CacheKey(0, 1, "other", measure.Default(), measure.Options{}),
+		CacheKey(0, 1, "qh", []measure.Measure{measure.DistEd{}}, measure.Options{}),
+		CacheKey(0, 1, "qh", measure.Default(), measure.Options{GEDMaxNodes: 10}),
 	}
 	for i, v := range variants {
 		if v == base {
 			t.Errorf("variant %d collides with base key %s", i, base)
 		}
 	}
-	if again := CacheKey(1, "qh", measure.Default(), measure.Options{}); again != base {
+	if again := CacheKey(0, 1, "qh", measure.Default(), measure.Options{}); again != base {
 		t.Errorf("key is not stable: %s vs %s", base, again)
 	}
 }
@@ -128,9 +128,34 @@ func TestCacheKeyDistinguishesInputs(t *testing.T) {
 func TestCacheManyEntriesBounded(t *testing.T) {
 	c := NewCache(16)
 	for i := 0; i < 100; i++ {
-		c.Put(fmt.Sprintf("k%d", i), tableAt(1))
+		c.Put(fmt.Sprintf("k%d", i), 0, tableAt(1))
 	}
 	if c.Len() != 16 {
 		t.Fatalf("len = %d; want capacity 16", c.Len())
+	}
+}
+
+func TestCachePruneStaleIsPerShard(t *testing.T) {
+	// Entries of other shards survive a prune no matter how old their
+	// generation is — that is the point of per-shard invalidation.
+	c := NewCache(8)
+	c.Put("s0-old", 0, tableAt(1))
+	c.Put("s1-old", 1, tableAt(1))
+	if dropped := c.PruneStale(0, 5); dropped != 1 {
+		t.Fatalf("PruneStale(0, 5) dropped %d; want 1", dropped)
+	}
+	if _, ok := c.Get("s1-old"); !ok {
+		t.Fatal("shard 1 entry must survive a shard 0 prune")
+	}
+	if _, ok := c.Get("s0-old"); ok {
+		t.Fatal("shard 0 entry must be pruned")
+	}
+}
+
+func TestCacheKeyDistinguishesShards(t *testing.T) {
+	a := CacheKey(0, 1, "qh", measure.Default(), measure.Options{})
+	b := CacheKey(1, 1, "qh", measure.Default(), measure.Options{})
+	if a == b {
+		t.Fatalf("shard 0 and shard 1 keys collide: %s", a)
 	}
 }

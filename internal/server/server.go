@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,28 +21,37 @@ import (
 // Config tunes a Server.
 type Config struct {
 	// CacheSize is the vector-table LRU capacity (entries; < 1 disables).
+	// Each (shard, query) pair occupies one entry.
 	CacheSize int
-	// Workers is the pair-evaluation parallelism per query (0 =
-	// GOMAXPROCS), wired through gdb.QueryOptions.
+	// Workers is the pair-evaluation parallelism per shard per query
+	// (0 = GOMAXPROCS spread evenly across the shards).
 	Workers int
 	// DefaultTimeout bounds a query when the request does not ask for a
 	// timeout (0 = no default).
 	DefaultTimeout time.Duration
 	// MaxTimeout clamps request-supplied timeouts (0 = no clamp).
 	MaxTimeout time.Duration
-	// MaxInflight caps concurrently evaluating queries; excess requests
-	// are rejected with 503 rather than queued (0 = unlimited).
+	// MaxInflight caps concurrently evaluating shard tables; excess
+	// builds are rejected with 503 rather than queued (0 = unlimited).
+	// With N shards a single cold query can occupy up to N slots, so
+	// set this to at least the shard count.
 	MaxInflight int
 	// DefaultEval bounds the exact engines when the request does not
 	// carry its own options.
 	DefaultEval measure.Options
+	// MaxBatch caps the number of queries in one /query/batch request
+	// (0 = DefaultMaxBatch).
+	MaxBatch int
+	// BatchWorkers caps how many batch queries execute concurrently
+	// (0 = GOMAXPROCS).
+	BatchWorkers int
 }
 
-// Server serves similarity queries over a graph database with a vector-
-// table cache in front of pair evaluation. Create with New, mount via
-// Handler.
+// Server serves similarity queries over a sharded graph database with a
+// per-shard vector-table cache in front of pair evaluation. Create with
+// New, mount via Handler.
 type Server struct {
-	db    *gdb.DB
+	db    *gdb.Sharded
 	cache *Cache
 	cfg   Config
 	start time.Time
@@ -51,6 +61,7 @@ type Server struct {
 	flight   map[string]*flightCall
 
 	queries   atomic.Uint64
+	batches   atomic.Uint64
 	inserts   atomic.Uint64
 	deletes   atomic.Uint64
 	errors    atomic.Uint64
@@ -59,8 +70,13 @@ type Server struct {
 	rejected  atomic.Uint64
 }
 
-// New returns a Server over db.
-func New(db *gdb.DB, cfg Config) *Server {
+// New returns a Server over db. MaxInflight below the shard count is
+// raised to it: one cold query needs a slot per shard, so a smaller
+// limit would 503 every cold query on an idle server.
+func New(db *gdb.Sharded, cfg Config) *Server {
+	if cfg.MaxInflight > 0 && cfg.MaxInflight < db.NumShards() {
+		cfg.MaxInflight = db.NumShards()
+	}
 	s := &Server{
 		db:     db,
 		cache:  NewCache(cfg.CacheSize),
@@ -78,12 +94,16 @@ func New(db *gdb.DB, cfg Config) *Server {
 // and stats tooling).
 func (s *Server) Cache() *Cache { return s.cache }
 
+// DB exposes the server's sharded database.
+func (s *Server) DB() *gdb.Sharded { return s.db }
+
 // Handler returns the HTTP routing for the API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query/skyline", s.handleSkyline)
 	mux.HandleFunc("POST /query/topk", s.handleTopK)
 	mux.HandleFunc("POST /query/range", s.handleRange)
+	mux.HandleFunc("POST /query/batch", s.handleBatch)
 	mux.HandleFunc("GET /graphs", s.handleList)
 	mux.HandleFunc("POST /graphs", s.handleInsert)
 	mux.HandleFunc("GET /graphs/{name}", s.handleGet)
@@ -176,6 +196,8 @@ func (s *Server) resolveQuery(req *QueryRequest, needMeasure bool) (resolved, er
 		return res, fmt.Errorf("unknown skyline algorithm %q (want sfs, bnl or dac)", req.Algorithm)
 	}
 
+	// Workers 0 is resolved per query in tables(), where the number of
+	// shards actually needing evaluation is known.
 	res.opts = gdb.QueryOptions{Basis: basis, Eval: s.mergeEval(req.Eval), Workers: s.cfg.Workers}
 	return res, nil
 }
@@ -215,7 +237,7 @@ func (s *Server) timeout(req *QueryRequest) time.Duration {
 	return d
 }
 
-// flightCall is one in-progress table computation that concurrent
+// flightCall is one in-progress shard-table computation that concurrent
 // identical requests wait on instead of recomputing.
 type flightCall struct {
 	done chan struct{} // closed once t/err are set
@@ -223,16 +245,114 @@ type flightCall struct {
 	err  error
 }
 
-// table returns the vector table for a resolved query, from the cache
-// when possible. Concurrent identical cold queries are coalesced: one
-// leader evaluates, the rest wait on its result and report a cache hit
-// (they caused no pair evaluations). A follower whose leader fails —
-// e.g. the leader's own shorter timeout fired — retries under its own
-// deadline instead of inheriting the failure.
-func (s *Server) table(ctx context.Context, res resolved) (t *gdb.VectorTable, hit bool, err error) {
+// tableSet is the per-shard answer material for one query, plus what it
+// cost: hits counts shards served from cache (or a coalesced leader),
+// evaluated counts pair evaluations this request caused.
+type tableSet struct {
+	tables    []*gdb.VectorTable
+	hits      int
+	evaluated int
+}
+
+func (ts tableSet) inexact() int {
+	n := 0
+	for _, t := range ts.tables {
+		n += t.Inexact
+	}
+	return n
+}
+
+// tables returns the vector table of every shard for a resolved query,
+// each from the cache when possible. Shard misses evaluate
+// concurrently; concurrent identical cold lookups coalesce per (shard,
+// key) on one flight leader. The first shard error aborts the query.
+func (s *Server) tables(ctx context.Context, res resolved) (tableSet, error) {
+	n := s.db.NumShards()
 	qh := graph.QueryHash(res.q)
+	out := tableSet{tables: make([]*gdb.VectorTable, n)}
+	if n == 1 {
+		t, hit, err := s.shardTable(ctx, 0, qh, res)
+		if err != nil {
+			return tableSet{}, err
+		}
+		out.tables[0] = t
+		out.hits, out.evaluated = boolToInt(hit), freshEvals(t, hit)
+		return out, nil
+	}
+	// Spread the default worker budget over the shards that will
+	// actually evaluate, not the shard count: after a single-shard
+	// invalidation the lone rebuilding shard gets the whole machine
+	// instead of 1/Nth of it. The peek is advisory — a racing
+	// invalidation at worst changes parallelism, never correctness —
+	// so a surprise rebuild (0 predicted misses) runs at full width.
+	if res.opts.Workers <= 0 {
+		cold := 0
+		for i := 0; i < n; i++ {
+			if !s.cache.contains(CacheKey(i, s.db.ShardGeneration(i), qh, res.basis, res.opts.Eval)) {
+				cold++
+			}
+		}
+		if cold > 0 {
+			res.opts.Workers = (runtime.GOMAXPROCS(0) + cold - 1) / cold
+		}
+	}
+	var (
+		wg        sync.WaitGroup
+		hits      atomic.Int64
+		evaluated atomic.Int64
+		errMu     sync.Mutex
+		firstErr  error
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t, hit, err := s.shardTable(ctx, i, qh, res)
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			out.tables[i] = t
+			hits.Add(int64(boolToInt(hit)))
+			evaluated.Add(int64(freshEvals(t, hit)))
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return tableSet{}, firstErr
+	}
+	out.hits, out.evaluated = int(hits.Load()), int(evaluated.Load())
+	return out, nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func freshEvals(t *gdb.VectorTable, hit bool) int {
+	if hit {
+		return 0
+	}
+	return len(t.Points)
+}
+
+// shardTable returns one shard's table for a resolved query, from the
+// cache when possible. Concurrent identical cold lookups are coalesced:
+// one leader evaluates, the rest wait on its result and report a cache
+// hit (they caused no pair evaluations). A follower whose leader fails
+// — e.g. the leader's own shorter timeout fired — retries under its own
+// deadline instead of inheriting the failure.
+func (s *Server) shardTable(ctx context.Context, shard int, qh string, res resolved) (t *gdb.VectorTable, hit bool, err error) {
+	db := s.db.Shard(shard)
 	for {
-		key := CacheKey(s.db.Generation(), qh, res.basis, res.opts.Eval)
+		key := CacheKey(shard, db.Generation(), qh, res.basis, res.opts.Eval)
 		if t, ok := s.cache.Get(key); ok {
 			return t, true, nil
 		}
@@ -242,7 +362,7 @@ func (s *Server) table(ctx context.Context, res resolved) (t *gdb.VectorTable, h
 			c := &flightCall{done: make(chan struct{})}
 			s.flight[key] = c
 			s.flightMu.Unlock()
-			return s.lead(ctx, res, qh, key, c)
+			return s.lead(ctx, res, shard, qh, key, c)
 		}
 		s.flightMu.Unlock()
 		select {
@@ -257,9 +377,9 @@ func (s *Server) table(ctx context.Context, res resolved) (t *gdb.VectorTable, h
 	}
 }
 
-// lead evaluates the table as the flight leader for key, publishing the
-// result to followers via c.
-func (s *Server) lead(ctx context.Context, res resolved, qh, key string, c *flightCall) (t *gdb.VectorTable, hit bool, err error) {
+// lead evaluates shard's table as the flight leader for key, publishing
+// the result to followers via c.
+func (s *Server) lead(ctx context.Context, res resolved, shard int, qh, key string, c *flightCall) (t *gdb.VectorTable, hit bool, err error) {
 	defer func() {
 		c.t, c.err = t, err
 		s.flightMu.Lock()
@@ -284,25 +404,102 @@ func (s *Server) lead(ctx context.Context, res resolved, qh, key string, c *flig
 			return nil, false, errTooBusy
 		}
 	}
-	t, err = s.db.VectorTable(ctx, res.q, res.opts)
+	t, err = s.db.Shard(shard).VectorTable(ctx, res.q, res.opts)
 	if err != nil {
 		return nil, false, err
 	}
 	s.pairEvals.Add(uint64(len(t.Points)))
-	// The snapshot generation is authoritative: if the database changed
+	// The snapshot generation is authoritative: if the shard changed
 	// between the key computation and the snapshot, rekey so the entry
 	// stays reachable exactly as long as it is valid.
-	s.cache.Put(CacheKey(t.Generation, qh, res.basis, res.opts.Eval), t)
+	s.cache.Put(CacheKey(shard, t.Generation, qh, res.basis, res.opts.Eval), shard, t)
 	return t, false, nil
 }
 
 var errTooBusy = errors.New("server is at its concurrent query limit")
 
-// runQuery wraps the shared decode / resolve / timeout / table plumbing
-// of the three query endpoints, leaving only answer shaping to fn.
+// classifyQueryErr maps a table-evaluation error to an HTTP status and
+// message, bumping the matching counters. Shared by the single-query
+// endpoints and the per-item error reporting of /query/batch.
+func (s *Server) classifyQueryErr(err error) (int, string) {
+	switch {
+	case errors.Is(err, errTooBusy):
+		return http.StatusServiceUnavailable, err.Error()
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Add(1)
+		return http.StatusGatewayTimeout, "query timed out"
+	case errors.Is(err, context.Canceled):
+		return http.StatusBadRequest, "query canceled"
+	default:
+		return http.StatusInternalServerError, err.Error()
+	}
+}
+
+// queryStats assembles the wire stats for one answered query.
+func (s *Server) queryStats(ts tableSet, start time.Time) QueryStats {
+	return QueryStats{
+		Evaluated:  ts.evaluated,
+		Inexact:    ts.inexact(),
+		CacheHit:   ts.hits == len(ts.tables),
+		Shards:     len(ts.tables),
+		ShardHits:  ts.hits,
+		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+}
+
+// Per-kind request validation, shared by the dedicated endpoints and
+// /query/batch.
+func validateTopK(req *QueryRequest) error {
+	if req.K < 1 {
+		return errors.New("k must be >= 1")
+	}
+	return nil
+}
+
+func validateRange(req *QueryRequest) error {
+	if req.Radius == nil {
+		return errors.New("missing radius")
+	}
+	if *req.Radius < 0 {
+		return errors.New("radius must be >= 0")
+	}
+	return nil
+}
+
+// Answer shaping from per-shard tables, shared by the dedicated
+// endpoints and /query/batch.
+func (s *Server) skylineAnswer(req *QueryRequest, res resolved, ts tableSet, stats QueryStats) *SkylineResponse {
+	resp := &SkylineResponse{
+		Basis:   measure.BasisNames(res.basis),
+		Skyline: toPointJSON(s.db.MergeSkyline(ts.tables, res.alg)),
+		Stats:   stats,
+	}
+	if req.All {
+		resp.All = toPointJSON(s.db.MergeTables(ts.tables))
+	}
+	return resp
+}
+
+func (s *Server) topkAnswer(req *QueryRequest, res resolved, ts tableSet, stats QueryStats) *TopKResponse {
+	items, err := s.db.MergeTopK(ts.tables, res.m, req.K)
+	if err != nil {
+		// Unreachable: resolveQuery guarantees m is in the basis.
+		items = nil
+	}
+	return &TopKResponse{Measure: res.m.Name(), K: req.K, Items: toItemJSON(items), Stats: stats}
+}
+
+func (s *Server) rangeAnswer(req *QueryRequest, res resolved, ts tableSet, stats QueryStats) *RangeResponse {
+	items, _ := s.db.MergeRange(ts.tables, res.m, *req.Radius)
+	return &RangeResponse{Measure: res.m.Name(), Radius: *req.Radius, Items: toItemJSON(items), Stats: stats}
+}
+
+// runQuery wraps the shared decode / resolve / timeout / tables
+// plumbing of the three query endpoints, leaving only answer shaping to
+// fn.
 func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, needMeasure bool,
 	validate func(*QueryRequest) error,
-	answer func(*QueryRequest, resolved, *gdb.VectorTable, QueryStats) any) {
+	answer func(*QueryRequest, resolved, tableSet, QueryStats) any) {
 	s.queries.Add(1)
 	start := time.Now()
 	var req QueryRequest
@@ -327,81 +524,33 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, needMeasure bo
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
 	}
-	t, hit, err := s.table(ctx, res)
+	ts, err := s.tables(ctx, res)
 	if err != nil {
-		switch {
-		case errors.Is(err, errTooBusy):
-			s.writeError(w, http.StatusServiceUnavailable, "%v", err)
-		case errors.Is(err, context.DeadlineExceeded):
-			s.timeouts.Add(1)
-			s.writeError(w, http.StatusGatewayTimeout, "query timed out")
-		case errors.Is(err, context.Canceled):
-			s.writeError(w, http.StatusBadRequest, "query canceled")
-		default:
-			s.writeError(w, http.StatusInternalServerError, "%v", err)
-		}
+		code, msg := s.classifyQueryErr(err)
+		s.writeError(w, code, "%s", msg)
 		return
 	}
-	evaluated := 0
-	if !hit {
-		evaluated = len(t.Points)
-	}
-	stats := QueryStats{
-		Evaluated:  evaluated,
-		Inexact:    t.Inexact,
-		CacheHit:   hit,
-		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
-	}
-	writeJSON(w, http.StatusOK, answer(&req, res, t, stats))
+	writeJSON(w, http.StatusOK, answer(&req, res, ts, s.queryStats(ts, start)))
 }
 
 func (s *Server) handleSkyline(w http.ResponseWriter, r *http.Request) {
 	s.runQuery(w, r, false, nil,
-		func(req *QueryRequest, res resolved, t *gdb.VectorTable, stats QueryStats) any {
-			resp := SkylineResponse{
-				Basis:   measure.BasisNames(res.basis),
-				Skyline: toPointJSON(t.Skyline(res.alg)),
-				Stats:   stats,
-			}
-			if req.All {
-				resp.All = toPointJSON(t.Points)
-			}
-			return resp
+		func(req *QueryRequest, res resolved, ts tableSet, stats QueryStats) any {
+			return s.skylineAnswer(req, res, ts, stats)
 		})
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	s.runQuery(w, r, true,
-		func(req *QueryRequest) error {
-			if req.K < 1 {
-				return errors.New("k must be >= 1")
-			}
-			return nil
-		},
-		func(req *QueryRequest, res resolved, t *gdb.VectorTable, stats QueryStats) any {
-			items, err := t.TopK(res.m, req.K)
-			if err != nil {
-				// Unreachable: resolveQuery guarantees m is in the basis.
-				items = nil
-			}
-			return TopKResponse{Measure: res.m.Name(), K: req.K, Items: toItemJSON(items), Stats: stats}
+	s.runQuery(w, r, true, validateTopK,
+		func(req *QueryRequest, res resolved, ts tableSet, stats QueryStats) any {
+			return s.topkAnswer(req, res, ts, stats)
 		})
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
-	s.runQuery(w, r, true,
-		func(req *QueryRequest) error {
-			if req.Radius == nil {
-				return errors.New("missing radius")
-			}
-			if *req.Radius < 0 {
-				return errors.New("radius must be >= 0")
-			}
-			return nil
-		},
-		func(req *QueryRequest, res resolved, t *gdb.VectorTable, stats QueryStats) any {
-			items, _ := t.Range(res.m, *req.Radius)
-			return RangeResponse{Measure: res.m.Name(), Radius: *req.Radius, Items: toItemJSON(items), Stats: stats}
+	s.runQuery(w, r, true, validateRange,
+		func(req *QueryRequest, res resolved, ts tableSet, stats QueryStats) any {
+			return s.rangeAnswer(req, res, ts, stats)
 		})
 }
 
@@ -419,6 +568,15 @@ func toItemJSON(items []topk.Item) []ItemJSON {
 		out[i] = ItemJSON{ID: it.ID, Score: it.Score}
 	}
 	return out
+}
+
+// pruneShards eagerly drops cache entries of the mutated shards only;
+// the other shards' tables stay live (that is the point of per-shard
+// generations).
+func (s *Server) pruneShards(touched map[int]bool) {
+	for i := range touched {
+		s.cache.PruneStale(i, s.db.ShardGeneration(i))
+	}
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
@@ -454,24 +612,25 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	inserted := make([]string, 0, len(gs))
+	touched := make(map[int]bool)
 	for _, g := range gs {
 		if err := s.db.Insert(g); err != nil {
-			// Partial inserts stand (each bumped the generation); report
-			// the duplicate with what landed.
+			// Partial inserts stand (each bumped its shard's generation);
+			// report the duplicate with what landed.
 			writeJSON(w, http.StatusConflict, map[string]any{
 				"error":      err.Error(),
 				"inserted":   inserted,
 				"generation": s.db.Generation(),
 			})
 			s.errors.Add(1)
-			s.cache.PruneStale(s.db.Generation())
+			s.pruneShards(touched)
 			return
 		}
 		inserted = append(inserted, g.Name())
+		touched[s.db.ShardFor(g.Name())] = true
 	}
-	gen := s.db.Generation()
-	s.cache.PruneStale(gen)
-	writeJSON(w, http.StatusOK, InsertResponse{Inserted: inserted, Generation: gen})
+	s.pruneShards(touched)
+	writeJSON(w, http.StatusOK, InsertResponse{Inserted: inserted, Generation: s.db.Generation()})
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -481,9 +640,8 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, "no graph named %q", name)
 		return
 	}
-	gen := s.db.Generation()
-	s.cache.PruneStale(gen)
-	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: name, Generation: gen})
+	s.pruneShards(map[int]bool{s.db.ShardFor(name): true})
+	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: name, Generation: s.db.Generation()})
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -502,6 +660,14 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	dbs := s.db.Stats()
+	shards := make([]ShardInfo, s.db.NumShards())
+	for i := range shards {
+		shards[i] = ShardInfo{
+			Index:      i,
+			Graphs:     s.db.Shard(i).Len(),
+			Generation: s.db.ShardGeneration(i),
+		}
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Generation:    s.db.Generation(),
@@ -514,12 +680,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			MinSize:      dbs.MinSize,
 			MaxSize:      dbs.MaxSize,
 		},
-		Cache: s.cache.Stats(),
+		Shards: shards,
+		Cache:  s.cache.Stats(),
 		Requests: ReqStats{
-			Queries:        s.queries.Load(),
-			Inserts:        s.inserts.Load(),
-			Deletes:        s.deletes.Load(),
-			Errors:         s.errors.Load(),
+			Queries:          s.queries.Load(),
+			Batches:          s.batches.Load(),
+			Inserts:          s.inserts.Load(),
+			Deletes:          s.deletes.Load(),
+			Errors:           s.errors.Load(),
 			PairEvals:        s.pairEvals.Load(),
 			QueryTimeouts:    s.timeouts.Load(),
 			InflightRejected: s.rejected.Load(),

@@ -17,10 +17,18 @@ import (
 	"skygraph/internal/measure"
 )
 
-// newTestServer serves the paper's 7-graph database.
+// newTestServer serves the paper's 7-graph database on a single shard
+// (the legacy behavior every pre-sharding assertion was written for).
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	db := gdb.New()
+	return newShardedTestServer(t, 1, cfg)
+}
+
+// newShardedTestServer serves the paper's 7-graph database split across
+// nshards shards.
+func newShardedTestServer(t *testing.T, nshards int, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	db := gdb.NewSharded(nshards)
 	if err := db.InsertAll(dataset.PaperDB()); err != nil {
 		t.Fatal(err)
 	}
@@ -32,11 +40,16 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 
 func postJSON(t *testing.T, url string, body any, out any) *http.Response {
 	t.Helper()
+	return postJSONClient(t, http.DefaultClient, url, body, out)
+}
+
+func postJSONClient(t *testing.T, client *http.Client, url string, body any, out any) *http.Response {
+	t.Helper()
 	data, err := json.Marshal(body)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +64,12 @@ func postJSON(t *testing.T, url string, body any, out any) *http.Response {
 
 func getJSON(t *testing.T, url string, out any) *http.Response {
 	t.Helper()
-	resp, err := http.Get(url)
+	return getJSONClient(t, http.DefaultClient, url, out)
+}
+
+func getJSONClient(t *testing.T, client *http.Client, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := client.Get(url)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -403,7 +421,8 @@ func TestFollowerRetriesAfterLeaderFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := CacheKey(s.db.Generation(), graph.QueryHash(res.q), res.basis, res.opts.Eval)
+	qh := graph.QueryHash(res.q)
+	key := CacheKey(0, s.db.ShardGeneration(0), qh, res.basis, res.opts.Eval)
 
 	// Simulate a leader that fails on its own deadline: registered in the
 	// flight map, then (as the real leader does) removed before done is
@@ -420,7 +439,7 @@ func TestFollowerRetriesAfterLeaderFailure(t *testing.T) {
 		close(c.done)
 	}()
 
-	tab, hit, err := s.table(context.Background(), res)
+	tab, hit, err := s.shardTable(context.Background(), 0, qh, res)
 	if err != nil {
 		t.Fatalf("follower inherited the leader's failure: %v", err)
 	}
@@ -454,7 +473,7 @@ func TestInsertInvalidGraphIs400(t *testing.T) {
 }
 
 func TestEvalMergesOverServerDefaults(t *testing.T) {
-	db := gdb.New()
+	db := gdb.NewSharded(1)
 	if err := db.InsertAll(dataset.PaperDB()); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"net/http"
+	"reflect"
+	"testing"
+
+	"skygraph/internal/dataset"
+	"skygraph/internal/graph"
+)
+
+// TestShardedServerMatchesSingleShard: the HTTP answers of a sharded
+// server are byte-identical to a single-shard server's for all three
+// query kinds, on the paper dataset.
+func TestShardedServerMatchesSingleShard(t *testing.T) {
+	_, ref := newShardedTestServer(t, 1, Config{CacheSize: 16})
+	radius := 3.0
+	var refSky SkylineResponse
+	postJSON(t, ref.URL+"/query/skyline", QueryRequest{Graph: dataset.PaperQuery(), All: true}, &refSky)
+	var refTk TopKResponse
+	postJSON(t, ref.URL+"/query/topk", QueryRequest{Graph: dataset.PaperQuery(), K: 3}, &refTk)
+	var refRg RangeResponse
+	postJSON(t, ref.URL+"/query/range", QueryRequest{Graph: dataset.PaperQuery(), Radius: &radius}, &refRg)
+
+	for _, shards := range []int{2, 3, 7} {
+		_, ts := newShardedTestServer(t, shards, Config{CacheSize: 16})
+		var sky SkylineResponse
+		postJSON(t, ts.URL+"/query/skyline", QueryRequest{Graph: dataset.PaperQuery(), All: true}, &sky)
+		if !reflect.DeepEqual(sky.Skyline, refSky.Skyline) || !reflect.DeepEqual(sky.All, refSky.All) {
+			t.Fatalf("%d shards: skyline answer differs:\n got %+v\nwant %+v", shards, sky, refSky)
+		}
+		var tk TopKResponse
+		postJSON(t, ts.URL+"/query/topk", QueryRequest{Graph: dataset.PaperQuery(), K: 3}, &tk)
+		if !reflect.DeepEqual(tk.Items, refTk.Items) {
+			t.Fatalf("%d shards: topk answer differs:\n got %+v\nwant %+v", shards, tk.Items, refTk.Items)
+		}
+		var rg RangeResponse
+		postJSON(t, ts.URL+"/query/range", QueryRequest{Graph: dataset.PaperQuery(), Radius: &radius}, &rg)
+		if !reflect.DeepEqual(rg.Items, refRg.Items) {
+			t.Fatalf("%d shards: range answer differs:\n got %+v\nwant %+v", shards, rg.Items, refRg.Items)
+		}
+	}
+}
+
+// TestInsertInvalidatesOnlyOwningShard: after a query populates one
+// table per shard, an insert drops exactly the owning shard's entry,
+// and the requery rebuilds only that shard.
+func TestInsertInvalidatesOnlyOwningShard(t *testing.T) {
+	const shards = 3
+	s, ts := newShardedTestServer(t, shards, Config{CacheSize: 32})
+	var first SkylineResponse
+	postJSON(t, ts.URL+"/query/skyline", QueryRequest{Graph: dataset.PaperQuery()}, &first)
+	if first.Stats.Evaluated != 7 || first.Stats.ShardHits != 0 {
+		t.Fatalf("cold query stats = %+v", first.Stats)
+	}
+	if got := s.Cache().Len(); got != shards {
+		t.Fatalf("cache holds %d tables after cold query; want %d", got, shards)
+	}
+
+	g := graph.New("extra")
+	g.AddVertex("a")
+	g.AddVertex("b")
+	g.MustAddEdge(0, 1, "x")
+	owner := s.DB().ShardFor("extra")
+	if r := postJSON(t, ts.URL+"/graphs", InsertRequest{Graph: g}, nil); r.StatusCode != http.StatusOK {
+		t.Fatalf("insert status = %d", r.StatusCode)
+	}
+	if got := s.Cache().Len(); got != shards-1 {
+		t.Fatalf("cache holds %d tables after insert; want %d (only the owning shard pruned)", got, shards-1)
+	}
+
+	var second SkylineResponse
+	postJSON(t, ts.URL+"/query/skyline", QueryRequest{Graph: dataset.PaperQuery()}, &second)
+	wantEval := s.DB().Shard(owner).Len()
+	if second.Stats.ShardHits != shards-1 || second.Stats.Evaluated != wantEval {
+		t.Fatalf("requery stats = %+v; want %d shard hits and %d evaluations (owning shard only)",
+			second.Stats, shards-1, wantEval)
+	}
+	if len(second.Skyline) == 0 {
+		t.Fatal("requery returned an empty skyline")
+	}
+
+	// Delete invalidates the owning shard again; the others stay warm.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/graphs/extra", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status = %d", resp.StatusCode)
+	}
+	var third SkylineResponse
+	postJSON(t, ts.URL+"/query/skyline", QueryRequest{Graph: dataset.PaperQuery()}, &third)
+	if third.Stats.ShardHits != shards-1 {
+		t.Fatalf("post-delete stats = %+v; want %d warm shards", third.Stats, shards-1)
+	}
+}
+
+// TestIsomorphicQueryHitsShardedCache: the canonical query hash shares
+// per-shard tables across isomorphic re-encodings too.
+func TestIsomorphicQueryHitsShardedCache(t *testing.T) {
+	_, ts := newShardedTestServer(t, 3, Config{CacheSize: 16})
+	var first SkylineResponse
+	postJSON(t, ts.URL+"/query/skyline", QueryRequest{Graph: dataset.PaperQuery()}, &first)
+	var second SkylineResponse
+	postJSON(t, ts.URL+"/query/skyline", QueryRequest{Graph: permutedPaperQuery(t)}, &second)
+	if !second.Stats.CacheHit || second.Stats.Evaluated != 0 {
+		t.Fatalf("isomorphic requery stats = %+v; want full cache hit", second.Stats)
+	}
+	if !reflect.DeepEqual(second.Skyline, first.Skyline) {
+		t.Fatalf("isomorphic requery answer differs: %+v vs %+v", second.Skyline, first.Skyline)
+	}
+}

@@ -1,0 +1,91 @@
+package skyline
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestMergeEmpty(t *testing.T) {
+	if got := Merge(nil); len(got) != 0 || got == nil {
+		t.Fatalf("Merge(nil) = %v; want empty non-nil", got)
+	}
+	if got := Merge([][]Point{{}, {}}); len(got) != 0 {
+		t.Fatalf("Merge of empties = %v; want empty", got)
+	}
+}
+
+func TestMergeSinglePart(t *testing.T) {
+	part := []Point{{ID: "a", Vec: []float64{1, 2}}, {ID: "b", Vec: []float64{2, 1}}}
+	got := Merge([][]Point{part})
+	if !reflect.DeepEqual(got, part) {
+		t.Fatalf("Merge single part = %v; want %v", got, part)
+	}
+}
+
+func TestMergeCrossDomination(t *testing.T) {
+	// Each part is a valid local skyline (members incomparable); across
+	// parts a1 dominates b1 and b2 dominates a2.
+	partA := []Point{{ID: "a1", Vec: []float64{0, 5}}, {ID: "a2", Vec: []float64{5, 0}}}
+	partB := []Point{{ID: "b1", Vec: []float64{1, 6}}, {ID: "b2", Vec: []float64{4, 0}}}
+	got := Merge([][]Point{partA, partB})
+	ids := idsOf(got)
+	want := []string{"a1", "b2"}
+	if !reflect.DeepEqual(ids, want) {
+		t.Fatalf("merged ids = %v; want %v", ids, want)
+	}
+}
+
+func TestMergeKeepsEqualVectors(t *testing.T) {
+	partA := []Point{{ID: "a", Vec: []float64{1, 1}}}
+	partB := []Point{{ID: "b", Vec: []float64{1, 1}}}
+	got := Merge([][]Point{partA, partB})
+	if len(got) != 2 {
+		t.Fatalf("equal vectors across partitions must both survive, got %v", got)
+	}
+}
+
+// TestMergeMatchesGlobalSkyline is the divide-and-conquer identity on
+// random point sets: partition arbitrarily, take local skylines, Merge,
+// and compare against the direct global skyline.
+func TestMergeMatchesGlobalSkyline(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		dims := 2 + rng.Intn(3)
+		pts := make([]Point, n)
+		for i := range pts {
+			vec := make([]float64, dims)
+			for d := range vec {
+				vec[d] = float64(rng.Intn(6)) // small alphabet forces ties/duplicates
+			}
+			pts[i] = Point{ID: fmt.Sprintf("p%02d", i), Vec: vec}
+		}
+		nparts := 1 + rng.Intn(5)
+		parts := make([][]Point, nparts)
+		for i, p := range pts {
+			parts[i%nparts] = append(parts[i%nparts], p)
+		}
+		locals := make([][]Point, nparts)
+		for i := range parts {
+			locals[i] = SFS(parts[i])
+		}
+		merged := idsOf(Merge(locals))
+		global := idsOf(SFS(pts))
+		sort.Strings(merged)
+		sort.Strings(global)
+		if !reflect.DeepEqual(merged, global) {
+			t.Fatalf("trial %d: merged skyline %v != global skyline %v", trial, merged, global)
+		}
+	}
+}
+
+func idsOf(pts []Point) []string {
+	ids := make([]string, len(pts))
+	for i, p := range pts {
+		ids[i] = p.ID
+	}
+	return ids
+}

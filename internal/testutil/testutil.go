@@ -1,0 +1,130 @@
+// Package testutil provides deterministic seeded graph-database
+// builders and equivalence helpers shared by the gdb, server and shard
+// tests. Everything here is reproducible from a seed, so failures
+// reported by the property tests can be replayed exactly.
+package testutil
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"skygraph/internal/gdb"
+	"skygraph/internal/graph"
+	"skygraph/internal/skyline"
+	"skygraph/internal/topk"
+)
+
+// SeededGraphs returns n deterministic molecule-like graphs with unique
+// names g000, g001, ... derived from seed. Sizes cycle through 5..8
+// vertices so exact-engine pair evaluation stays cheap.
+func SeededGraphs(seed int64, n int) []*graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*graph.Graph, n)
+	for i := range out {
+		g := graph.Molecule(5+i%4, rng)
+		g.SetName(fmt.Sprintf("g%03d", i))
+		out[i] = g
+	}
+	return out
+}
+
+// SeededQueries returns n deterministic query graphs: mutated clones of
+// members of gs, renamed q000, q001, ...
+func SeededQueries(seed int64, gs []*graph.Graph, n int) []*graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*graph.Graph, n)
+	for i := range out {
+		base := gs[rng.Intn(len(gs))]
+		q := graph.Mutate(base, 1+rng.Intn(3), graph.MoleculeAlphabet.Atoms, graph.MoleculeAlphabet.Bonds, rng)
+		q.SetName(fmt.Sprintf("q%03d", i))
+		out[i] = q
+	}
+	return out
+}
+
+// NewDB builds an unsharded database over gs.
+func NewDB(tb testing.TB, gs []*graph.Graph) *gdb.DB {
+	tb.Helper()
+	db := gdb.New()
+	if err := db.InsertAll(gs); err != nil {
+		tb.Fatalf("testutil: building DB: %v", err)
+	}
+	return db
+}
+
+// NewSharded builds an n-shard database over gs, inserted in order so
+// the global insertion order matches an unsharded DB built from the
+// same slice.
+func NewSharded(tb testing.TB, nshards int, gs []*graph.Graph) *gdb.Sharded {
+	tb.Helper()
+	sh := gdb.NewSharded(nshards)
+	if err := sh.InsertAll(gs); err != nil {
+		tb.Fatalf("testutil: building %d-shard DB: %v", nshards, err)
+	}
+	return sh
+}
+
+// RequireSameSkyline fails unless want and got hold the same skyline:
+// the same (ID, vector) members, order-insensitively, with exact vector
+// equality (both engines run the identical pair computations, so even
+// floats must match bitwise).
+func RequireSameSkyline(tb testing.TB, label string, want, got []skyline.Point) {
+	tb.Helper()
+	if len(want) != len(got) {
+		tb.Fatalf("%s: skyline sizes differ: want %d %v, got %d %v",
+			label, len(want), pointIDs(want), len(got), pointIDs(got))
+	}
+	w := sortedPoints(want)
+	g := sortedPoints(got)
+	for i := range w {
+		if w[i].ID != g[i].ID {
+			tb.Fatalf("%s: skyline members differ: want %v, got %v", label, pointIDs(want), pointIDs(got))
+		}
+		if !sameVec(w[i].Vec, g[i].Vec) {
+			tb.Fatalf("%s: vectors for %s differ: want %v, got %v", label, w[i].ID, w[i].Vec, g[i].Vec)
+		}
+	}
+}
+
+// RequireSameItems fails unless want and got are identical (ID, score)
+// sequences — top-k and range answers are deterministic, so order
+// matters here.
+func RequireSameItems(tb testing.TB, label string, want, got []topk.Item) {
+	tb.Helper()
+	if len(want) != len(got) {
+		tb.Fatalf("%s: item counts differ: want %d %v, got %d %v", label, len(want), want, len(got), got)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			tb.Fatalf("%s: item %d differs: want %+v, got %+v", label, i, want[i], got[i])
+		}
+	}
+}
+
+func sortedPoints(pts []skyline.Point) []skyline.Point {
+	out := append([]skyline.Point(nil), pts...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func pointIDs(pts []skyline.Point) []string {
+	ids := make([]string, len(pts))
+	for i, p := range pts {
+		ids[i] = p.ID
+	}
+	return ids
+}
+
+func sameVec(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
