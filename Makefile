@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench run-server vet
+.PHONY: build test race fuzz bench bench-skyline run-server vet
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,18 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# bench-skyline reruns experiment E8 (pruned vs unpruned skyline
+# scaling) and records it as BENCH_skyline.json; the raw benchstat-
+# consumable lines are preserved under .benchmarks[].raw. The run and
+# the conversion are separate steps (no pipe) so a failing bench run
+# fails the target instead of being masked; benchjson additionally
+# errors on input with no benchmark lines.
+bench-skyline:
+	@set -e; trap 'rm -f BENCH_skyline.txt' EXIT; \
+	$(GO) test -bench=SkylineScaling -benchmem -run=^$$ . > BENCH_skyline.txt; \
+	$(GO) run ./cmd/benchjson < BENCH_skyline.txt > BENCH_skyline.json
+	@cat BENCH_skyline.json
 
 run-server:
 	$(GO) run ./cmd/skygraphd -addr :8091 -shards 4 -cache 128

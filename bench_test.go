@@ -123,21 +123,39 @@ func BenchmarkTable5Ranking(b *testing.B) {
 }
 
 // BenchmarkSkylineScaling is experiment E8: skyline query cost as the
-// database grows (the efficiency evaluation the paper promises).
+// database grows (the efficiency evaluation the paper promises). At
+// n >= 40 the unpruned full scan is benched against the bound-driven
+// filter-and-refine pipeline; the pruned runs additionally report how
+// many exact evaluations the bounds spared (pruned/op, evaluated/op).
 func BenchmarkSkylineScaling(b *testing.B) {
-	for _, n := range []int{10, 20, 40} {
+	for _, n := range []int{10, 20, 40, 80} {
 		db := gdb.New()
 		if err := db.InsertAll(dataset.MoleculeDB(n, 5, 14, 1)); err != nil {
 			b.Fatal(err)
 		}
 		q := dataset.MoleculeDB(1, 7, 8, 999)[0]
 		opts := gdb.QueryOptions{Eval: measure.Options{GEDMaxNodes: 3000, MCSMaxNodes: 3000}}
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+		run := func(b *testing.B, opts gdb.QueryOptions) {
+			var last gdb.QueryStats
 			for i := 0; i < b.N; i++ {
-				if _, err := db.SkylineQuery(q, opts); err != nil {
+				res, err := db.SkylineQuery(q, opts)
+				if err != nil {
 					b.Fatal(err)
 				}
+				last = res.Stats
 			}
+			b.ReportMetric(float64(last.Evaluated), "evaluated/op")
+			b.ReportMetric(float64(last.Pruned), "pruned/op")
+		}
+		if n < 40 {
+			b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { run(b, opts) })
+			continue
+		}
+		b.Run(fmt.Sprintf("n=%d/unpruned", n), func(b *testing.B) { run(b, opts) })
+		b.Run(fmt.Sprintf("n=%d/pruned", n), func(b *testing.B) {
+			popts := opts
+			popts.Prune = true
+			run(b, popts)
 		})
 	}
 }

@@ -1,0 +1,91 @@
+// Command benchjson converts `go test -bench` output (stdin) into a
+// JSON document (stdout): one record per benchmark line with every
+// reported metric parsed, plus the raw line so the original
+// benchstat-consumable text can be reconstructed exactly
+// (`jq -r '.benchmarks[].raw'` round-trips it).
+//
+// Usage: go test -bench=SkylineScaling -benchmem . | benchjson > BENCH_skyline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+	Raw        string             `json:"raw"`
+}
+
+// Doc is the whole converted run.
+type Doc struct {
+	// Context holds the goos/goarch/pkg/cpu header lines.
+	Context map[string]string `json:"context"`
+	// Benchmarks holds the parsed result lines in input order.
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+func main() {
+	doc := Doc{Context: map[string]string{}, Benchmarks: []Bench{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		default:
+			if k, v, ok := strings.Cut(line, ": "); ok && !strings.Contains(k, " ") {
+				doc.Context[k] = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		// A bench run that produced no result lines is a failed run
+		// (build error, panic, no matching benchmarks): fail loudly so
+		// pipelines cannot record an empty document as success.
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine splits "BenchmarkX-8  4  252594608 ns/op  29.00 evaluated/op ..."
+// into name, iteration count and (value, unit) metric pairs.
+func parseBenchLine(line string) (Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Bench{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b := Bench{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}, Raw: line}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Bench{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

@@ -38,13 +38,18 @@ func Solve(cost [][]float64) (assignment []int, total float64, err error) {
 	p := make([]int, n+1)     // p[j]: row assigned to column j
 	way := make([]int, n+1)
 
+	// Per-augmentation scratch, reset in place each row instead of
+	// reallocated: Solve runs once per bipartite GED approximation, which
+	// the pruning refinement tier calls for every database graph.
+	minv := make([]float64, n+1)
+	used := make([]bool, n+1)
+
 	for i := 1; i <= n; i++ {
 		p[0] = i
 		j0 := 0
-		minv := make([]float64, n+1)
-		used := make([]bool, n+1)
 		for j := range minv {
 			minv[j] = inf
+			used[j] = false
 		}
 		for {
 			used[j0] = true

@@ -12,29 +12,33 @@ import (
 // SkylineQueryContext is SkylineQuery with cooperative cancellation: the
 // evaluation of pair vectors — the expensive part, each pair costing an
 // exact GED and MCS — checks ctx between pairs and aborts early, returning
-// ctx.Err(). Pairs already finished are discarded.
+// ctx.Err(). Pairs already finished are discarded. With opts.Prune the
+// filter-and-refine pipeline (see prune.go) skips exact evaluation of
+// graphs the bounds prove dominated; the skyline is unchanged.
 func (db *DB) SkylineQueryContext(ctx context.Context, q *graph.Graph, opts QueryOptions) (SkylineResult, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
-	graphs := db.Graphs()
-	pts := make([]skyline.Point, len(graphs))
-	inexact, err := evalVectorsCtx(ctx, graphs, q, opts, pts)
+	t, err := db.VectorTable(ctx, q, opts)
 	if err != nil {
 		return SkylineResult{}, err
 	}
-	sky := opts.Algorithm(pts)
 	return SkylineResult{
-		Skyline: sky,
-		All:     pts,
+		Skyline: t.Skyline(opts.Algorithm),
+		All:     t.Points,
 		Stats: QueryStats{
-			Evaluated: len(pts),
-			Inexact:   inexact,
+			Evaluated: len(t.Points),
+			Pruned:    t.Pruned,
+			Inexact:   t.Inexact,
 			Duration:  time.Since(start),
 		},
 	}, nil
 }
 
-func evalVectorsCtx(ctx context.Context, graphs []*graph.Graph, q *graph.Graph, opts QueryOptions, pts []skyline.Point) (int, error) {
+// evalVectorsCtx fills pts[i] with the GCS vector of graphs[i] vs q
+// using a worker pool, honoring ctx between pairs. hints, when
+// non-nil, is indexed like graphs and carries each pair's stored
+// signatures and refinement witnesses for the engines to reuse.
+func evalVectorsCtx(ctx context.Context, graphs []*graph.Graph, hints []measure.PairHints, q *graph.Graph, opts QueryOptions, pts []skyline.Point) (int, error) {
 	type result struct {
 		i       int
 		pt      skyline.Point
@@ -48,7 +52,11 @@ func evalVectorsCtx(ctx context.Context, graphs []*graph.Graph, q *graph.Graph, 
 	for w := 0; w < opts.Workers; w++ {
 		go func() {
 			for i := range work {
-				stats := measure.Compute(graphs[i], q, opts.Eval)
+				var h measure.PairHints
+				if hints != nil {
+					h = hints[i]
+				}
+				stats := measure.ComputeHinted(graphs[i], q, opts.Eval, h)
 				r := result{
 					i:       i,
 					pt:      skyline.Point{ID: graphs[i].Name(), Vec: measure.GCS(stats, opts.Basis)},

@@ -12,10 +12,14 @@ import (
 	"sync"
 
 	"skygraph/internal/graph"
+	"skygraph/internal/measure"
 )
 
 // DB is a concurrency-safe collection of uniquely named graphs with a
-// per-graph histogram index maintained on insert.
+// per-graph signature index (label histograms, degree sequence, sizes)
+// maintained on insert. The signatures serve the histogram edit-
+// distance lower bound, aggregate statistics, and the filter phase of
+// pruned skyline evaluation without ever re-walking a stored graph.
 type DB struct {
 	mu     sync.RWMutex
 	names  []string // insertion order
@@ -24,9 +28,8 @@ type DB struct {
 }
 
 type entry struct {
-	g     *graph.Graph
-	vhist map[string]int
-	ehist map[string]int
+	g   *graph.Graph
+	sig *measure.Signature
 }
 
 // New returns an empty database.
@@ -49,8 +52,7 @@ func (db *DB) Insert(g *graph.Graph) error {
 	if _, dup := db.graphs[g.Name()]; dup {
 		return fmt.Errorf("gdb: duplicate graph name %q", g.Name())
 	}
-	vh, eh := g.LabelHistogram()
-	db.graphs[g.Name()] = &entry{g: g, vhist: vh, ehist: eh}
+	db.graphs[g.Name()] = &entry{g: g, sig: measure.NewSignature(g)}
 	db.names = append(db.names, g.Name())
 	db.gen++
 	return nil
@@ -147,9 +149,10 @@ func (db *DB) Stats() Stats {
 	return s
 }
 
-// statsAndLabels computes the statistics and the distinct label sets in
-// one pass; shard aggregation needs the sets because distinct counts
-// union rather than sum.
+// statsAndLabels aggregates the stored signatures — no graph structure
+// is touched under the read lock — and returns the distinct label sets
+// too; shard aggregation needs the sets because distinct counts union
+// rather than sum.
 func (db *DB) statsAndLabels() (Stats, map[string]bool, map[string]bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -157,20 +160,20 @@ func (db *DB) statsAndLabels() (Stats, map[string]bool, map[string]bool) {
 	vl, el := map[string]bool{}, map[string]bool{}
 	first := true
 	for _, n := range db.names {
-		e := db.graphs[n]
-		s.Vertices += e.g.Order()
-		s.Edges += e.g.Size()
-		for l := range e.vhist {
+		sig := db.graphs[n].sig
+		s.Vertices += sig.Order
+		s.Edges += sig.Size
+		for l := range sig.VHist {
 			vl[l] = true
 		}
-		for l := range e.ehist {
+		for l := range sig.EHist {
 			el[l] = true
 		}
-		if first || e.g.Size() < s.MinSize {
-			s.MinSize = e.g.Size()
+		if first || sig.Size < s.MinSize {
+			s.MinSize = sig.Size
 		}
-		if first || e.g.Size() > s.MaxSize {
-			s.MaxSize = e.g.Size()
+		if first || sig.Size > s.MaxSize {
+			s.MaxSize = sig.Size
 		}
 		first = false
 	}
@@ -179,8 +182,8 @@ func (db *DB) statsAndLabels() (Stats, map[string]bool, map[string]bool) {
 }
 
 // LowerBoundGED returns the histogram lower bound on the uniform-cost edit
-// distance between the named graph and q, served from the index without
-// touching the graph structure. ok is false for unknown names.
+// distance between the named graph and q, served from the signature index
+// without touching the graph structure. ok is false for unknown names.
 func (db *DB) LowerBoundGED(name string, qv, qe map[string]int) (lb float64, ok bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -188,7 +191,19 @@ func (db *DB) LowerBoundGED(name string, qv, qe map[string]int) (lb float64, ok 
 	if !ok {
 		return 0, false
 	}
-	return float64(graph.HistogramDistance(e.vhist, qv) + graph.HistogramDistance(e.ehist, qe)), true
+	return float64(graph.HistogramDistance(e.sig.VHist, qv) + graph.HistogramDistance(e.sig.EHist, qe)), true
+}
+
+// Signature returns the stored signature of the named graph (the value
+// computed at insert time). ok is false for unknown names.
+func (db *DB) Signature(name string) (*measure.Signature, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e, ok := db.graphs[name]
+	if !ok {
+		return nil, false
+	}
+	return e.sig, true
 }
 
 // WriteTo streams the whole database as LGF, returning the bytes written

@@ -1,0 +1,127 @@
+package gdb
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"skygraph/internal/graph"
+	"skygraph/internal/measure"
+	"skygraph/internal/skyline"
+)
+
+// Filter-and-refine skyline evaluation. A skyline query does not need
+// the exact GCS vector of every database graph: a graph whose
+// optimistic (lower-bound) vector is already dominated by another
+// graph's pessimistic (upper-bound) vector can never be Pareto-optimal,
+// so its exact GED/MCS never runs. Evaluation proceeds in tiers of
+// increasing cost:
+//
+//	tier 0  signature bounds   O(labels) per pair, from the stored index
+//	tier 1  bipartite + greedy polynomial refinement of the survivors
+//	tier 2  exact GED/MCS      only for graphs the bounds cannot exclude
+//
+// Every tier's intervals contain the value measure.Compute would
+// report (capped or not — see internal/measure/bound.go), so the
+// skyline over the tier-2 survivors is byte-identical to the skyline of
+// the full evaluation.
+
+// evalPruned runs the pipeline for q against the snapshot (graphs,
+// sigs). It returns the exact points of the surviving graphs in
+// insertion order, the number of graphs pruned without exact
+// evaluation, and the inexact pair count among the survivors. The
+// caller has already checked measure.Boundable(opts.Basis).
+func evalPruned(ctx context.Context, graphs []*graph.Graph, sigs []*measure.Signature, q *graph.Graph, opts QueryOptions) (pts []skyline.Point, pruned, inexact int, err error) {
+	n := len(graphs)
+	if n == 0 {
+		return []skyline.Point{}, 0, 0, nil
+	}
+	qsig := measure.NewSignature(q)
+
+	// Tier 0: bound every graph from its stored signature alone.
+	bounds := make([]measure.BoundStats, n)
+	ipts := make([]skyline.IntervalPoint, n)
+	for i, sig := range sigs {
+		bounds[i] = measure.BoundPair(sig, qsig)
+		lo, hi := bounds[i].IntervalGCS(opts.Basis)
+		ipts[i] = skyline.IntervalPoint{ID: graphs[i].Name(), Lo: lo, Hi: hi}
+	}
+	skyline.IntervalPrune(ipts)
+
+	// Tier 1: tighten the survivors with the polynomial engines, then
+	// prune again. Already-pruned points keep their tier-0 corners —
+	// they stay excluded and still act as filters.
+	wits := make([]*measure.Witness, n)
+	if err := refineSurvivors(ctx, graphs, q, bounds, wits, ipts, opts); err != nil {
+		return nil, 0, 0, err
+	}
+	skyline.IntervalPrune(ipts)
+
+	// Tier 2: exact evaluation of whatever the bounds could not settle,
+	// handing each survivor its signatures and tier-1 witness so the
+	// engines reuse the histograms and bipartite/greedy results instead
+	// of recomputing them.
+	survivors := make([]*graph.Graph, 0, n)
+	hints := make([]measure.PairHints, 0, n)
+	for i := range ipts {
+		if !ipts[i].Pruned {
+			survivors = append(survivors, graphs[i])
+			hints = append(hints, measure.PairHints{Sig1: sigs[i], Sig2: qsig, Witness: wits[i]})
+		}
+	}
+	pts = make([]skyline.Point, len(survivors))
+	inexact, err = evalVectorsCtx(ctx, survivors, hints, q, opts, pts)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return pts, n - len(survivors), inexact, nil
+}
+
+// refineSurvivors runs measure.RefineWitness on every unpruned
+// candidate with a worker pool, updating the pessimistic corners in
+// place and recording each candidate's witness in wits. (The
+// optimistic corners are untouched: refinement only lowers the GED
+// upper bound and raises the MCS lower bound.) Honors ctx between
+// candidates.
+func refineSurvivors(ctx context.Context, graphs []*graph.Graph, q *graph.Graph, bounds []measure.BoundStats, wits []*measure.Witness, ipts []skyline.IntervalPoint, opts QueryOptions) error {
+	var todo []int
+	for i := range ipts {
+		if !ipts[i].Pruned {
+			todo = append(todo, i)
+		}
+	}
+	if len(todo) == 0 {
+		return nil
+	}
+	workers := opts.Workers
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		canceled atomic.Bool
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(todo) || canceled.Load() {
+					return
+				}
+				if ctx.Err() != nil {
+					canceled.Store(true)
+					return
+				}
+				i := todo[k]
+				bounds[i], wits[i] = measure.RefineWitness(graphs[i], q, bounds[i])
+				_, hi := bounds[i].IntervalGCS(opts.Basis)
+				ipts[i].Hi = hi
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}

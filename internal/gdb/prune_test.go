@@ -1,0 +1,162 @@
+package gdb_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"skygraph/internal/dataset"
+	"skygraph/internal/gdb"
+	"skygraph/internal/graph"
+	"skygraph/internal/measure"
+	"skygraph/internal/testutil"
+)
+
+// prunedOpts are the evaluation options of the equivalence runs: capped
+// engines (the realistic serving configuration, and the regime where
+// the bound/fallback interplay is subtlest) with pruning toggled per
+// run.
+func prunedOpts(prune bool) gdb.QueryOptions {
+	return gdb.QueryOptions{
+		Eval:  measure.Options{GEDMaxNodes: 2000, MCSMaxNodes: 2000},
+		Prune: prune,
+	}
+}
+
+// requireEquivalent runs the same skyline query pruned and unpruned
+// against db and fails unless the skylines agree exactly. It also
+// checks the pruning bookkeeping: every graph is either evaluated or
+// pruned, never both, never neither.
+func requireEquivalent(t *testing.T, label string, db *gdb.DB, q *graph.Graph, opts gdb.QueryOptions) {
+	t.Helper()
+	o := opts
+	o.Prune = false
+	ref, err := db.SkylineQuery(q, o)
+	if err != nil {
+		t.Fatalf("%s: unpruned query: %v", label, err)
+	}
+	o.Prune = true
+	got, err := db.SkylineQuery(q, o)
+	if err != nil {
+		t.Fatalf("%s: pruned query: %v", label, err)
+	}
+	testutil.RequireSameSkyline(t, label, ref.Skyline, got.Skyline)
+	if got.Stats.Evaluated+got.Stats.Pruned != db.Len() {
+		t.Fatalf("%s: evaluated %d + pruned %d != %d graphs",
+			label, got.Stats.Evaluated, got.Stats.Pruned, db.Len())
+	}
+	if ref.Stats.Pruned != 0 || ref.Stats.Evaluated != db.Len() {
+		t.Fatalf("%s: unpruned run reported pruning: %+v", label, ref.Stats)
+	}
+}
+
+// TestPrunedSkylineMatchesUnprunedPaperDB: the worked example of the
+// paper, exact engines — GSS(D,q) = {g1, g4, g5, g7} either way.
+func TestPrunedSkylineMatchesUnprunedPaperDB(t *testing.T) {
+	db := testutil.NewDB(t, dataset.PaperDB())
+	requireEquivalent(t, "paper", db, dataset.PaperQuery(), gdb.QueryOptions{})
+	requireEquivalent(t, "paper/capped", db, dataset.PaperQuery(), prunedOpts(false))
+}
+
+// TestPrunedSkylineMatchesUnprunedSeeded: property test over seeded
+// random databases and queries, unsharded.
+func TestPrunedSkylineMatchesUnprunedSeeded(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		gs := testutil.SeededGraphs(seed, 24)
+		db := testutil.NewDB(t, gs)
+		for qi, q := range testutil.SeededQueries(seed+100, gs, 4) {
+			requireEquivalent(t, fmt.Sprintf("seed=%d q=%d", seed, qi), db, q, prunedOpts(false))
+		}
+	}
+}
+
+// TestPrunedSkylineShardedEquivalence: the pruned sharded engine must
+// agree with the unpruned unsharded reference for every shard count,
+// including the per-shard Pruned/Evaluated accounting.
+func TestPrunedSkylineShardedEquivalence(t *testing.T) {
+	gs := testutil.SeededGraphs(11, 30)
+	queries := testutil.SeededQueries(211, gs, 3)
+	ref := testutil.NewDB(t, gs)
+	for _, shards := range []int{1, 2, 3, 7} {
+		sh := testutil.NewSharded(t, shards, gs)
+		for qi, q := range queries {
+			label := fmt.Sprintf("shards=%d q=%d", shards, qi)
+			want, err := ref.SkylineQuery(q, prunedOpts(false))
+			if err != nil {
+				t.Fatalf("%s: reference: %v", label, err)
+			}
+			got, err := sh.SkylineQueryContext(context.Background(), q, prunedOpts(true))
+			if err != nil {
+				t.Fatalf("%s: sharded pruned: %v", label, err)
+			}
+			testutil.RequireSameSkyline(t, label, want.Skyline, got.Skyline)
+			if got.Stats.Evaluated+got.Stats.Pruned != len(gs) {
+				t.Fatalf("%s: evaluated %d + pruned %d != %d graphs",
+					label, got.Stats.Evaluated, got.Stats.Pruned, len(gs))
+			}
+		}
+	}
+}
+
+// TestPrunedPaperDBActuallyPrunes: on the paper database the filter
+// must spare at least one exact evaluation (the worked example has
+// clearly dominated members), so the Pruned counter is exercised for
+// real, not vacuously.
+func TestPrunedPaperDBActuallyPrunes(t *testing.T) {
+	db := testutil.NewDB(t, dataset.PaperDB())
+	res, err := db.SkylineQuery(dataset.PaperQuery(), prunedOpts(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Pruned == 0 {
+		t.Skip("bounds too loose to prune the paper DB (allowed, but unexpected)")
+	}
+	if len(res.All) != res.Stats.Evaluated {
+		t.Fatalf("All holds %d rows, Evaluated=%d", len(res.All), res.Stats.Evaluated)
+	}
+}
+
+// TestPrunedTableRejectsRanking: a pruned vector table must refuse
+// top-k and range duty rather than silently answering from survivor
+// rows only.
+func TestPrunedTableRejectsRanking(t *testing.T) {
+	db := testutil.NewDB(t, dataset.PaperDB())
+	opts := prunedOpts(true)
+	opts.Workers = 2
+	tab, err := db.VectorTable(context.Background(), dataset.PaperQuery(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Complete {
+		t.Skip("nothing pruned on this build; table is complete and rankable")
+	}
+	if _, err := tab.TopK(measure.DistEd{}, 3); err == nil {
+		t.Fatal("TopK on a pruned table must error")
+	}
+	if _, err := tab.Range(measure.DistEd{}, 100); err == nil {
+		t.Fatal("Range on a pruned table must error")
+	}
+}
+
+// TestPruneIgnoredForForeignBasis: a basis with a measure outside the
+// built-ins must fall back to full evaluation (Pruned = 0, every graph
+// evaluated) rather than prune on unknown monotonicity.
+func TestPruneIgnoredForForeignBasis(t *testing.T) {
+	db := testutil.NewDB(t, dataset.PaperDB())
+	opts := prunedOpts(true)
+	opts.Basis = []measure.Measure{measure.DistEd{}, oppositeMeasure{}}
+	res, err := db.SkylineQuery(dataset.PaperQuery(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Pruned != 0 || res.Stats.Evaluated != db.Len() {
+		t.Fatalf("foreign basis pruned anyway: %+v", res.Stats)
+	}
+}
+
+// oppositeMeasure is deliberately anti-monotone in GED: a similarity,
+// not a distance. Pruning with corner bounds would be wrong for it.
+type oppositeMeasure struct{}
+
+func (oppositeMeasure) Name() string                          { return "Opposite" }
+func (oppositeMeasure) FromStats(s measure.PairStats) float64 { return -s.GED }

@@ -1,11 +1,11 @@
 package gdb
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"skygraph/internal/diversity"
@@ -26,6 +26,14 @@ type QueryOptions struct {
 	Workers int
 	// Algorithm computes the skyline; nil means skyline.SFS.
 	Algorithm skyline.Algorithm
+	// Prune enables filter-and-refine skyline evaluation: graphs whose
+	// signature/bipartite bound intervals prove them dominated are never
+	// evaluated exactly. The skyline is identical to an unpruned run, but
+	// SkylineResult.All (and VectorTable.Points) then holds only the
+	// evaluated survivors, so leave Prune off when the full table is
+	// needed (top-k, range and diversity queries ignore it). Ignored for
+	// bases containing measures outside this package's built-ins.
+	Prune bool
 }
 
 func (o QueryOptions) withDefaults() QueryOptions {
@@ -45,8 +53,10 @@ func (o QueryOptions) withDefaults() QueryOptions {
 type QueryStats struct {
 	// Evaluated counts graphs whose full GCS vector was computed.
 	Evaluated int
-	// Pruned counts graphs skipped via index lower bounds (top-k and range
-	// queries only; skyline queries need every vector).
+	// Pruned counts graphs skipped via index bounds: the signature /
+	// bipartite interval filter for skyline queries run with
+	// QueryOptions.Prune, the histogram lower bound for DistEd top-k and
+	// range queries.
 	Pruned int
 	// Inexact counts pairs where a capped engine returned a bound rather
 	// than the exact value.
@@ -61,61 +71,19 @@ type SkylineResult struct {
 	// vectors, in database insertion order.
 	Skyline []skyline.Point
 	// All holds every evaluated (graph, vector) pair, in insertion order —
-	// the full Table III analogue.
+	// the full Table III analogue. Under QueryOptions.Prune it holds only
+	// the filter-phase survivors (pruned graphs have no exact vector).
 	All   []skyline.Point
 	Stats QueryStats
 }
 
 // SkylineQuery computes the graph similarity skyline GSS(D, q) of
-// Definition 12/Eq. 4: evaluate the GCS vector of every database graph
-// against q in parallel, then keep the Pareto-optimal ones.
+// Definition 12/Eq. 4: evaluate the GCS vector of database graphs
+// against q in parallel — all of them, or just the bound-filter
+// survivors under QueryOptions.Prune — then keep the Pareto-optimal
+// ones.
 func (db *DB) SkylineQuery(q *graph.Graph, opts QueryOptions) (SkylineResult, error) {
-	return db.skylineQuery(q, opts)
-}
-
-func (db *DB) skylineQuery(q *graph.Graph, opts QueryOptions) (SkylineResult, error) {
-	opts = opts.withDefaults()
-	start := time.Now()
-	graphs := db.Graphs()
-	pts := make([]skyline.Point, len(graphs))
-	inexact := evalVectors(graphs, q, opts, pts)
-	sky := opts.Algorithm(pts)
-	return SkylineResult{
-		Skyline: sky,
-		All:     pts,
-		Stats: QueryStats{
-			Evaluated: len(pts),
-			Inexact:   inexact,
-			Duration:  time.Since(start),
-		},
-	}, nil
-}
-
-// evalVectors fills pts[i] with the GCS vector of graphs[i] vs q using a
-// worker pool; it returns the number of inexact pair evaluations.
-func evalVectors(graphs []*graph.Graph, q *graph.Graph, opts QueryOptions, pts []skyline.Point) int {
-	var wg sync.WaitGroup
-	work := make(chan int)
-	var inexact atomic.Int64
-	for w := 0; w < opts.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				stats := measure.Compute(graphs[i], q, opts.Eval)
-				pts[i] = skyline.Point{ID: graphs[i].Name(), Vec: measure.GCS(stats, opts.Basis)}
-				if !stats.GEDExact || !stats.MCSExact {
-					inexact.Add(1)
-				}
-			}
-		}()
-	}
-	for i := range graphs {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	return int(inexact.Load())
+	return db.SkylineQueryContext(context.Background(), q, opts)
 }
 
 // TopKResult is the answer to a single-measure top-k query.
@@ -134,21 +102,22 @@ func (db *DB) TopKQuery(q *graph.Graph, m measure.Measure, k int, opts QueryOpti
 	}
 	opts = opts.withDefaults()
 	start := time.Now()
-	qv, qe := q.LabelHistogram()
+	qsig := measure.NewSignature(q)
 	_, isEd := m.(measure.DistEd)
 
 	var items []topk.Item
 	stats := QueryStats{}
 	kth := math.Inf(1)
 	kthCount := 0
-	for _, g := range db.Graphs() {
+	graphs, sigs, _ := db.snapshot()
+	for i, g := range graphs {
 		if isEd && kthCount >= k {
-			if lb, ok := db.LowerBoundGED(g.Name(), qv, qe); ok && lb > kth {
+			if sigs[i].HistLB(qsig) > kth {
 				stats.Pruned++
 				continue
 			}
 		}
-		ps := measure.Compute(g, q, opts.Eval)
+		ps := measure.ComputeHinted(g, q, opts.Eval, measure.PairHints{Sig1: sigs[i], Sig2: qsig})
 		if !ps.GEDExact || !ps.MCSExact {
 			stats.Inexact++
 		}
@@ -178,18 +147,19 @@ type RangeResult struct {
 func (db *DB) RangeQuery(q *graph.Graph, m measure.Measure, radius float64, opts QueryOptions) (RangeResult, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
-	qv, qe := q.LabelHistogram()
+	qsig := measure.NewSignature(q)
 	_, isEd := m.(measure.DistEd)
 	var items []topk.Item
 	stats := QueryStats{}
-	for _, g := range db.Graphs() {
+	graphs, sigs, _ := db.snapshot()
+	for i, g := range graphs {
 		if isEd {
-			if lb, ok := db.LowerBoundGED(g.Name(), qv, qe); ok && lb > radius {
+			if sigs[i].HistLB(qsig) > radius {
 				stats.Pruned++
 				continue
 			}
 		}
-		ps := measure.Compute(g, q, opts.Eval)
+		ps := measure.ComputeHinted(g, q, opts.Eval, measure.PairHints{Sig1: sigs[i], Sig2: qsig})
 		if !ps.GEDExact || !ps.MCSExact {
 			stats.Inexact++
 		}
@@ -226,7 +196,10 @@ func (db *DB) DiverseSkylineQuery(q *graph.Graph, k int, opts QueryOptions) (Div
 	if k < 1 {
 		return DiverseResult{}, fmt.Errorf("gdb: k must be >= 1")
 	}
-	skyRes, err := db.skylineQuery(q, opts)
+	// Diversity reports the full vector table alongside the selection, so
+	// the pruned evaluation path (which drops dominated rows) is not used.
+	opts.Prune = false
+	skyRes, err := db.SkylineQuery(q, opts)
 	if err != nil {
 		return DiverseResult{}, err
 	}

@@ -218,6 +218,11 @@ func (sh *Sharded) shardedWorkers(w int) int {
 // shards actually evaluating — if you change evaluation semantics
 // here, check Server.tables keeps matching; the equivalence harness
 // covers both paths.
+//
+// opts.Prune applies per shard: each shard filters against its own
+// candidates only, so sharded pruning is (at worst) less aggressive
+// than unsharded pruning, never incorrect — cross-shard dominance is
+// re-established by the skyline merge.
 func (sh *Sharded) VectorTables(ctx context.Context, q *graph.Graph, opts QueryOptions) ([]*VectorTable, error) {
 	opts.Workers = sh.shardedWorkers(opts.Workers)
 	tables := make([]*VectorTable, len(sh.shards))
@@ -279,7 +284,8 @@ func (sh *Sharded) sortItemsByRank(items []topk.Item) {
 
 // MergeTables concatenates per-shard tables into the full global vector
 // table in insertion order — exactly the Points of an unsharded
-// VectorTable over the same graphs.
+// VectorTable over the same graphs (for pruned tables: the evaluated
+// survivors only).
 func (sh *Sharded) MergeTables(tables []*VectorTable) []skyline.Point {
 	out := []skyline.Point{}
 	for _, t := range tables {
@@ -342,6 +348,7 @@ func mergedStats(tables []*VectorTable, start time.Time) QueryStats {
 	s := QueryStats{Duration: time.Since(start)}
 	for _, t := range tables {
 		s.Evaluated += len(t.Points)
+		s.Pruned += t.Pruned
 		s.Inexact += t.Inexact
 	}
 	return s
@@ -386,6 +393,7 @@ func (sh *Sharded) TopKQueryContext(ctx context.Context, q *graph.Graph, m measu
 		return TopKResult{}, fmt.Errorf("gdb: k must be >= 1")
 	}
 	start := time.Now()
+	opts.Prune = false // ranking needs every row, not just skyline candidates
 	tables, err := sh.VectorTables(ctx, q, withMeasure(opts, m))
 	if err != nil {
 		return TopKResult{}, err
@@ -401,6 +409,7 @@ func (sh *Sharded) TopKQueryContext(ctx context.Context, q *graph.Graph, m measu
 // tables and concatenation.
 func (sh *Sharded) RangeQueryContext(ctx context.Context, q *graph.Graph, m measure.Measure, radius float64, opts QueryOptions) (RangeResult, error) {
 	start := time.Now()
+	opts.Prune = false // ranging needs every row, not just skyline candidates
 	tables, err := sh.VectorTables(ctx, q, withMeasure(opts, m))
 	if err != nil {
 		return RangeResult{}, err

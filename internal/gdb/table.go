@@ -21,47 +21,79 @@ type VectorTable struct {
 	Generation uint64
 	// Basis is the measure basis defining the vector columns.
 	Basis []measure.Measure
-	// Points holds every (graph, GCS vector) pair in insertion order.
+	// Points holds the evaluated (graph, GCS vector) pairs in insertion
+	// order: every database graph for a complete table, only the
+	// filter-phase survivors for a pruned one.
 	Points []skyline.Point
+	// Pruned counts graphs the filter phase excluded without exact
+	// evaluation (0 for complete tables).
+	Pruned int
+	// Complete reports whether Points covers every database graph.
+	// Pruned tables answer skyline queries exactly but cannot serve
+	// top-k or range queries.
+	Complete bool
 	// Inexact counts pairs where a capped engine returned a bound.
 	Inexact int
 	// Duration is the wall-clock time of the evaluation.
 	Duration time.Duration
 }
 
-// snapshot returns the stored graphs and the generation they belong to
-// under a single lock acquisition, so the pair is always consistent.
-func (db *DB) snapshot() ([]*graph.Graph, uint64) {
+// snapshot returns the stored graphs, their signatures and the
+// generation they belong to under a single lock acquisition, so the
+// triple is always consistent.
+func (db *DB) snapshot() ([]*graph.Graph, []*measure.Signature, uint64) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	out := make([]*graph.Graph, 0, len(db.names))
+	graphs := make([]*graph.Graph, 0, len(db.names))
+	sigs := make([]*measure.Signature, 0, len(db.names))
 	for _, n := range db.names {
-		out = append(out, db.graphs[n].g)
+		e := db.graphs[n]
+		graphs = append(graphs, e.g)
+		sigs = append(sigs, e.sig)
 	}
-	return out, db.gen
+	return graphs, sigs, db.gen
 }
 
-// VectorTable evaluates the GCS vector of every database graph against q
-// in parallel, honoring ctx cancellation between pairs. It is the
+// VectorTable evaluates the GCS vector of database graphs against q in
+// parallel, honoring ctx cancellation between pairs. It is the
 // cache-aware query entry point: callers memoize the returned table and
 // answer subsequent skyline/top-k/range requests from it via the table's
 // own methods, with zero new pair evaluations.
+//
+// With opts.Prune set (and a Boundable basis), evaluation runs the
+// filter-and-refine pipeline instead of the full scan: signature bounds
+// for every graph, a cheap bipartite/greedy refinement for the
+// candidates those bounds cannot exclude, and exact evaluation only for
+// the survivors. The resulting table is marked !Complete; its skyline
+// is identical to the complete table's.
 func (db *DB) VectorTable(ctx context.Context, q *graph.Graph, opts QueryOptions) (*VectorTable, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
-	graphs, gen := db.snapshot()
-	pts := make([]skyline.Point, len(graphs))
-	inexact, err := evalVectorsCtx(ctx, graphs, q, opts, pts)
-	if err != nil {
-		return nil, err
+	graphs, sigs, gen := db.snapshot()
+	t := &VectorTable{Generation: gen, Basis: opts.Basis, Complete: true}
+	if opts.Prune && measure.Boundable(opts.Basis) {
+		pts, pruned, inexact, err := evalPruned(ctx, graphs, sigs, q, opts)
+		if err != nil {
+			return nil, err
+		}
+		t.Points, t.Pruned, t.Inexact, t.Complete = pts, pruned, inexact, pruned == 0
+	} else {
+		// Stored signatures spare the per-pair histogram/degree rebuild
+		// even on the unpruned path; the query's is computed once.
+		qsig := measure.NewSignature(q)
+		hints := make([]measure.PairHints, len(graphs))
+		for i := range hints {
+			hints[i] = measure.PairHints{Sig1: sigs[i], Sig2: qsig}
+		}
+		pts := make([]skyline.Point, len(graphs))
+		inexact, err := evalVectorsCtx(ctx, graphs, hints, q, opts, pts)
+		if err != nil {
+			return nil, err
+		}
+		t.Points, t.Inexact = pts, inexact
 	}
-	return &VectorTable{
-		Generation: gen,
-		Basis:      opts.Basis,
-		Points:     pts,
-		Inexact:    inexact,
-		Duration:   time.Since(start),
-	}, nil
+	t.Duration = time.Since(start)
+	return t, nil
 }
 
 // Skyline computes the similarity skyline of the table under alg (nil
@@ -84,10 +116,15 @@ func (t *VectorTable) column(m measure.Measure) (int, error) {
 }
 
 // TopK returns the k table rows with the smallest distance under m, which
-// must be one of the table's basis measures.
+// must be one of the table's basis measures. The table must be complete:
+// a graph pruned for skyline purposes can still rank among the k best
+// under a single measure.
 func (t *VectorTable) TopK(m measure.Measure, k int) ([]topk.Item, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("gdb: k must be >= 1")
+	}
+	if !t.Complete {
+		return nil, fmt.Errorf("gdb: top-k needs a complete vector table, not a skyline-pruned one")
 	}
 	col, err := t.column(m)
 	if err != nil {
@@ -101,7 +138,11 @@ func (t *VectorTable) TopK(m measure.Measure, k int) ([]topk.Item, error) {
 }
 
 // Range returns every table row whose distance under m is at most radius.
+// Like TopK it requires a complete table.
 func (t *VectorTable) Range(m measure.Measure, radius float64) ([]topk.Item, error) {
+	if !t.Complete {
+		return nil, fmt.Errorf("gdb: range needs a complete vector table, not a skyline-pruned one")
+	}
 	col, err := t.column(m)
 	if err != nil {
 		return nil, err

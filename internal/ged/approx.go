@@ -2,6 +2,7 @@ package ged
 
 import (
 	"sort"
+	"sync"
 
 	"skygraph/internal/assign"
 	"skygraph/internal/graph"
@@ -11,6 +12,34 @@ import (
 // solver requires finite costs). It dwarfs any realistic edit cost while
 // staying far from float64 overflow.
 const bigCost = 1e12
+
+// costBuf is a reusable square cost matrix: one flat backing array with
+// row views sliced out of it. Bipartite runs once per database graph in
+// both the refinement tier and every capped exact fallback, so matrix
+// allocation is hot.
+type costBuf struct {
+	flat []float64
+	rows [][]float64
+}
+
+// matrix returns an n x n view over the buffer, growing it as needed.
+// Cells are not zeroed; Bipartite writes every cell.
+func (b *costBuf) matrix(n int) [][]float64 {
+	if cap(b.flat) < n*n {
+		b.flat = make([]float64, n*n)
+	}
+	b.flat = b.flat[:n*n]
+	if cap(b.rows) < n {
+		b.rows = make([][]float64, n)
+	}
+	b.rows = b.rows[:n]
+	for i := range b.rows {
+		b.rows[i] = b.flat[i*n : (i+1)*n]
+	}
+	return b.rows
+}
+
+var costPool = sync.Pool{New: func() any { return &costBuf{} }}
 
 // Bipartite computes the Riesen–Bunke style assignment-based approximation:
 // a square (n1+n2)x(n1+n2) cost matrix couples every g1 vertex to every g2
@@ -28,14 +57,16 @@ func Bipartite(g1, g2 *graph.Graph, cm CostModel) Result {
 	if n == 0 {
 		return Result{Distance: 0, Mapping: []int{}, Exact: true}
 	}
-	cost := make([][]float64, n)
-	for i := range cost {
-		cost[i] = make([]float64, n)
-	}
+	buf := costPool.Get().(*costBuf)
+	defer costPool.Put(buf)
+	cost := buf.matrix(n)
+	// Per-vertex incident edge-label histograms, computed once instead of
+	// per (u, v) cell.
+	h1, h2 := incidentHists(g1), incidentHists(g2)
 	for u := 0; u < n1; u++ {
 		for v := 0; v < n2; v++ {
 			cost[u][v] = cm.VertexSubst(g1.VertexLabel(u), g2.VertexLabel(v)) +
-				localEdgeCost(g1, g2, u, v, cm)
+				float64(graph.HistogramDistance(h1[u], h2[v]))/2
 		}
 		for j := n2; j < n; j++ {
 			if j == n2+u {
@@ -53,7 +84,11 @@ func Bipartite(g1, g2 *graph.Graph, cm CostModel) Result {
 				cost[i][v] = bigCost
 			}
 		}
-		// Bottom-right block: epsilon -> epsilon costs nothing.
+		// Bottom-right block: epsilon -> epsilon costs nothing. Written
+		// explicitly because the pooled matrix arrives dirty.
+		for j := n2; j < n; j++ {
+			cost[i][j] = 0
+		}
 	}
 	a, _, err := assign.Solve(cost)
 	if err != nil {
@@ -76,28 +111,20 @@ func Bipartite(g1, g2 *graph.Graph, cm CostModel) Result {
 	return Result{Distance: d, Mapping: m, Exact: false}
 }
 
-// localEdgeCost estimates the edge cost implied by mapping u -> v from the
-// two incident edge-label multisets: matched labels are free, the remainder
-// costs one substitution or indel each (halved because each edge has two
-// endpoints and would otherwise be double-counted across the assignment).
-func localEdgeCost(g1, g2 *graph.Graph, u, v int, cm CostModel) float64 {
-	h1 := map[string]int{}
-	for _, l := range incidentLabels(g1, u) {
-		h1[l]++
+// incidentHists returns each vertex's incident edge-label histogram. The
+// histogram distance between h[u] and h[v] (halved: each edge has two
+// endpoints and would otherwise be double-counted across the assignment)
+// estimates the edge cost implied by mapping u -> v — matched labels are
+// free, the remainder costs one substitution or indel each.
+func incidentHists(g *graph.Graph) []map[string]int {
+	out := make([]map[string]int, g.Order())
+	for v := range out {
+		h := make(map[string]int, g.Degree(v))
+		for _, l := range g.NeighborSet(v) {
+			h[l]++
+		}
+		out[v] = h
 	}
-	h2 := map[string]int{}
-	for _, l := range incidentLabels(g2, v) {
-		h2[l]++
-	}
-	return float64(graph.HistogramDistance(h1, h2)) / 2
-}
-
-func incidentLabels(g *graph.Graph, v int) []string {
-	out := make([]string, 0, g.Degree(v))
-	for _, l := range g.NeighborSet(v) {
-		out = append(out, l)
-	}
-	sort.Strings(out)
 	return out
 }
 
@@ -124,6 +151,7 @@ func Beam(g1, g2 *graph.Graph, width int, cm CostModel) Result {
 	n1, n2 := g1.Order(), g2.Order()
 	s.mapping = make([]int, n1)
 	s.used = make([]bool, n2)
+	s.cacheEdges()
 
 	level := []*node{{depth: 0}}
 	for depth := 0; depth < n1; depth++ {

@@ -18,6 +18,7 @@ func DepthFirst(g1, g2 *graph.Graph, cm CostModel) Result {
 	n1, n2 := g1.Order(), g2.Order()
 	s.mapping = make([]int, n1)
 	s.used = make([]bool, n2)
+	s.cacheEdges()
 	for i := range s.mapping {
 		s.mapping[i] = -2
 	}

@@ -20,6 +20,12 @@ type Options struct {
 	// cost models with unit costs below 1 it could overestimate, so it is
 	// automatically disabled unless the model is Uniform.
 	DisableHeuristic bool
+	// Upper, when non-nil, is a precomputed Bipartite(g1, g2, Cost)
+	// result to use as the cap fallback instead of recomputing it —
+	// the filter-and-refine pipeline already paid for it in the
+	// refinement tier. Must come from the same pair, orientation and
+	// cost model, or the result is undefined.
+	Upper *Result
 }
 
 // Result reports a distance computation.
@@ -56,8 +62,13 @@ func Exact(g1, g2 *graph.Graph, opts Options) Result {
 	}
 	res := s.run(opts.MaxNodes)
 	if !res.Exact {
-		// Graceful degradation: bipartite approximation upper bound.
-		ub := Bipartite(g1, g2, cm)
+		// Graceful degradation: bipartite approximation upper bound
+		// (precomputed by the caller when available).
+		ub := opts.Upper
+		if ub == nil {
+			b := Bipartite(g1, g2, cm)
+			ub = &b
+		}
 		if ub.Distance < res.Distance || res.Mapping == nil {
 			res.Distance = ub.Distance
 			res.Mapping = ub.Mapping
@@ -112,12 +123,27 @@ type astar struct {
 	// scratch, rebuilt per expansion
 	mapping []int  // g1 vertex -> g2 vertex or -1; -2 = unassigned
 	used    []bool // g2 vertex used
+
+	// heuristic histogram scratch, cleared and refilled per child node
+	// instead of allocating four maps per expansion
+	hv1, hv2, he1, he2 map[string]int
+
+	// edges1, edges2 cache graph.Edges() once per search; the heuristic
+	// and completion costs walk the edge lists on every expansion and
+	// Edges() allocates per call
+	edges1, edges2 []graph.Edge
+}
+
+// cacheEdges fills the per-search edge list scratch.
+func (s *astar) cacheEdges() {
+	s.edges1, s.edges2 = s.g1.Edges(), s.g2.Edges()
 }
 
 func (s *astar) run(maxNodes int64) Result {
 	n1, n2 := s.g1.Order(), s.g2.Order()
 	s.mapping = make([]int, n1)
 	s.used = make([]bool, n2)
+	s.cacheEdges()
 	if n1 == 0 {
 		// Pure insertion of g2.
 		return Result{Distance: s.completionCostAfter(-1), Mapping: []int{}, Exact: true}
@@ -271,7 +297,7 @@ func (s *astar) completionCostAfter(v int) float64 {
 			cost += s.cm.VertexIns(s.g2.VertexLabel(x))
 		}
 	}
-	for _, e := range s.g2.Edges() {
+	for _, e := range s.edges2 {
 		if s.open2(e.U, v) || s.open2(e.V, v) {
 			cost += s.cm.EdgeIns(e.Label)
 		}
@@ -294,25 +320,30 @@ func (s *astar) heuristic(*node) float64 {
 // Scratch state must correspond to cur (loadState(cur) called earlier in
 // the expansion loop).
 func (s *astar) heuristicAfter(cur *node, u, v int) float64 {
+	if s.hv1 == nil {
+		s.hv1, s.hv2 = map[string]int{}, map[string]int{}
+		s.he1, s.he2 = map[string]int{}, map[string]int{}
+	}
+	v1, v2, e1, e2 := s.hv1, s.hv2, s.he1, s.he2
+	clear(v1)
+	clear(v2)
+	clear(e1)
+	clear(e2)
 	// Unprocessed g1 vertices, excluding u.
-	v1 := map[string]int{}
 	for i := cur.depth + 1; i < len(s.order); i++ {
 		v1[s.g1.VertexLabel(s.order[i])]++
 	}
-	v2 := map[string]int{}
 	for x := 0; x < s.g2.Order(); x++ {
 		if !s.used[x] && x != v {
 			v2[s.g2.VertexLabel(x)]++
 		}
 	}
-	e1 := map[string]int{}
-	for _, e := range s.g1.Edges() {
+	for _, e := range s.edges1 {
 		if s.open1(e.U, u) || s.open1(e.V, u) {
 			e1[e.Label]++
 		}
 	}
-	e2 := map[string]int{}
-	for _, e := range s.g2.Edges() {
+	for _, e := range s.edges2 {
 		if s.open2(e.U, v) || s.open2(e.V, v) {
 			e2[e.Label]++
 		}

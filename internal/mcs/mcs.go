@@ -16,6 +16,7 @@ package mcs
 
 import (
 	"math/rand"
+	"sync"
 
 	"skygraph/internal/graph"
 )
@@ -37,6 +38,11 @@ type Options struct {
 	// anytime algorithm and returns the best mapping found so far together
 	// with Exhausted=false.
 	MaxNodes int64
+	// Floor, when non-nil, is a precomputed GreedyLB(g1, g2) mapping to
+	// use as the capped-search floor instead of recomputing it — the
+	// filter-and-refine pipeline already paid for it in the refinement
+	// tier. Must come from the same pair and orientation.
+	Floor *Mapping
 }
 
 // Result reports the outcome of an exact search.
@@ -56,22 +62,43 @@ func Size(g1, g2 *graph.Graph) int {
 }
 
 // Exact runs the branch-and-bound search and returns the best mapping.
+// When the node cap truncates the search, the result is additionally
+// floored by the deterministic GreedyLB mapping — like ged.Exact
+// degrading to its bipartite upper bound, the capped search never
+// returns a worse witness than the cheap greedy one. Bound-driven
+// pruning in internal/gdb relies on this floor: GreedyLB is then a
+// valid lower bound on the value Exact reports, capped or not.
 func Exact(g1, g2 *graph.Graph, opts Options) Result {
 	// Search from the smaller graph for a smaller branching factor.
+	orig1, orig2 := g1, g2
 	swapped := false
 	if g1.Order() > g2.Order() {
 		g1, g2 = g2, g1
 		swapped = true
 	}
-	s := &searcher{g1: g1, g2: g2, maxNodes: opts.MaxNodes}
+	s := searcherPool.Get().(*searcher)
+	s.g1, s.g2, s.maxNodes = g1, g2, opts.MaxNodes
 	s.run()
 	m := Mapping{Pairs: s.bestPairs, Edges: s.bestEdges}
+	res := Result{Exhausted: !s.capped, Nodes: s.nodes}
+	s.release()
 	if swapped {
 		for i := range m.Pairs {
 			m.Pairs[i].U, m.Pairs[i].V = m.Pairs[i].V, m.Pairs[i].U
 		}
 	}
-	return Result{Mapping: m, Exhausted: !s.capped, Nodes: s.nodes}
+	if !res.Exhausted {
+		lb := opts.Floor
+		if lb == nil {
+			v := GreedyLB(orig1, orig2)
+			lb = &v
+		}
+		if lb.Edges > m.Edges {
+			m = *lb
+		}
+	}
+	res.Mapping = m
+	return res
 }
 
 type searcher struct {
@@ -83,10 +110,44 @@ type searcher struct {
 	m1 []int // g1 vertex -> g2 vertex or -1
 	m2 []int // g2 vertex -> g1 vertex or -1
 
+	// e1, e2 cache graph.Edges() once per search: bound() consults the
+	// edge lists on every expansion and Edges() allocates per call.
+	e1, e2 []graph.Edge
+
 	curPairs  []Pair
 	curEdges  int
 	bestPairs []Pair
 	bestEdges int
+}
+
+// searcherPool recycles searcher scratch (mapping arrays, cached edge
+// lists, the current-pairs stack) across Exact calls; pair evaluation
+// runs one Exact per database graph, so the churn adds up.
+var searcherPool = sync.Pool{New: func() any { return &searcher{} }}
+
+// release resets the searcher (dropping references into the graphs and
+// the escaped best mapping) and returns it to the pool.
+func (s *searcher) release() {
+	s.g1, s.g2 = nil, nil
+	s.nodes, s.capped = 0, false
+	s.curPairs = s.curPairs[:0]
+	s.curEdges = 0
+	s.bestPairs, s.bestEdges = nil, 0
+	s.e1, s.e2 = nil, nil
+	searcherPool.Put(s)
+}
+
+// resizeNeg returns buf resized to n, reusing its backing array when
+// large enough, with every element set to -1.
+func resizeNeg(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = -1
+	}
+	return buf
 }
 
 func (s *searcher) run() {
@@ -94,14 +155,9 @@ func (s *searcher) run() {
 	if n1 == 0 || n2 == 0 {
 		return
 	}
-	s.m1 = make([]int, n1)
-	s.m2 = make([]int, n2)
-	for i := range s.m1 {
-		s.m1[i] = -1
-	}
-	for i := range s.m2 {
-		s.m2[i] = -1
-	}
+	s.m1 = resizeNeg(s.m1, n1)
+	s.m2 = resizeNeg(s.m2, n2)
+	s.e1, s.e2 = s.g1.Edges(), s.g2.Edges()
 	// Try every label-compatible seed pair. To avoid rediscovering the same
 	// subgraph from different seeds, seeds are processed in order and a
 	// later seed's search forbids earlier seed u-vertices as members:
@@ -202,13 +258,13 @@ func (s *searcher) edgeGain(u, v int) int {
 // side. Edges between two mapped vertices are already decided.
 func (s *searcher) bound() int {
 	rem1 := 0
-	for _, e := range s.g1.Edges() {
+	for _, e := range s.e1 {
 		if s.m1[e.U] < 0 || s.m1[e.V] < 0 {
 			rem1++
 		}
 	}
 	rem2 := 0
-	for _, e := range s.g2.Edges() {
+	for _, e := range s.e2 {
 		if s.m2[e.U] < 0 || s.m2[e.V] < 0 {
 			rem2++
 		}
@@ -217,6 +273,43 @@ func (s *searcher) bound() int {
 		rem1 = rem2
 	}
 	return s.curEdges + rem1
+}
+
+// greedyLBSeeds caps how many seed pairs GreedyLB grows a subgraph
+// from. A handful keeps the bound cheap (it runs once per candidate in
+// the filter phase) while escaping the worst single-seed starts.
+const greedyLBSeeds = 8
+
+// greedyLBSeedsPerVertex caps seeds sharing the same g1 root, so a
+// uniform-label graph (every pair compatible) still roots its seeds at
+// distinct g1 vertices instead of burning the whole budget on vertex 0.
+const greedyLBSeedsPerVertex = 2
+
+// GreedyLB is the deterministic greedy lower bound on |mcs(g1,g2)|: it
+// grows a connected common subgraph from up to greedyLBSeeds
+// label-compatible vertex pairs — taken in lexicographic order, at
+// most greedyLBSeedsPerVertex per g1 root — and keeps the best. Unlike
+// Greedy it takes no randomness, so repeated calls on the same pair
+// agree — the property the filter-and-refine pipeline needs to use the
+// value as a certified floor of Exact's capped results.
+func GreedyLB(g1, g2 *graph.Graph) Mapping {
+	best := Mapping{Pairs: []Pair{}}
+	tried := 0
+	for u := 0; u < g1.Order() && tried < greedyLBSeeds; u++ {
+		perRoot := 0
+		for v := 0; v < g2.Order() && tried < greedyLBSeeds && perRoot < greedyLBSeedsPerVertex; v++ {
+			if g1.VertexLabel(u) != g2.VertexLabel(v) {
+				continue
+			}
+			tried++
+			perRoot++
+			m := greedyFrom(g1, g2, Pair{U: u, V: v})
+			if m.Edges > best.Edges || (len(best.Pairs) == 0 && len(m.Pairs) > 0) {
+				best = m
+			}
+		}
+	}
+	return best
 }
 
 // Greedy grows a connected common subgraph by repeatedly taking the

@@ -65,10 +65,33 @@ func (o Options) Key() string {
 
 // Compute evaluates the shared statistics for the pair (g1, g2).
 func Compute(g1, g2 *graph.Graph, opts Options) PairStats {
-	gres := ged.Exact(g1, g2, ged.Options{MaxNodes: opts.GEDMaxNodes})
-	mres := mcs.Exact(g1, g2, mcs.Options{MaxNodes: opts.MCSMaxNodes})
-	v1, e1 := g1.LabelHistogram()
-	v2, e2 := g2.LabelHistogram()
+	return ComputeHinted(g1, g2, opts, PairHints{})
+}
+
+// PairHints carries precomputed material ComputeHinted can reuse for a
+// pair: the graphs' stored signatures (sparing the per-pair histogram
+// and degree-sequence rebuild) and the refinement tier's witness (the
+// capped engines fall back to its bipartite result and greedy floor
+// instead of recomputing them). Every field is optional; hints must
+// describe the same graphs in the same orientation.
+type PairHints struct {
+	Sig1, Sig2 *Signature
+	Witness    *Witness
+}
+
+// ComputeHinted is Compute reusing whatever hints the caller has. The
+// returned statistics are identical to plain Compute's either way.
+func ComputeHinted(g1, g2 *graph.Graph, opts Options, h PairHints) PairStats {
+	gopts := ged.Options{MaxNodes: opts.GEDMaxNodes}
+	mopts := mcs.Options{MaxNodes: opts.MCSMaxNodes}
+	if h.Witness != nil {
+		gopts.Upper = &h.Witness.GEDUpper
+		mopts.Floor = &h.Witness.MCSFloor
+	}
+	gres := ged.Exact(g1, g2, gopts)
+	mres := mcs.Exact(g1, g2, mopts)
+	v1, e1, d1 := histsOf(g1, h.Sig1)
+	v2, e2, d2 := histsOf(g2, h.Sig2)
 	return PairStats{
 		GED:       gres.Distance,
 		GEDExact:  gres.Exact,
@@ -80,8 +103,18 @@ func Compute(g1, g2 *graph.Graph, opts Options) PairStats {
 		Order2:    g2.Order(),
 		VHistDist: graph.HistogramDistance(v1, v2),
 		EHistDist: graph.HistogramDistance(e1, e2),
-		DegL1:     degreeL1(g1.DegreeSequence(), g2.DegreeSequence()),
+		DegL1:     degreeL1(d1, d2),
 	}
+}
+
+// histsOf returns g's label histograms and degree sequence, from the
+// signature when one is supplied.
+func histsOf(g *graph.Graph, sig *Signature) (vh, eh map[string]int, deg []int) {
+	if sig != nil {
+		return sig.VHist, sig.EHist, sig.Degrees
+	}
+	vh, eh = g.LabelHistogram()
+	return vh, eh, g.DegreeSequence()
 }
 
 // Measure is a local graph distance derived from PairStats. Smaller is more

@@ -1,0 +1,63 @@
+package measure
+
+import (
+	"skygraph/internal/graph"
+)
+
+// Signature is the per-graph summary backing the filter-and-refine
+// pipeline: everything the cheap GCS bounds need, precomputed once (at
+// database insert time) so no query ever re-walks a stored graph's
+// vertices and edges just to bound it. All fields are isomorphism
+// invariants.
+type Signature struct {
+	// Order and Size are the vertex and edge counts.
+	Order, Size int
+	// VHist and EHist are the vertex- and edge-label histograms.
+	VHist, EHist map[string]int
+	// THist is the edge-type histogram: each edge keyed by its edge label
+	// plus both endpoint vertex labels (endpoint pair sorted). An edge of
+	// a common subgraph must agree on all three, so type-multiset
+	// intersection upper-bounds |mcs| far tighter than edge labels alone
+	// when the label alphabet is small (molecules: C-C single vs C-N
+	// single are different types, same edge label).
+	THist map[string]int
+	// Degrees is the degree sequence, descending.
+	Degrees []int
+}
+
+// NewSignature computes g's signature. Callers must not mutate g
+// afterwards (the database enforces this already for stored graphs).
+func NewSignature(g *graph.Graph) *Signature {
+	vh, eh := g.LabelHistogram()
+	th := make(map[string]int, g.Size())
+	for _, e := range g.Edges() {
+		th[edgeType(g.VertexLabel(e.U), g.VertexLabel(e.V), e.Label)]++
+	}
+	return &Signature{
+		Order:   g.Order(),
+		Size:    g.Size(),
+		VHist:   vh,
+		EHist:   eh,
+		THist:   th,
+		Degrees: g.DegreeSequence(),
+	}
+}
+
+// edgeType renders the canonical (endpoint labels, edge label) key of
+// an edge, orientation-independent.
+func edgeType(va, vb, label string) string {
+	if vb < va {
+		va, vb = vb, va
+	}
+	return va + "\x00" + label + "\x00" + vb
+}
+
+// HistLB returns the label-histogram lower bound on the uniform-cost
+// edit distance between the signatures' graphs — the same bound as
+// ged.LowerBound, served from the precomputed histograms. Every index
+// pruning site (top-k, range, the skyline filter's GEDLo) goes through
+// this one definition.
+func (s *Signature) HistLB(o *Signature) float64 {
+	return float64(graph.HistogramDistance(s.VHist, o.VHist) +
+		graph.HistogramDistance(s.EHist, o.EHist))
+}

@@ -50,6 +50,13 @@ type QueryRequest struct {
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 	// All requests the full vector table in the skyline response.
 	All bool `json:"all,omitempty"`
+	// Prune overrides filter-and-refine evaluation for skyline requests.
+	// Unset means the server default: prune whenever the answer allows it
+	// (no full table requested, boundable basis). Set false to force full
+	// evaluation — e.g. to warm a table that later top-k/range queries on
+	// the same graph can reuse. Ignored for topk/range kinds, which
+	// always need complete tables.
+	Prune *bool `json:"prune,omitempty"`
 }
 
 // QueryStats reports the work a request caused.
@@ -57,6 +64,11 @@ type QueryStats struct {
 	// Evaluated counts pair evaluations performed for this request;
 	// it is 0 when every shard table came from the cache.
 	Evaluated int `json:"evaluated"`
+	// Pruned counts database graphs the filter-and-refine pipeline
+	// excluded without exact evaluation while building tables for this
+	// request; like Evaluated it is 0 for cache hits, so Evaluated +
+	// Pruned is the total size of the freshly evaluated shards.
+	Pruned int `json:"pruned"`
 	// Inexact counts table pairs where a capped engine returned a bound
 	// (a property of the answer, whether cached or fresh).
 	Inexact int `json:"inexact"`
@@ -163,6 +175,9 @@ type BatchStats struct {
 	// Evaluated counts pair evaluations across the batch; coalesced and
 	// cached items contribute 0.
 	Evaluated int `json:"evaluated"`
+	// Pruned counts graphs the bound filter excluded across the batch's
+	// answers.
+	Pruned int `json:"pruned"`
 	// ShardHits counts shard tables served from the cache or a
 	// coalesced leader across the batch.
 	ShardHits int `json:"shard_hits"`
@@ -231,12 +246,15 @@ type DBStats struct {
 
 // ReqStats counts requests served since startup.
 type ReqStats struct {
-	Queries          uint64 `json:"queries"`
-	Batches          uint64 `json:"batches"`
-	Inserts          uint64 `json:"inserts"`
-	Deletes          uint64 `json:"deletes"`
-	Errors           uint64 `json:"errors"`
+	Queries uint64 `json:"queries"`
+	Batches uint64 `json:"batches"`
+	Inserts uint64 `json:"inserts"`
+	Deletes uint64 `json:"deletes"`
+	Errors  uint64 `json:"errors"`
+	// PairEvals counts exact pair evaluations across all table builds;
+	// PairsPruned counts pairs the bound filter spared those builds.
 	PairEvals        uint64 `json:"pair_evals"`
+	PairsPruned      uint64 `json:"pairs_pruned"`
 	QueryTimeouts    uint64 `json:"query_timeouts"`
 	InflightRejected uint64 `json:"inflight_rejected"`
 }

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -55,6 +56,44 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if workers > len(req.Queries) {
 		workers = len(req.Queries)
 	}
+
+	// Resolve every item first — in parallel, since resolution includes
+	// the per-item query-graph canonicalization — then de-conflict table
+	// variants: if any item of a table group (same query hash, basis,
+	// engine budgets) needs a complete table — a topk/range kind, a
+	// skyline asking for the full table, or an explicit prune=false —
+	// the group's skyline items run unpruned too, so the whole group
+	// coalesces onto one full build per shard instead of building both
+	// variants.
+	items := make([]batchItem, len(req.Queries))
+	var resolveWG sync.WaitGroup
+	var nextItem atomic.Int64
+	for w := 0; w < workers; w++ {
+		resolveWG.Add(1)
+		go func() {
+			defer resolveWG.Done()
+			for {
+				i := int(nextItem.Add(1)) - 1
+				if i >= len(req.Queries) {
+					return
+				}
+				items[i] = s.resolveBatchItem(&req.Queries[i])
+			}
+		}()
+	}
+	resolveWG.Wait()
+	needFull := make(map[string]bool)
+	for i := range items {
+		if items[i].errMsg == "" && !items[i].res.prune {
+			needFull[items[i].res.tableGroup()] = true
+		}
+	}
+	for i := range items {
+		if items[i].errMsg == "" && items[i].res.prune && needFull[items[i].res.tableGroup()] {
+			items[i].res.prune = false
+		}
+	}
+
 	results := make([]BatchResult, len(req.Queries))
 	work := make(chan int)
 	var wg sync.WaitGroup
@@ -63,7 +102,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				results[i] = s.runBatchQuery(ctx, &req.Queries[i])
+				results[i] = s.runBatchQuery(ctx, items[i], &req.Queries[i])
 			}
 		}()
 	}
@@ -81,27 +120,29 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		qs := res.stats()
 		stats.Evaluated += qs.Evaluated
+		stats.Pruned += qs.Pruned
 		stats.ShardHits += qs.ShardHits
 	}
 	writeJSON(w, http.StatusOK, BatchResponse{Results: results, Stats: stats})
 }
 
-// runBatchQuery executes one batch item end to end, reporting failures
-// in the result instead of aborting the batch.
-func (s *Server) runBatchQuery(ctx context.Context, bq *BatchQuery) BatchResult {
-	s.queries.Add(1)
-	start := time.Now()
+// batchItem is one validated and resolved batch entry, ready to
+// execute (or carrying the validation error to report in place).
+type batchItem struct {
+	kind   string
+	res    resolved
+	errMsg string
+}
+
+// resolveBatchItem validates and resolves one batch entry without
+// executing it, so handleBatch can plan table sharing across the batch
+// before any evaluation starts.
+func (s *Server) resolveBatchItem(bq *BatchQuery) batchItem {
 	kind := bq.Kind
 	if kind == "" {
 		kind = "skyline"
 	}
-	out := BatchResult{Kind: kind}
-	fail := func(msg string) BatchResult {
-		s.errors.Add(1)
-		out.Error = msg
-		return out
-	}
-
+	it := batchItem{kind: kind}
 	var validate func(*QueryRequest) error
 	needMeasure := false
 	switch kind {
@@ -111,30 +152,51 @@ func (s *Server) runBatchQuery(ctx context.Context, bq *BatchQuery) BatchResult 
 	case "range":
 		needMeasure, validate = true, validateRange
 	default:
-		return fail(fmt.Sprintf("unknown query kind %q (want skyline, topk or range)", kind))
+		it.errMsg = fmt.Sprintf("unknown query kind %q (want skyline, topk or range)", kind)
+		return it
 	}
 	if validate != nil {
 		if err := validate(&bq.QueryRequest); err != nil {
-			return fail(err.Error())
+			it.errMsg = err.Error()
+			return it
 		}
 	}
 	res, err := s.resolveQuery(&bq.QueryRequest, needMeasure)
 	if err != nil {
-		return fail(err.Error())
+		it.errMsg = err.Error()
+		return it
 	}
-	ts, err := s.tables(ctx, res)
+	it.res = res
+	return it
+}
+
+// runBatchQuery executes one resolved batch item end to end, reporting
+// failures in the result instead of aborting the batch.
+func (s *Server) runBatchQuery(ctx context.Context, it batchItem, bq *BatchQuery) BatchResult {
+	s.queries.Add(1)
+	start := time.Now()
+	out := BatchResult{Kind: it.kind}
+	fail := func(msg string) BatchResult {
+		s.errors.Add(1)
+		out.Error = msg
+		return out
+	}
+	if it.errMsg != "" {
+		return fail(it.errMsg)
+	}
+	ts, err := s.tables(ctx, it.res)
 	if err != nil {
 		_, msg := s.classifyQueryErr(err)
 		return fail(msg)
 	}
 	stats := s.queryStats(ts, start)
-	switch kind {
+	switch it.kind {
 	case "skyline":
-		out.Skyline = s.skylineAnswer(&bq.QueryRequest, res, ts, stats)
+		out.Skyline = s.skylineAnswer(&bq.QueryRequest, it.res, ts, stats)
 	case "topk":
-		out.TopK = s.topkAnswer(&bq.QueryRequest, res, ts, stats)
+		out.TopK = s.topkAnswer(&bq.QueryRequest, it.res, ts, stats)
 	case "range":
-		out.Range = s.rangeAnswer(&bq.QueryRequest, res, ts, stats)
+		out.Range = s.rangeAnswer(&bq.QueryRequest, it.res, ts, stats)
 	}
 	return out
 }

@@ -58,6 +58,12 @@ func CacheKey(shard int, generation uint64, queryHash string, basis []measure.Me
 		shard, generation, queryHash, strings.Join(measure.BasisNames(basis), ","), eval.Key())
 }
 
+// prunedKey derives the key of the skyline-pruned table variant from a
+// full-table key. Pruned tables hold only the filter survivors, so they
+// answer skyline requests exactly but can never be returned for a
+// full-table, top-k or range lookup — hence the separate namespace.
+func prunedKey(full string) string { return full + "|pruned" }
+
 // Get returns the cached table for key, marking it most recently used.
 func (c *Cache) Get(key string) (*gdb.VectorTable, bool) {
 	return c.get(key, false)

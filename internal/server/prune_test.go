@@ -1,0 +1,116 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"skygraph/internal/dataset"
+	"skygraph/internal/gdb"
+	"skygraph/internal/graph"
+	"skygraph/internal/testutil"
+)
+
+// newShardedTestServerWith serves an arbitrary graph set split across
+// nshards shards.
+func newShardedTestServerWith(t *testing.T, nshards int, cfg Config, gs []*graph.Graph) (*Server, *httptest.Server) {
+	t.Helper()
+	db := gdb.NewSharded(nshards)
+	if err := db.InsertAll(gs); err != nil {
+		t.Fatal(err)
+	}
+	s := New(db, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// TestSkylinePrunesByDefaultAndMatchesFull: the default skyline path
+// runs filter-and-refine, reports pruned in the wire stats, and returns
+// exactly the skyline a forced-full evaluation returns — across shard
+// counts, including the harness's seeded databases.
+func TestSkylinePrunesByDefaultAndMatchesFull(t *testing.T) {
+	gs := append(dataset.PaperDB(), testutil.SeededGraphs(5, 17)...)
+	for _, shards := range []int{1, 2, 3, 7} {
+		_, ts := newShardedTestServerWith(t, shards, Config{CacheSize: 64}, gs)
+		for qi, q := range append(testutil.SeededQueries(77, gs, 2), dataset.PaperQuery()) {
+			noPrune := false
+			var full SkylineResponse
+			r := postJSON(t, ts.URL+"/query/skyline", QueryRequest{Graph: q, Prune: &noPrune}, &full)
+			if r.StatusCode != http.StatusOK {
+				t.Fatalf("shards=%d q=%d: full status %d", shards, qi, r.StatusCode)
+			}
+			var pruned SkylineResponse
+			r = postJSON(t, ts.URL+"/query/skyline", QueryRequest{Graph: q}, &pruned)
+			if r.StatusCode != http.StatusOK {
+				t.Fatalf("shards=%d q=%d: pruned status %d", shards, qi, r.StatusCode)
+			}
+			// The full table is warm, so the default request is served
+			// from it (a complete table answers skyline queries too).
+			if !pruned.Stats.CacheHit {
+				t.Fatalf("shards=%d q=%d: pruned query missed the warm full table", shards, qi)
+			}
+			requireSameSkylineJSON(t, shards, qi, full.Skyline, pruned.Skyline)
+		}
+	}
+}
+
+// TestSkylinePrunedColdPathMatchesFull: cold pruned builds (no warm
+// full table) must produce the same skyline and account for every
+// graph.
+func TestSkylinePrunedColdPathMatchesFull(t *testing.T) {
+	gs := testutil.SeededGraphs(9, 20)
+	q := testutil.SeededQueries(99, gs, 1)[0]
+	for _, shards := range []int{1, 3} {
+		// Separate servers so neither run sees the other's cache.
+		_, tsPruned := newShardedTestServerWith(t, shards, Config{CacheSize: 64}, gs)
+		_, tsFull := newShardedTestServerWith(t, shards, Config{CacheSize: 64}, gs)
+
+		var pruned SkylineResponse
+		postJSON(t, tsPruned.URL+"/query/skyline", QueryRequest{Graph: q}, &pruned)
+		noPrune := false
+		var full SkylineResponse
+		postJSON(t, tsFull.URL+"/query/skyline", QueryRequest{Graph: q, Prune: &noPrune}, &full)
+
+		if pruned.Stats.Evaluated+pruned.Stats.Pruned != len(gs) {
+			t.Fatalf("shards=%d: evaluated %d + pruned %d != %d graphs",
+				shards, pruned.Stats.Evaluated, pruned.Stats.Pruned, len(gs))
+		}
+		if full.Stats.Pruned != 0 || full.Stats.Evaluated != len(gs) {
+			t.Fatalf("shards=%d: full run stats = %+v", shards, full.Stats)
+		}
+		requireSameSkylineJSON(t, shards, 0, full.Skyline, pruned.Skyline)
+
+		// A later ranking query on the pruned-only server still answers
+		// (it builds the complete table it needs).
+		var tk TopKResponse
+		r := postJSON(t, tsPruned.URL+"/query/topk", QueryRequest{Graph: q, K: 3, Measure: "DistEd"}, &tk)
+		if r.StatusCode != http.StatusOK || len(tk.Items) != 3 {
+			t.Fatalf("shards=%d: topk after pruned skyline: status %d items %d", shards, r.StatusCode, len(tk.Items))
+		}
+	}
+}
+
+// requireSameSkylineJSON compares wire skylines member-by-member (both
+// engines answer in global insertion order, so order is part of the
+// contract).
+func requireSameSkylineJSON(t *testing.T, shards, qi int, want, got []PointJSON) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("shards=%d q=%d: skyline sizes differ: want %d, got %d", shards, qi, len(want), len(got))
+	}
+	for i := range want {
+		if want[i].ID != got[i].ID {
+			t.Fatalf("shards=%d q=%d: member %d: want %s, got %s", shards, qi, i, want[i].ID, got[i].ID)
+		}
+		if len(want[i].Vec) != len(got[i].Vec) {
+			t.Fatalf("shards=%d q=%d: %s: vector dims differ", shards, qi, want[i].ID)
+		}
+		for d := range want[i].Vec {
+			if want[i].Vec[d] != got[i].Vec[d] {
+				t.Fatalf("shards=%d q=%d: %s dim %d: want %v, got %v",
+					shards, qi, want[i].ID, d, want[i].Vec[d], got[i].Vec[d])
+			}
+		}
+	}
+}

@@ -60,14 +60,15 @@ type Server struct {
 	flightMu sync.Mutex
 	flight   map[string]*flightCall
 
-	queries   atomic.Uint64
-	batches   atomic.Uint64
-	inserts   atomic.Uint64
-	deletes   atomic.Uint64
-	errors    atomic.Uint64
-	pairEvals atomic.Uint64
-	timeouts  atomic.Uint64
-	rejected  atomic.Uint64
+	queries     atomic.Uint64
+	batches     atomic.Uint64
+	inserts     atomic.Uint64
+	deletes     atomic.Uint64
+	errors      atomic.Uint64
+	pairEvals   atomic.Uint64
+	pairsPruned atomic.Uint64
+	timeouts    atomic.Uint64
+	rejected    atomic.Uint64
 }
 
 // New returns a Server over db. MaxInflight below the shard count is
@@ -138,10 +139,23 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 // into engine values.
 type resolved struct {
 	q     *graph.Graph
+	qh    string // canonical query hash, computed once per request
 	basis []measure.Measure
 	m     measure.Measure // ranking measure (topk/range)
 	alg   skyline.Algorithm
 	opts  gdb.QueryOptions
+	// prune selects the filter-and-refine evaluation path: skyline-kind
+	// requests that do not ask for the full table, on a boundable basis
+	// (request field "prune" overrides). Pruned tables are cached under
+	// their own key variant because they cannot serve top-k/range/full-
+	// table requests.
+	prune bool
+}
+
+// tableGroup keys the set of requests answerable from the same shard
+// tables: same query graph (canonically), basis and engine budgets.
+func (res resolved) tableGroup() string {
+	return CacheKey(0, 0, res.qh, res.basis, res.opts.Eval)
 }
 
 // needMeasure selects whether the ranking measure must resolve (topk and
@@ -155,6 +169,7 @@ func (s *Server) resolveQuery(req *QueryRequest, needMeasure bool) (resolved, er
 		return res, fmt.Errorf("invalid query graph: %w", err)
 	}
 	res.q = req.Graph
+	res.qh = graph.QueryHash(res.q)
 
 	basis, err := measure.BasisByNames(req.Basis)
 	if err != nil {
@@ -199,6 +214,11 @@ func (s *Server) resolveQuery(req *QueryRequest, needMeasure bool) (resolved, er
 	// Workers 0 is resolved per query in tables(), where the number of
 	// shards actually needing evaluation is known.
 	res.opts = gdb.QueryOptions{Basis: basis, Eval: s.mergeEval(req.Eval), Workers: s.cfg.Workers}
+	// needMeasure is true exactly for the ranking kinds (topk/range),
+	// which need complete tables; skyline requests prune unless the full
+	// table was asked for or the request opted out.
+	res.prune = !needMeasure && !req.All && measure.Boundable(basis) &&
+		(req.Prune == nil || *req.Prune)
 	return res, nil
 }
 
@@ -247,11 +267,13 @@ type flightCall struct {
 
 // tableSet is the per-shard answer material for one query, plus what it
 // cost: hits counts shards served from cache (or a coalesced leader),
-// evaluated counts pair evaluations this request caused.
+// evaluated and pruned count pair evaluations this request caused and
+// spared (both 0 for shards served from cache).
 type tableSet struct {
 	tables    []*gdb.VectorTable
 	hits      int
 	evaluated int
+	pruned    int
 }
 
 func (ts tableSet) inexact() int {
@@ -268,7 +290,7 @@ func (ts tableSet) inexact() int {
 // key) on one flight leader. The first shard error aborts the query.
 func (s *Server) tables(ctx context.Context, res resolved) (tableSet, error) {
 	n := s.db.NumShards()
-	qh := graph.QueryHash(res.q)
+	qh := res.qh
 	out := tableSet{tables: make([]*gdb.VectorTable, n)}
 	if n == 1 {
 		t, hit, err := s.shardTable(ctx, 0, qh, res)
@@ -276,7 +298,7 @@ func (s *Server) tables(ctx context.Context, res resolved) (tableSet, error) {
 			return tableSet{}, err
 		}
 		out.tables[0] = t
-		out.hits, out.evaluated = boolToInt(hit), freshEvals(t, hit)
+		out.hits, out.evaluated, out.pruned = boolToInt(hit), freshEvals(t, hit), freshPruned(t, hit)
 		return out, nil
 	}
 	// Spread the default worker budget over the shards that will
@@ -288,7 +310,7 @@ func (s *Server) tables(ctx context.Context, res resolved) (tableSet, error) {
 	if res.opts.Workers <= 0 {
 		cold := 0
 		for i := 0; i < n; i++ {
-			if !s.cache.contains(CacheKey(i, s.db.ShardGeneration(i), qh, res.basis, res.opts.Eval)) {
+			if !s.cachedForQuery(i, qh, res) {
 				cold++
 			}
 		}
@@ -300,6 +322,7 @@ func (s *Server) tables(ctx context.Context, res resolved) (tableSet, error) {
 		wg        sync.WaitGroup
 		hits      atomic.Int64
 		evaluated atomic.Int64
+		prunedN   atomic.Int64
 		errMu     sync.Mutex
 		firstErr  error
 	)
@@ -319,13 +342,14 @@ func (s *Server) tables(ctx context.Context, res resolved) (tableSet, error) {
 			out.tables[i] = t
 			hits.Add(int64(boolToInt(hit)))
 			evaluated.Add(int64(freshEvals(t, hit)))
+			prunedN.Add(int64(freshPruned(t, hit)))
 		}(i)
 	}
 	wg.Wait()
 	if firstErr != nil {
 		return tableSet{}, firstErr
 	}
-	out.hits, out.evaluated = int(hits.Load()), int(evaluated.Load())
+	out.hits, out.evaluated, out.pruned = int(hits.Load()), int(evaluated.Load()), int(prunedN.Load())
 	return out, nil
 }
 
@@ -336,11 +360,30 @@ func boolToInt(b bool) int {
 	return 0
 }
 
+// cachedForQuery reports whether shard's table for the query is cached
+// under any key the request could be served from (the full key always;
+// additionally the pruned variant for pruning requests). A planning
+// peek for worker sizing — no counters, no recency.
+func (s *Server) cachedForQuery(shard int, qh string, res resolved) bool {
+	key := CacheKey(shard, s.db.ShardGeneration(shard), qh, res.basis, res.opts.Eval)
+	if s.cache.contains(key) {
+		return true
+	}
+	return res.prune && s.cache.contains(prunedKey(key))
+}
+
 func freshEvals(t *gdb.VectorTable, hit bool) int {
 	if hit {
 		return 0
 	}
 	return len(t.Points)
+}
+
+func freshPruned(t *gdb.VectorTable, hit bool) int {
+	if hit {
+		return 0
+	}
+	return t.Pruned
 }
 
 // shardTable returns one shard's table for a resolved query, from the
@@ -349,20 +392,40 @@ func freshEvals(t *gdb.VectorTable, hit bool) int {
 // hit (they caused no pair evaluations). A follower whose leader fails
 // — e.g. the leader's own shorter timeout fired — retries under its own
 // deadline instead of inheriting the failure.
+//
+// Pruning requests first try the full table (a complete table answers
+// a skyline query too, with zero extra work), then the pruned variant,
+// and build the pruned variant on a double miss. Non-pruning requests
+// never touch pruned entries.
 func (s *Server) shardTable(ctx context.Context, shard int, qh string, res resolved) (t *gdb.VectorTable, hit bool, err error) {
 	db := s.db.Shard(shard)
 	for {
-		key := CacheKey(shard, db.Generation(), qh, res.basis, res.opts.Eval)
+		fullKey := CacheKey(shard, db.Generation(), qh, res.basis, res.opts.Eval)
+		key := fullKey
+		if res.prune {
+			// Quiet lookup: a miss here is not a miss for the request —
+			// the pruned key below is the authoritative one.
+			if t, ok := s.cache.getRecheck(fullKey); ok {
+				return t, true, nil
+			}
+			key = prunedKey(fullKey)
+		}
 		if t, ok := s.cache.Get(key); ok {
 			return t, true, nil
 		}
 		s.flightMu.Lock()
 		leader, inflight := s.flight[key]
+		if !inflight && res.prune {
+			// An in-flight full build answers a skyline request too;
+			// wait on it rather than duplicating the evaluation with a
+			// pruned build of the same shard.
+			leader, inflight = s.flight[fullKey]
+		}
 		if !inflight {
 			c := &flightCall{done: make(chan struct{})}
 			s.flight[key] = c
 			s.flightMu.Unlock()
-			return s.lead(ctx, res, shard, qh, key, c)
+			return s.lead(ctx, res, shard, qh, key, fullKey, c)
 		}
 		s.flightMu.Unlock()
 		select {
@@ -378,8 +441,10 @@ func (s *Server) shardTable(ctx context.Context, shard int, qh string, res resol
 }
 
 // lead evaluates shard's table as the flight leader for key, publishing
-// the result to followers via c.
-func (s *Server) lead(ctx context.Context, res resolved, shard int, qh, key string, c *flightCall) (t *gdb.VectorTable, hit bool, err error) {
+// the result to followers via c. fullKey is the complete-table key the
+// request could equally be served from (equal to key for non-pruning
+// requests).
+func (s *Server) lead(ctx context.Context, res resolved, shard int, qh, key, fullKey string, c *flightCall) (t *gdb.VectorTable, hit bool, err error) {
 	defer func() {
 		c.t, c.err = t, err
 		s.flightMu.Lock()
@@ -390,9 +455,16 @@ func (s *Server) lead(ctx context.Context, res resolved, shard int, qh, key stri
 
 	// A previous leader may have published between our cache miss and
 	// flight takeover; its removal from the flight map happens after its
-	// Put, so re-checking here closes the window.
+	// Put, so re-checking here closes the window. A pruning leader also
+	// re-checks the full key — a complete table published in the window
+	// answers a skyline request too.
 	if t0, ok := s.cache.getRecheck(key); ok {
 		return t0, true, nil
+	}
+	if fullKey != key {
+		if t0, ok := s.cache.getRecheck(fullKey); ok {
+			return t0, true, nil
+		}
 	}
 
 	if s.sem != nil {
@@ -404,15 +476,24 @@ func (s *Server) lead(ctx context.Context, res resolved, shard int, qh, key stri
 			return nil, false, errTooBusy
 		}
 	}
-	t, err = s.db.Shard(shard).VectorTable(ctx, res.q, res.opts)
+	opts := res.opts
+	opts.Prune = res.prune
+	t, err = s.db.Shard(shard).VectorTable(ctx, res.q, opts)
 	if err != nil {
 		return nil, false, err
 	}
 	s.pairEvals.Add(uint64(len(t.Points)))
+	s.pairsPruned.Add(uint64(t.Pruned))
 	// The snapshot generation is authoritative: if the shard changed
 	// between the key computation and the snapshot, rekey so the entry
-	// stays reachable exactly as long as it is valid.
-	s.cache.Put(CacheKey(shard, t.Generation, qh, res.basis, res.opts.Eval), shard, t)
+	// stays reachable exactly as long as it is valid. A pruning build
+	// that pruned nothing yields a complete table and is cached under
+	// the full key, where every request kind can reuse it.
+	putKey := CacheKey(shard, t.Generation, qh, res.basis, res.opts.Eval)
+	if !t.Complete {
+		putKey = prunedKey(putKey)
+	}
+	s.cache.Put(putKey, shard, t)
 	return t, false, nil
 }
 
@@ -439,6 +520,7 @@ func (s *Server) classifyQueryErr(err error) (int, string) {
 func (s *Server) queryStats(ts tableSet, start time.Time) QueryStats {
 	return QueryStats{
 		Evaluated:  ts.evaluated,
+		Pruned:     ts.pruned,
 		Inexact:    ts.inexact(),
 		CacheHit:   ts.hits == len(ts.tables),
 		Shards:     len(ts.tables),
@@ -689,6 +771,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Deletes:          s.deletes.Load(),
 			Errors:           s.errors.Load(),
 			PairEvals:        s.pairEvals.Load(),
+			PairsPruned:      s.pairsPruned.Load(),
 			QueryTimeouts:    s.timeouts.Load(),
 			InflightRejected: s.rejected.Load(),
 		},

@@ -119,10 +119,16 @@ func TestSkylineRoundTrip(t *testing.T) {
 
 func TestTopKAndRangeShareSkylineTable(t *testing.T) {
 	_, ts := newTestServer(t, Config{CacheSize: 16})
+	// prune=false warms a complete table that the ranking queries below
+	// can reuse (a pruned skyline table cannot serve top-k/range).
+	noPrune := false
 	var sky SkylineResponse
-	postJSON(t, ts.URL+"/query/skyline", QueryRequest{Graph: dataset.PaperQuery()}, &sky)
+	postJSON(t, ts.URL+"/query/skyline", QueryRequest{Graph: dataset.PaperQuery(), Prune: &noPrune}, &sky)
 	if sky.Stats.CacheHit {
 		t.Fatal("first skyline query cannot hit")
+	}
+	if sky.Stats.Pruned != 0 || sky.Stats.Evaluated != 7 {
+		t.Fatalf("prune=false skyline stats = %+v; want full evaluation", sky.Stats)
 	}
 
 	// DistEd is in the default basis, so top-k reuses the skyline table.
@@ -215,8 +221,9 @@ func TestMutationInvalidatesCache(t *testing.T) {
 	if second.Stats.CacheHit {
 		t.Fatal("query after insert must re-evaluate")
 	}
-	if second.Stats.Evaluated != 8 {
-		t.Fatalf("evaluated %d pairs after insert; want 8", second.Stats.Evaluated)
+	if second.Stats.Evaluated+second.Stats.Pruned != 8 {
+		t.Fatalf("evaluated %d + pruned %d pairs after insert; want 8 total",
+			second.Stats.Evaluated, second.Stats.Pruned)
 	}
 
 	// Delete invalidates again.
@@ -231,8 +238,8 @@ func TestMutationInvalidatesCache(t *testing.T) {
 	}
 	var third SkylineResponse
 	postJSON(t, ts.URL+"/query/skyline", QueryRequest{Graph: dataset.PaperQuery()}, &third)
-	if third.Stats.CacheHit || third.Stats.Evaluated != 7 {
-		t.Fatalf("stats after delete = %+v; want fresh evaluation of 7", third.Stats)
+	if third.Stats.CacheHit || third.Stats.Evaluated+third.Stats.Pruned != 7 {
+		t.Fatalf("stats after delete = %+v; want a fresh build covering all 7", third.Stats)
 	}
 
 	st := statsOf(t, ts.URL)
@@ -261,8 +268,9 @@ func TestStatsCounters(t *testing.T) {
 	if st.Requests.Queries != 2 {
 		t.Fatalf("queries = %d; want 2", st.Requests.Queries)
 	}
-	if st.Requests.PairEvals != 7 {
-		t.Fatalf("pair evals = %d; want 7 (second query cached)", st.Requests.PairEvals)
+	if st.Requests.PairEvals+st.Requests.PairsPruned != 7 {
+		t.Fatalf("pair evals %d + pruned %d; want 7 total (second query cached)",
+			st.Requests.PairEvals, st.Requests.PairsPruned)
 	}
 	if st.Cache.Hits != 1 || st.Cache.Misses != 1 {
 		t.Fatalf("cache hits/misses = %d/%d; want 1/1", st.Cache.Hits, st.Cache.Misses)
@@ -399,10 +407,11 @@ func TestConcurrentIdenticalQueriesCoalesce(t *testing.T) {
 	wg.Wait()
 	// Whether followers coalesced on the in-flight leader or hit the
 	// cache afterwards, the total pair-evaluation work is exactly one
-	// table: 7 pairs.
+	// table build covering all 7 graphs (evaluated or bound-pruned).
 	st := statsOf(t, ts.URL)
-	if st.Requests.PairEvals != 7 {
-		t.Fatalf("pair evals = %d across %d concurrent identical queries; want 7", st.Requests.PairEvals, n)
+	if st.Requests.PairEvals+st.Requests.PairsPruned != 7 {
+		t.Fatalf("pair evals %d + pruned %d across %d concurrent identical queries; want 7 total",
+			st.Requests.PairEvals, st.Requests.PairsPruned, n)
 	}
 	misses := 0
 	for _, qs := range stats {
@@ -446,8 +455,8 @@ func TestFollowerRetriesAfterLeaderFailure(t *testing.T) {
 	if hit {
 		t.Fatal("follower should have evaluated itself after the leader failed")
 	}
-	if len(tab.Points) != 7 {
-		t.Fatalf("table has %d rows; want 7", len(tab.Points))
+	if len(tab.Points)+tab.Pruned != 7 {
+		t.Fatalf("table covers %d rows + %d pruned; want 7", len(tab.Points), tab.Pruned)
 	}
 }
 

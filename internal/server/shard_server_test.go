@@ -50,7 +50,7 @@ func TestInsertInvalidatesOnlyOwningShard(t *testing.T) {
 	s, ts := newShardedTestServer(t, shards, Config{CacheSize: 32})
 	var first SkylineResponse
 	postJSON(t, ts.URL+"/query/skyline", QueryRequest{Graph: dataset.PaperQuery()}, &first)
-	if first.Stats.Evaluated != 7 || first.Stats.ShardHits != 0 {
+	if first.Stats.Evaluated+first.Stats.Pruned != 7 || first.Stats.ShardHits != 0 {
 		t.Fatalf("cold query stats = %+v", first.Stats)
 	}
 	if got := s.Cache().Len(); got != shards {
@@ -72,8 +72,8 @@ func TestInsertInvalidatesOnlyOwningShard(t *testing.T) {
 	var second SkylineResponse
 	postJSON(t, ts.URL+"/query/skyline", QueryRequest{Graph: dataset.PaperQuery()}, &second)
 	wantEval := s.DB().Shard(owner).Len()
-	if second.Stats.ShardHits != shards-1 || second.Stats.Evaluated != wantEval {
-		t.Fatalf("requery stats = %+v; want %d shard hits and %d evaluations (owning shard only)",
+	if second.Stats.ShardHits != shards-1 || second.Stats.Evaluated+second.Stats.Pruned != wantEval {
+		t.Fatalf("requery stats = %+v; want %d shard hits and %d evaluated+pruned (owning shard only)",
 			second.Stats, shards-1, wantEval)
 	}
 	if len(second.Skyline) == 0 {

@@ -1,0 +1,67 @@
+package skyline
+
+// Interval pruning for filter-and-refine skyline evaluation: when each
+// candidate's vector is known only as a [lo, hi] box (optimistic and
+// pessimistic corners, componentwise), a candidate whose optimistic
+// corner is dominated by some other candidate's pessimistic corner can
+// never enter the skyline — the other's true vector dominates its true
+// vector no matter where inside the boxes they land. Dominance is
+// transitive, so a pruned candidate is always dominated by a surviving
+// one, and the skyline of the survivors' exact vectors equals the
+// skyline of the full set.
+
+// IntervalPoint is one candidate with its interval vector. Lo and Hi
+// are the optimistic and pessimistic corners (Lo[d] <= true[d] <=
+// Hi[d]); both must have the skyline dimensionality. Pruned is in/out:
+// points arriving pruned keep that status (their exclusion is already
+// proven) while still lending their pessimistic corners as filters.
+type IntervalPoint struct {
+	ID     string
+	Lo, Hi []float64
+	Pruned bool
+}
+
+// IntervalPrune marks every point that provably cannot be in the
+// skyline: point i is pruned when some other point j has Hi_j <= Lo_i
+// on every dimension and Hi_j < Lo_i on at least one (then j's true
+// vector strictly dominates i's, Definition 1, wherever the truth lies
+// inside the boxes). It returns the total number of points marked
+// pruned, including ones that arrived pruned.
+func IntervalPrune(pts []IntervalPoint) int {
+	pruned := 0
+	for i := range pts {
+		if pts[i].Pruned {
+			pruned++
+			continue
+		}
+		for j := range pts {
+			if j == i {
+				continue
+			}
+			if cornerDominates(pts[j].Hi, pts[i].Lo) {
+				pts[i].Pruned = true
+				pruned++
+				break
+			}
+		}
+	}
+	return pruned
+}
+
+// cornerDominates reports whether the pessimistic corner hi is <= the
+// optimistic corner lo everywhere and strictly below somewhere —
+// certain dominance of the underlying true vectors. Boxes that merely
+// touch (hi == lo everywhere) do not count: the true vectors could be
+// equal, and equal vectors do not dominate each other.
+func cornerDominates(hi, lo []float64) bool {
+	strict := false
+	for d := range hi {
+		if hi[d] > lo[d] {
+			return false
+		}
+		if hi[d] < lo[d] {
+			strict = true
+		}
+	}
+	return strict
+}

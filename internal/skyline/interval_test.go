@@ -1,0 +1,73 @@
+package skyline
+
+import "testing"
+
+func ip(id string, lo, hi []float64) IntervalPoint {
+	return IntervalPoint{ID: id, Lo: lo, Hi: hi}
+}
+
+func TestIntervalPruneDominated(t *testing.T) {
+	pts := []IntervalPoint{
+		ip("near", []float64{0, 0}, []float64{1, 1}),    // pessimistic corner (1,1)
+		ip("far", []float64{2, 2}, []float64{9, 9}),     // optimistic corner strictly above (1,1)
+		ip("maybe", []float64{0.5, 3}, []float64{4, 4}), // beats (1,1) on dim 0, so not provably dominated
+	}
+	if got := IntervalPrune(pts); got != 1 {
+		t.Fatalf("pruned %d, want 1", got)
+	}
+	if pts[0].Pruned || !pts[1].Pruned || pts[2].Pruned {
+		t.Fatalf("pruned flags = %v %v %v; want only %q pruned", pts[0].Pruned, pts[1].Pruned, pts[2].Pruned, "far")
+	}
+}
+
+func TestIntervalPruneTouchingBoxesSurvive(t *testing.T) {
+	// Exact (degenerate) boxes with equal vectors: neither dominates the
+	// other, both must survive.
+	pts := []IntervalPoint{
+		ip("a", []float64{1, 1}, []float64{1, 1}),
+		ip("b", []float64{1, 1}, []float64{1, 1}),
+	}
+	if got := IntervalPrune(pts); got != 0 {
+		t.Fatalf("pruned %d equal points, want 0", got)
+	}
+}
+
+func TestIntervalPruneStrictOnOneDimSuffices(t *testing.T) {
+	pts := []IntervalPoint{
+		ip("a", []float64{1, 1}, []float64{1, 1}),
+		ip("b", []float64{1, 2}, []float64{3, 3}), // lo equals a's hi on dim 0, strictly above on dim 1
+	}
+	if got := IntervalPrune(pts); got != 1 || !pts[1].Pruned {
+		t.Fatalf("pruned=%d flags=%v,%v; want b pruned", got, pts[0].Pruned, pts[1].Pruned)
+	}
+}
+
+func TestIntervalPruneKeepsPriorExclusions(t *testing.T) {
+	pts := []IntervalPoint{
+		ip("a", []float64{0, 0}, []float64{1, 1}),
+		ip("b", []float64{5, 5}, []float64{6, 6}),
+	}
+	pts[1].Pruned = true // proven dominated in an earlier pass
+	// a alone cannot be pruned, but b must stay pruned and count.
+	if got := IntervalPrune(pts); got != 1 || !pts[1].Pruned {
+		t.Fatalf("pruned=%d, b.Pruned=%v; prior exclusion must persist", got, pts[1].Pruned)
+	}
+}
+
+// TestIntervalPrunePrunedFilterStillApplies: a point dominated only by
+// an already-pruned point must still be pruned (dominance is transitive,
+// so the pruned filter's true vector is itself dominated by a survivor
+// yet still dominates the candidate).
+func TestIntervalPrunePrunedFilterStillApplies(t *testing.T) {
+	pts := []IntervalPoint{
+		ip("best", []float64{0, 0}, []float64{1, 1}),
+		ip("mid", []float64{2, 2}, []float64{3, 3}),
+		ip("worst", []float64{4, 4}, []float64{9, 9}),
+	}
+	if got := IntervalPrune(pts); got != 2 {
+		t.Fatalf("pruned %d, want 2 (mid and worst)", got)
+	}
+	if !pts[1].Pruned || !pts[2].Pruned {
+		t.Fatalf("flags = %v %v %v", pts[0].Pruned, pts[1].Pruned, pts[2].Pruned)
+	}
+}
