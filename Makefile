@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-skyline run-server vet
+.PHONY: build test race fuzz bench bench-skyline bench-topk run-server vet
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,15 @@ bench-skyline:
 	$(GO) test -bench=SkylineScaling -benchmem -run=^$$ . > BENCH_skyline.txt; \
 	$(GO) run ./cmd/benchjson < BENCH_skyline.txt > BENCH_skyline.json
 	@cat BENCH_skyline.json
+
+# bench-topk is the ranked-query analogue of bench-skyline: best-first
+# pruned vs unpruned single-measure top-k scaling, recorded as
+# BENCH_topk.json with evaluated/op + pruned/op metrics.
+bench-topk:
+	@set -e; trap 'rm -f BENCH_topk.txt' EXIT; \
+	$(GO) test -bench=TopKScaling -benchmem -run=^$$ . > BENCH_topk.txt; \
+	$(GO) run ./cmd/benchjson < BENCH_topk.txt > BENCH_topk.json
+	@cat BENCH_topk.json
 
 run-server:
 	$(GO) run ./cmd/skygraphd -addr :8091 -shards 4 -cache 128

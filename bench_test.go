@@ -160,6 +160,45 @@ func BenchmarkSkylineScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkTopKScaling is the ranked analogue of E8: single-measure
+// top-k query cost as the database grows. At n >= 40 the unpruned full
+// scan is benched against the best-first bound-index evaluation with
+// threshold-fed exact engines; the pruned runs additionally report how
+// many exact scores the bounds and decision runs spared (pruned/op,
+// evaluated/op).
+func BenchmarkTopKScaling(b *testing.B) {
+	for _, n := range []int{10, 20, 40, 80} {
+		db := gdb.New()
+		if err := db.InsertAll(dataset.MoleculeDB(n, 5, 14, 1)); err != nil {
+			b.Fatal(err)
+		}
+		q := dataset.MoleculeDB(1, 7, 8, 999)[0]
+		opts := gdb.QueryOptions{Eval: measure.Options{GEDMaxNodes: 3000, MCSMaxNodes: 3000}}
+		run := func(b *testing.B, opts gdb.QueryOptions) {
+			var last gdb.QueryStats
+			for i := 0; i < b.N; i++ {
+				res, err := db.TopKQuery(q, measure.DistEd{}, 5, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.Stats
+			}
+			b.ReportMetric(float64(last.Evaluated), "evaluated/op")
+			b.ReportMetric(float64(last.Pruned), "pruned/op")
+		}
+		if n < 40 {
+			b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { run(b, opts) })
+			continue
+		}
+		b.Run(fmt.Sprintf("n=%d/unpruned", n), func(b *testing.B) { run(b, opts) })
+		b.Run(fmt.Sprintf("n=%d/pruned", n), func(b *testing.B) {
+			popts := opts
+			popts.Prune = true
+			run(b, popts)
+		})
+	}
+}
+
 // BenchmarkSkylineAlgos is experiment E9: BNL vs SFS vs D&C on identical
 // synthetic point sets.
 func BenchmarkSkylineAlgos(b *testing.B) {

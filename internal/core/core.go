@@ -60,6 +60,15 @@ func WithWorkers(n int) Option {
 	return func(e *Engine) { e.opts.Workers = n }
 }
 
+// WithPrune enables bound-index filter-and-refine evaluation: skyline
+// queries skip graphs the signature/bipartite intervals prove
+// dominated, and top-k queries run best-first against the live k-th
+// best score with threshold-fed exact engines. Answers are identical
+// to unpruned evaluation; only the work changes.
+func WithPrune() Option {
+	return func(e *Engine) { e.opts.Prune = true }
+}
+
 // WithSkylineAlgorithm selects the skyline algorithm (default SFS).
 func WithSkylineAlgorithm(a skyline.Algorithm) Option {
 	return func(e *Engine) { e.opts.Algorithm = a }
@@ -68,6 +77,16 @@ func WithSkylineAlgorithm(a skyline.Algorithm) Option {
 // NewEngine returns an empty engine.
 func NewEngine(options ...Option) *Engine {
 	e := &Engine{db: gdb.New()}
+	for _, o := range options {
+		o(e)
+	}
+	return e
+}
+
+// WithOptions applies further options to an existing engine (e.g. one
+// returned by Load) and returns it for chaining. Not safe to call
+// concurrently with running queries.
+func (e *Engine) WithOptions(options ...Option) *Engine {
 	for _, o := range options {
 		o(e)
 	}

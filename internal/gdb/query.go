@@ -3,8 +3,8 @@ package gdb
 import (
 	"context"
 	"fmt"
-	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -26,13 +26,18 @@ type QueryOptions struct {
 	Workers int
 	// Algorithm computes the skyline; nil means skyline.SFS.
 	Algorithm skyline.Algorithm
-	// Prune enables filter-and-refine skyline evaluation: graphs whose
-	// signature/bipartite bound intervals prove them dominated are never
-	// evaluated exactly. The skyline is identical to an unpruned run, but
-	// SkylineResult.All (and VectorTable.Points) then holds only the
-	// evaluated survivors, so leave Prune off when the full table is
-	// needed (top-k, range and diversity queries ignore it). Ignored for
-	// bases containing measures outside this package's built-ins.
+	// Prune enables filter-and-refine evaluation driven by the
+	// signature/bound index. For skyline queries, graphs whose bound
+	// intervals prove them dominated are never evaluated exactly; the
+	// skyline is identical to an unpruned run, but SkylineResult.All
+	// (and VectorTable.Points) then holds only the evaluated survivors,
+	// so leave Prune off when the full table is needed. For top-k and
+	// range queries, evaluation is best-first against a live threshold
+	// (the k-th best score, or the radius): candidates whose optimistic
+	// bound — or a threshold-fed engine decision run — proves them out
+	// are never scored exactly, and the answer (scores and tie-order)
+	// is identical to an unpruned run. Diversity queries ignore Prune.
+	// Ignored for measures outside this package's built-ins.
 	Prune bool
 }
 
@@ -51,12 +56,14 @@ func (o QueryOptions) withDefaults() QueryOptions {
 
 // QueryStats reports work done by a query.
 type QueryStats struct {
-	// Evaluated counts graphs whose full GCS vector was computed.
+	// Evaluated counts graphs whose exact answer contribution was
+	// computed: the full GCS vector for skyline queries, the exact
+	// ranking score for top-k and range queries.
 	Evaluated int
-	// Pruned counts graphs skipped via index bounds: the signature /
-	// bipartite interval filter for skyline queries run with
-	// QueryOptions.Prune, the histogram lower bound for DistEd top-k and
-	// range queries.
+	// Pruned counts graphs skipped via index bounds under
+	// QueryOptions.Prune: the signature/bipartite interval filter for
+	// skyline queries, and for top-k and range queries the best-first
+	// threshold cutoff plus the threshold-fed engine decision runs.
 	Pruned int
 	// Inexact counts pairs where a capped engine returned a bound rather
 	// than the exact value.
@@ -93,47 +100,47 @@ type TopKResult struct {
 }
 
 // TopKQuery is the single-measure baseline (Section VI): the k database
-// graphs with the smallest distance under one measure. For DistEd the
-// histogram index prunes graphs whose lower bound already exceeds the
-// current k-th best distance, skipping the exact computation.
+// graphs with the smallest distance under one measure. See
+// TopKQueryContext.
 func (db *DB) TopKQuery(q *graph.Graph, m measure.Measure, k int, opts QueryOptions) (TopKResult, error) {
+	return db.TopKQueryContext(context.Background(), q, m, k, opts)
+}
+
+// TopKQueryContext answers a single-measure top-k query with a parallel
+// scan (opts.Workers wide, honoring ctx between pairs). With opts.Prune
+// set and a built-in measure, evaluation is best-first on the bound
+// index instead: candidates whose optimistic bound or an engine
+// decision run proves them past the live k-th best score are never
+// scored exactly (see ranked.go); the items — scores and tie-order —
+// are identical either way.
+func (db *DB) TopKQueryContext(ctx context.Context, q *graph.Graph, m measure.Measure, k int, opts QueryOptions) (TopKResult, error) {
 	if k < 1 {
 		return TopKResult{}, fmt.Errorf("gdb: k must be >= 1")
 	}
 	opts = opts.withDefaults()
 	start := time.Now()
-	qsig := measure.NewSignature(q)
-	_, isEd := m.(measure.DistEd)
-
-	var items []topk.Item
 	stats := QueryStats{}
-	kth := math.Inf(1)
-	kthCount := 0
-	graphs, sigs, _ := db.snapshot()
-	for i, g := range graphs {
-		if isEd && kthCount >= k {
-			if sigs[i].HistLB(qsig) > kth {
-				stats.Pruned++
-				continue
-			}
+	var items []topk.Item
+	if opts.Prune && measure.Rankable(m) {
+		run := NewRankedTopK(m, k)
+		rs, err := run.EvalDB(ctx, db, q, opts)
+		if err != nil {
+			return TopKResult{}, err
 		}
-		ps := measure.ComputeHinted(g, q, opts.Eval, measure.PairHints{Sig1: sigs[i], Sig2: qsig})
-		if !ps.GEDExact || !ps.MCSExact {
-			stats.Inexact++
+		stats.Evaluated, stats.Pruned, stats.Inexact = rs.Evaluated, rs.Pruned, rs.Inexact
+		items = run.Items()
+	} else {
+		all, inexact, err := db.scanScores(ctx, q, m, opts)
+		if err != nil {
+			return TopKResult{}, err
 		}
-		stats.Evaluated++
-		d := m.FromStats(ps)
-		items = append(items, topk.Item{ID: g.Name(), Score: d})
-		if d < kth || kthCount < k {
-			best := topk.Select(items, k)
-			kthCount = len(best)
-			if kthCount == k {
-				kth = best[k-1].Score
-			}
-		}
+		stats.Evaluated, stats.Inexact = len(all), inexact
+		// One bounded-heap pass, extracted once at the end — not a
+		// re-selection per improving item.
+		items = topk.Select(all, k)
 	}
 	stats.Duration = time.Since(start)
-	return TopKResult{Items: topk.Select(items, k), Stats: stats}, nil
+	return TopKResult{Items: items, Stats: stats}, nil
 }
 
 // RangeResult is the answer to a distance-range query.
@@ -143,33 +150,126 @@ type RangeResult struct {
 }
 
 // RangeQuery returns every graph whose distance to q under m is at most
-// radius. For DistEd the histogram index prunes hopeless candidates.
+// radius, in insertion order. See RangeQueryContext.
 func (db *DB) RangeQuery(q *graph.Graph, m measure.Measure, radius float64, opts QueryOptions) (RangeResult, error) {
+	return db.RangeQueryContext(context.Background(), q, m, radius, opts)
+}
+
+// RangeQueryContext answers a single-measure range query with a
+// parallel scan (opts.Workers wide, honoring ctx between pairs). With
+// opts.Prune set and a built-in measure, evaluation is best-first on
+// the bound index with the radius as a fixed threshold; the items are
+// identical either way.
+func (db *DB) RangeQueryContext(ctx context.Context, q *graph.Graph, m measure.Measure, radius float64, opts QueryOptions) (RangeResult, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
-	qsig := measure.NewSignature(q)
-	_, isEd := m.(measure.DistEd)
-	var items []topk.Item
 	stats := QueryStats{}
-	graphs, sigs, _ := db.snapshot()
-	for i, g := range graphs {
-		if isEd {
-			if sigs[i].HistLB(qsig) > radius {
-				stats.Pruned++
-				continue
+	items := []topk.Item{}
+	if opts.Prune && measure.Rankable(m) {
+		// One snapshot serves both the scan and the result ordering, so
+		// a concurrent mutation cannot desync the two.
+		graphs, sigs, _ := db.snapshot()
+		run := NewRankedRange(m, radius)
+		rs, err := evalRanked(ctx, graphs, sigs, run.querySig(q), q, m, opts, run.coll)
+		if err != nil {
+			return RangeResult{}, err
+		}
+		stats.Evaluated, stats.Pruned, stats.Inexact = rs.Evaluated, rs.Pruned, rs.Inexact
+		items = append(items, run.Items()...)
+		sortItemsBySnapshot(items, graphs)
+	} else {
+		all, inexact, err := db.scanScores(ctx, q, m, opts)
+		if err != nil {
+			return RangeResult{}, err
+		}
+		stats.Evaluated, stats.Inexact = len(all), inexact
+		for _, it := range all {
+			if it.Score <= radius {
+				items = append(items, it)
 			}
-		}
-		ps := measure.ComputeHinted(g, q, opts.Eval, measure.PairHints{Sig1: sigs[i], Sig2: qsig})
-		if !ps.GEDExact || !ps.MCSExact {
-			stats.Inexact++
-		}
-		stats.Evaluated++
-		if d := m.FromStats(ps); d <= radius {
-			items = append(items, topk.Item{ID: g.Name(), Score: d})
 		}
 	}
 	stats.Duration = time.Since(start)
 	return RangeResult{Items: items, Stats: stats}, nil
+}
+
+// sortItemsBySnapshot restores the snapshot's insertion order on a
+// ranked result (parallel best-first evaluation finishes out of
+// order).
+func sortItemsBySnapshot(items []topk.Item, graphs []*graph.Graph) {
+	pos := make(map[string]int, len(graphs))
+	for i, g := range graphs {
+		pos[g.Name()] = i
+	}
+	sort.SliceStable(items, func(i, j int) bool { return byRank(pos, items[i].ID, items[j].ID) })
+}
+
+// scanScores is the unpruned reference path: the exact score of every
+// database graph under m, in snapshot order, computed by a worker pool
+// that honors ctx between pairs. Only the engines m consumes run
+// (measure.ScorePair) — a foreign measure falls back to the full pair
+// evaluation.
+func (db *DB) scanScores(ctx context.Context, q *graph.Graph, m measure.Measure, opts QueryOptions) ([]topk.Item, int, error) {
+	graphs, sigs, _ := db.snapshot()
+	qsig := measure.NewSignature(q)
+	rankable := measure.Rankable(m)
+	items := make([]topk.Item, len(graphs))
+	type result struct {
+		i       int
+		score   float64
+		inexact bool
+	}
+	work := make(chan int)
+	results := make(chan result)
+	done := make(chan struct{})
+	defer close(done)
+	workers := opts.Workers
+	if workers > len(graphs) {
+		workers = len(graphs)
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range work {
+				h := measure.PairHints{Sig1: sigs[i], Sig2: qsig}
+				var r result
+				r.i = i
+				if rankable {
+					r.score, r.inexact = measure.ScorePair(graphs[i], q, m, opts.Eval, h)
+				} else {
+					ps := measure.ComputeHinted(graphs[i], q, opts.Eval, h)
+					r.score, r.inexact = m.FromStats(ps), !ps.GEDExact || !ps.MCSExact
+				}
+				select {
+				case results <- r:
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(work)
+		for i := range graphs {
+			select {
+			case work <- i:
+			case <-done:
+				return
+			}
+		}
+	}()
+	inexact := 0
+	for filled := 0; filled < len(graphs); filled++ {
+		select {
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		case r := <-results:
+			items[r.i] = topk.Item{ID: graphs[r.i].Name(), Score: r.score}
+			if r.inexact {
+				inexact++
+			}
+		}
+	}
+	return items, inexact, nil
 }
 
 // DiverseResult is the answer to a diversity-refined skyline query

@@ -120,24 +120,27 @@ func TestTopKQueryPaper(t *testing.T) {
 }
 
 func TestTopKPruningConsistent(t *testing.T) {
-	// Pruning must not change results, only skip work.
+	// Pruning must not change results, only skip work. The unpruned
+	// default evaluates everything; Prune accounts for every graph as
+	// evaluated or pruned.
 	db := paperDB(t)
 	q := dataset.PaperQuery()
-	res, err := db.TopKQuery(q, measure.DistEd{}, 2, QueryOptions{})
+	ref, err := db.TopKQuery(q, measure.DistEd{}, 2, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Stats.Evaluated != db.Len() || ref.Stats.Pruned != 0 {
+		t.Errorf("unpruned scan: evaluated %d pruned %d, want %d/0",
+			ref.Stats.Evaluated, ref.Stats.Pruned, db.Len())
+	}
+	res, err := db.TopKQuery(q, measure.DistEd{}, 2, QueryOptions{Prune: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Stats.Evaluated+res.Stats.Pruned != db.Len() {
 		t.Errorf("evaluated %d + pruned %d != %d", res.Stats.Evaluated, res.Stats.Pruned, db.Len())
 	}
-	// Reference: no pruning possible with non-Ed measure.
-	ref, err := db.TopKQuery(q, measure.DistGu{}, 2, QueryOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if ref.Stats.Pruned != 0 {
-		t.Errorf("DistGu pruned %d", ref.Stats.Pruned)
-	}
+	requireSameItems(t, "pruned-topk", ref.Items, res.Items)
 }
 
 func TestTopKErrors(t *testing.T) {

@@ -1,0 +1,274 @@
+package gdb
+
+import (
+	"context"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"skygraph/internal/graph"
+	"skygraph/internal/measure"
+	"skygraph/internal/topk"
+)
+
+// Best-first ranked-query evaluation. A top-k or range query does not
+// need the exact score of every database graph: candidates are ordered
+// by the optimistic (lower) end of their signature-derived score
+// interval and evaluated most-promising-first against a live threshold
+// — the current k-th best score, or the radius. The moment the next
+// candidate's optimistic bound exceeds the threshold, every remaining
+// candidate is provably out and the scan stops. Candidates the bound
+// cannot settle go through the same tiers as pruned skyline evaluation:
+// polynomial refinement (bipartite + greedy, witnesses reused), then a
+// threshold-fed decision run of the exact engines (ged.Options.Limit /
+// mcs.Options.Need) that discards most survivors without paying for
+// exactness, and a plain exact evaluation only for candidates that
+// might make the answer. Included scores are byte-identical to the full
+// scan's, so the answer — scores and tie-order — matches the unpruned
+// path exactly.
+
+// atomicFloat is a lock-free float64 cell (stored as bits).
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+// rankedCollector accumulates exact scores behind a mutex and exposes
+// the live pruning threshold lock-free: workers read it before every
+// candidate, across every shard of a sharded database.
+type rankedCollector interface {
+	// offer records one exactly-scored item, tightening the threshold.
+	offer(it topk.Item)
+	// threshold is the current bar: a candidate whose score provably
+	// exceeds it can never enter the answer. Monotone non-increasing.
+	threshold() float64
+	// items returns the collected answer (order documented per kind).
+	items() []topk.Item
+}
+
+// topkCollector keeps the k best items in a bounded max-heap; the
+// threshold is the k-th best score once k items are held (+Inf before).
+type topkCollector struct {
+	mu sync.Mutex
+	b  *topk.Bounded
+	th atomicFloat
+}
+
+func newTopkCollector(k int) *topkCollector {
+	c := &topkCollector{b: topk.NewBounded(k)}
+	c.th.store(math.Inf(1))
+	return c
+}
+
+func (c *topkCollector) offer(it topk.Item) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.b.Offer(it)
+	if c.b.Full() {
+		if w, ok := c.b.Worst(); ok {
+			c.th.store(w.Score)
+		}
+	}
+}
+
+func (c *topkCollector) threshold() float64 { return c.th.load() }
+
+// items returns the k best in ascending (score, ID) order — exactly
+// topk.Select's order.
+func (c *topkCollector) items() []topk.Item {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.b.Items()
+}
+
+// rangeCollector keeps every item within the radius; the threshold is
+// the radius itself, fixed for the whole query.
+type rangeCollector struct {
+	radius float64
+	mu     sync.Mutex
+	list   []topk.Item
+}
+
+func newRangeCollector(radius float64) *rangeCollector {
+	return &rangeCollector{radius: radius, list: []topk.Item{}}
+}
+
+func (c *rangeCollector) offer(it topk.Item) {
+	if it.Score > c.radius {
+		return // evaluated, but outside the radius
+	}
+	c.mu.Lock()
+	c.list = append(c.list, it)
+	c.mu.Unlock()
+}
+
+func (c *rangeCollector) threshold() float64 { return c.radius }
+
+// items returns the in-radius items in unspecified order; callers
+// restore insertion order (evaluation order is nondeterministic).
+func (c *rangeCollector) items() []topk.Item {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]topk.Item{}, c.list...)
+}
+
+// RankedStats reports the work one database contributed to a ranked
+// evaluation.
+type RankedStats struct {
+	// Evaluated counts graphs whose exact score was computed.
+	Evaluated int
+	// Pruned counts graphs excluded without an exact score: best-first
+	// cutoff, interval filter, or an engine decision run.
+	Pruned int
+	// Inexact counts evaluated graphs whose score came from a capped
+	// engine bound.
+	Inexact int
+}
+
+func (s *RankedStats) add(o RankedStats) {
+	s.Evaluated += o.Evaluated
+	s.Pruned += o.Pruned
+	s.Inexact += o.Inexact
+}
+
+// Ranked is one in-progress best-first ranked query: the shared
+// collector and its live threshold. Shards of a sharded database (and
+// cached per-shard answers) evaluate against a single Ranked value so
+// the threshold crosses shard boundaries. Safe for concurrent use.
+type Ranked struct {
+	m    measure.Measure
+	coll rankedCollector
+
+	sigOnce sync.Once
+	qsig    *measure.Signature
+}
+
+// NewRankedTopK starts a top-k evaluation under measure m.
+func NewRankedTopK(m measure.Measure, k int) *Ranked {
+	return &Ranked{m: m, coll: newTopkCollector(k)}
+}
+
+// NewRankedRange starts a range evaluation under measure m.
+func NewRankedRange(m measure.Measure, radius float64) *Ranked {
+	return &Ranked{m: m, coll: newRangeCollector(radius)}
+}
+
+// Offer feeds already-exact scores — e.g. the rows of a cached complete
+// vector table — into the collector, tightening the live threshold
+// before (or while) other shards evaluate.
+func (r *Ranked) Offer(items []topk.Item) {
+	for _, it := range items {
+		r.coll.offer(it)
+	}
+}
+
+// Items returns the collected answer: for top-k the k best in
+// ascending (score, ID) order, for range the in-radius items in
+// unspecified order (restore insertion order with SortItemsByRank or
+// the snapshot order).
+func (r *Ranked) Items() []topk.Item { return r.coll.items() }
+
+func (r *Ranked) querySig(q *graph.Graph) *measure.Signature {
+	r.sigOnce.Do(func() { r.qsig = measure.NewSignature(q) })
+	return r.qsig
+}
+
+// EvalDB runs the best-first scan of one database's snapshot against
+// the shared threshold. opts.Workers bounds the scan's parallelism
+// (resolved by the caller); opts.Eval caps the exact engines exactly as
+// on the full-scan path, so included scores match it byte for byte.
+func (r *Ranked) EvalDB(ctx context.Context, db *DB, q *graph.Graph, opts QueryOptions) (RankedStats, error) {
+	graphs, sigs, _ := db.snapshot()
+	return evalRanked(ctx, graphs, sigs, r.querySig(q), q, r.m, opts, r.coll)
+}
+
+// evalRanked is the scan itself: order candidates by optimistic bound,
+// drain them with a worker pool, stop at the threshold.
+func evalRanked(ctx context.Context, graphs []*graph.Graph, sigs []*measure.Signature, qsig *measure.Signature, q *graph.Graph, m measure.Measure, opts QueryOptions, coll rankedCollector) (RankedStats, error) {
+	n := len(graphs)
+	if n == 0 {
+		return RankedStats{}, nil
+	}
+
+	// Tier 0: bound every candidate from its stored signature alone and
+	// order by the optimistic end (ties by snapshot position, for a
+	// deterministic claim order).
+	bounds := make([]measure.BoundStats, n)
+	los := make([]float64, n)
+	order := make([]int, n)
+	for i, sig := range sigs {
+		bounds[i] = measure.BoundPair(sig, qsig)
+		los[i], _ = bounds[i].Interval(m)
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return los[order[a]] < los[order[b]] })
+
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		cursor   atomic.Int64
+		stopped  atomic.Bool
+		canceled atomic.Bool
+		statsMu  sync.Mutex
+		stats    RankedStats
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local RankedStats
+			defer func() {
+				statsMu.Lock()
+				stats.add(local)
+				statsMu.Unlock()
+			}()
+			for {
+				k := int(cursor.Add(1)) - 1
+				if k >= n || stopped.Load() {
+					return
+				}
+				if ctx.Err() != nil {
+					canceled.Store(true)
+					stopped.Store(true)
+					return
+				}
+				i := order[k]
+				if los[i] > coll.threshold() {
+					// Candidates are claimed in optimistic-bound order:
+					// everything after this one is at least as hopeless.
+					stopped.Store(true)
+					return
+				}
+				// Tier 1: polynomial refinement, witnesses kept for the
+				// engines.
+				var wit *measure.Witness
+				bounds[i], wit = measure.RefineWitness(graphs[i], q, bounds[i])
+				hints := measure.PairHints{Sig1: sigs[i], Sig2: qsig, Witness: wit}
+				// Tier 2: threshold-fed evaluation — an engine decision
+				// run excludes, or a plain exact run scores.
+				score, excluded, inexact := measure.ComputeRank(graphs[i], q, m, coll.threshold(), bounds[i], opts.Eval, hints)
+				if excluded {
+					continue
+				}
+				local.Evaluated++
+				if inexact {
+					local.Inexact++
+				}
+				coll.offer(topk.Item{ID: graphs[i].Name(), Score: score})
+			}
+		}()
+	}
+	wg.Wait()
+	if canceled.Load() {
+		return RankedStats{}, ctx.Err()
+	}
+	stats.Pruned = n - stats.Evaluated
+	return stats, nil
+}

@@ -1,0 +1,87 @@
+package gdb_test
+
+import (
+	"context"
+	"testing"
+
+	"skygraph/internal/dataset"
+	"skygraph/internal/gdb"
+	"skygraph/internal/graph"
+	"skygraph/internal/measure"
+	"skygraph/internal/testutil"
+)
+
+// requirePrunedRankedMatches asserts that for every shard count, the
+// pruned (best-first, cross-shard threshold) top-k and range answers
+// over gs are byte-identical — scores and tie-order — to the unpruned
+// unsharded reference, for every sweep measure.
+func requirePrunedRankedMatches(t *testing.T, gs []*graph.Graph, qs []*graph.Graph, k int, radius float64, eval measure.Options, counts []int) {
+	t.Helper()
+	ctx := context.Background()
+	measures := []measure.Measure{measure.DistEd{}, measure.DistMcs{}, measure.DistGu{}}
+	flat := testutil.NewDB(t, gs)
+	for _, q := range qs {
+		for _, m := range measures {
+			refTK, err := flat.TopKQueryContext(ctx, q, m, k, gdb.QueryOptions{Eval: eval, Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			refRG, err := flat.RangeQueryContext(ctx, q, m, radius, gdb.QueryOptions{Eval: eval, Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			popts := gdb.QueryOptions{Eval: eval, Workers: 4, Prune: true}
+			label := q.Name() + "/" + m.Name()
+
+			// Unsharded pruned path.
+			tk, err := flat.TopKQueryContext(ctx, q, m, k, popts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			testutil.RequireSameItems(t, label+"/flat-topk", refTK.Items, tk.Items)
+			rg, err := flat.RangeQueryContext(ctx, q, m, radius, popts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			testutil.RequireSameItems(t, label+"/flat-range", refRG.Items, rg.Items)
+
+			// Sharded pruned path, every shard count.
+			for _, n := range counts {
+				sh := testutil.NewSharded(t, n, gs)
+				tk, err := sh.TopKQueryContext(ctx, q, m, k, popts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				testutil.RequireSameItems(t, label+"/topk", refTK.Items, tk.Items)
+				if tk.Stats.Evaluated+tk.Stats.Pruned != len(gs) {
+					t.Errorf("%s: %d shards: evaluated %d + pruned %d != %d",
+						label, n, tk.Stats.Evaluated, tk.Stats.Pruned, len(gs))
+				}
+				rg, err := sh.RangeQueryContext(ctx, q, m, radius, popts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				testutil.RequireSameItems(t, label+"/range", refRG.Items, rg.Items)
+			}
+		}
+	}
+}
+
+// TestPrunedRankedPaper checks pruned==unpruned top-k and range answers
+// on the paper database at shard counts 1/2/3/7.
+func TestPrunedRankedPaper(t *testing.T) {
+	requirePrunedRankedMatches(t, dataset.PaperDB(),
+		[]*graph.Graph{dataset.PaperQuery()}, 3, 3, measure.Options{}, []int{1, 2, 3, 7})
+}
+
+// TestPrunedRankedSeeded is the property test over seeded random
+// databases and mutated queries, with budgeted engines so capped-engine
+// admissibility is exercised too.
+func TestPrunedRankedSeeded(t *testing.T) {
+	for _, seed := range []int64{7, 23} {
+		gs := testutil.SeededGraphs(seed, 14)
+		qs := testutil.SeededQueries(seed+100, gs, 2)
+		requirePrunedRankedMatches(t, gs, qs, 4, 4,
+			measure.Options{GEDMaxNodes: 500, MCSMaxNodes: 500}, []int{1, 2, 3, 7})
+	}
+}

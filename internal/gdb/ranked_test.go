@@ -1,0 +1,91 @@
+package gdb
+
+import (
+	"context"
+	"testing"
+
+	"skygraph/internal/dataset"
+	"skygraph/internal/measure"
+	"skygraph/internal/topk"
+)
+
+// rankedMeasures are the measures the property tests sweep: one from
+// each engine family plus a signature-only feature measure.
+var rankedMeasures = []measure.Measure{
+	measure.DistEd{}, measure.DistNEd{}, measure.DistMcs{}, measure.DistGu{}, measure.DistVLabel{},
+}
+
+func requireSameItems(t *testing.T, label string, want, got []topk.Item) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: item counts differ: want %v, got %v", label, want, got)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: item %d differs: want %+v, got %+v (want %v got %v)", label, i, want[i], got[i], want, got)
+		}
+	}
+}
+
+// TestRankedTopKMatchesUnpruned asserts the best-first pruned top-k
+// path returns byte-identical items (scores and tie-order) to the full
+// parallel scan, across measures, k values and engine caps, on the
+// paper database.
+func TestRankedTopKMatchesUnpruned(t *testing.T) {
+	db := paperDB(t)
+	q := dataset.PaperQuery()
+	for _, eval := range []measure.Options{{}, {GEDMaxNodes: 40, MCSMaxNodes: 40}} {
+		for _, m := range rankedMeasures {
+			for _, k := range []int{1, 2, 3, 7, 10} {
+				ref, err := db.TopKQuery(q, m, k, QueryOptions{Eval: eval})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := db.TopKQuery(q, m, k, QueryOptions{Eval: eval, Prune: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := m.Name()
+				requireSameItems(t, label, ref.Items, got.Items)
+				if got.Stats.Evaluated+got.Stats.Pruned != db.Len() {
+					t.Errorf("%s k=%d: evaluated %d + pruned %d != %d",
+						label, k, got.Stats.Evaluated, got.Stats.Pruned, db.Len())
+				}
+			}
+		}
+	}
+}
+
+// TestRankedRangeMatchesUnpruned is the range analogue, including the
+// order of the returned items (insertion order on both paths).
+func TestRankedRangeMatchesUnpruned(t *testing.T) {
+	db := paperDB(t)
+	q := dataset.PaperQuery()
+	for _, m := range rankedMeasures {
+		for _, radius := range []float64{0, 0.2, 0.5, 3, 10} {
+			ref, err := db.RangeQuery(q, m, radius, QueryOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := db.RangeQuery(q, m, radius, QueryOptions{Prune: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameItems(t, m.Name(), ref.Items, got.Items)
+		}
+	}
+}
+
+// TestRankedCanceled checks the pruned path honors context
+// cancellation.
+func TestRankedCanceled(t *testing.T) {
+	db := paperDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.TopKQueryContext(ctx, dataset.PaperQuery(), measure.DistEd{}, 2, QueryOptions{Prune: true}); err == nil {
+		t.Error("canceled pruned top-k succeeded")
+	}
+	if _, err := db.RangeQueryContext(ctx, dataset.PaperQuery(), measure.DistEd{}, 2, QueryOptions{Prune: true}); err == nil {
+		t.Error("canceled pruned range succeeded")
+	}
+}

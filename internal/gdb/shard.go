@@ -272,14 +272,21 @@ func (sh *Sharded) sortPointsByRank(pts []skyline.Point) {
 	sort.SliceStable(pts, func(i, j int) bool { return byRank(sh.pos, pts[i].ID, pts[j].ID) })
 }
 
+// SortItemsByRank restores global insertion order on scalar result
+// rows (used by the serving layer to order merged ranked answers; the
+// table merge paths call it internally).
+func (sh *Sharded) SortItemsByRank(items []topk.Item) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	sort.SliceStable(items, func(i, j int) bool { return byRank(sh.pos, items[i].ID, items[j].ID) })
+}
+
 // sortItemsByRank is sortPointsByRank for scalar result rows.
 func (sh *Sharded) sortItemsByRank(items []topk.Item) {
 	if len(sh.shards) == 1 {
 		return
 	}
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	sort.SliceStable(items, func(i, j int) bool { return byRank(sh.pos, items[i].ID, items[j].ID) })
+	sh.SortItemsByRank(items)
 }
 
 // MergeTables concatenates per-shard tables into the full global vector
@@ -386,14 +393,28 @@ func withMeasure(opts QueryOptions, m measure.Measure) QueryOptions {
 	return opts
 }
 
-// TopKQueryContext answers a single-measure top-k query from per-shard
-// tables and heap merge.
+// TopKQueryContext answers a single-measure top-k query. With
+// opts.Prune set (and a built-in measure), every shard runs the
+// best-first bound-index scan of ranked.go concurrently against ONE
+// shared collector, so the k-th best score seen anywhere prunes
+// candidates everywhere — no shard builds a full table. Otherwise
+// per-shard complete tables are built and heap-merged. Items are
+// identical either way.
 func (sh *Sharded) TopKQueryContext(ctx context.Context, q *graph.Graph, m measure.Measure, k int, opts QueryOptions) (TopKResult, error) {
 	if k < 1 {
 		return TopKResult{}, fmt.Errorf("gdb: k must be >= 1")
 	}
 	start := time.Now()
-	opts.Prune = false // ranking needs every row, not just skyline candidates
+	if opts.Prune && measure.Rankable(m) {
+		run := NewRankedTopK(m, k)
+		stats, err := sh.evalRankedShards(ctx, run, q, opts)
+		if err != nil {
+			return TopKResult{}, err
+		}
+		stats.Duration = time.Since(start)
+		return TopKResult{Items: run.Items(), Stats: stats}, nil
+	}
+	opts.Prune = false // table ranking needs every row
 	tables, err := sh.VectorTables(ctx, q, withMeasure(opts, m))
 	if err != nil {
 		return TopKResult{}, err
@@ -405,11 +426,24 @@ func (sh *Sharded) TopKQueryContext(ctx context.Context, q *graph.Graph, m measu
 	return TopKResult{Items: items, Stats: mergedStats(tables, start)}, nil
 }
 
-// RangeQueryContext answers a single-measure range query from per-shard
-// tables and concatenation.
+// RangeQueryContext answers a single-measure range query. With
+// opts.Prune set (and a built-in measure), shards run the best-first
+// scan with the radius as a fixed threshold instead of building full
+// tables; items are identical either way, in global insertion order.
 func (sh *Sharded) RangeQueryContext(ctx context.Context, q *graph.Graph, m measure.Measure, radius float64, opts QueryOptions) (RangeResult, error) {
 	start := time.Now()
-	opts.Prune = false // ranging needs every row, not just skyline candidates
+	if opts.Prune && measure.Rankable(m) {
+		run := NewRankedRange(m, radius)
+		stats, err := sh.evalRankedShards(ctx, run, q, opts)
+		if err != nil {
+			return RangeResult{}, err
+		}
+		items := run.Items()
+		sh.SortItemsByRank(items)
+		stats.Duration = time.Since(start)
+		return RangeResult{Items: items, Stats: stats}, nil
+	}
+	opts.Prune = false // table ranging needs every row
 	tables, err := sh.VectorTables(ctx, q, withMeasure(opts, m))
 	if err != nil {
 		return RangeResult{}, err
@@ -419,6 +453,36 @@ func (sh *Sharded) RangeQueryContext(ctx context.Context, q *graph.Graph, m meas
 		return RangeResult{}, err
 	}
 	return RangeResult{Items: items, Stats: mergedStats(tables, start)}, nil
+}
+
+// evalRankedShards drives one Ranked run over every shard
+// concurrently. opts.Workers is the per-shard scan width; 0 spreads
+// GOMAXPROCS across the shards, mirroring VectorTables.
+func (sh *Sharded) evalRankedShards(ctx context.Context, run *Ranked, q *graph.Graph, opts QueryOptions) (QueryStats, error) {
+	opts.Workers = sh.shardedWorkers(opts.Workers)
+	stats := make([]RankedStats, len(sh.shards))
+	errs := make([]error, len(sh.shards))
+	var wg sync.WaitGroup
+	for i, db := range sh.shards {
+		wg.Add(1)
+		go func(i int, db *DB) {
+			defer wg.Done()
+			stats[i], errs[i] = run.EvalDB(ctx, db, q, opts)
+		}(i, db)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return QueryStats{}, err
+		}
+	}
+	total := QueryStats{}
+	for _, s := range stats {
+		total.Evaluated += s.Evaluated
+		total.Pruned += s.Pruned
+		total.Inexact += s.Inexact
+	}
+	return total, nil
 }
 
 // LoadSharded reads an LGF file into a fresh n-shard database.

@@ -26,6 +26,16 @@ type Options struct {
 	// refinement tier. Must come from the same pair, orientation and
 	// cost model, or the result is undefined.
 	Upper *Result
+	// Limit, when non-nil, turns the search into a decision procedure
+	// for "distance > *Limit": the moment the cheapest open node's
+	// f-value exceeds the limit, every remaining completion provably
+	// costs more than the limit (the f-value of an ancestor lower-bounds
+	// all of its completions), so the search stops and reports
+	// AboveLimit with Distance holding that proven lower bound. A goal
+	// within the limit is returned exactly as without Limit. Ranked
+	// queries use this to discard candidates whose distance provably
+	// exceeds the current top-k threshold without paying for exactness.
+	Limit *float64
 }
 
 // Result reports a distance computation.
@@ -37,6 +47,10 @@ type Result struct {
 	Mapping []int
 	// Exact is true when Distance is provably minimal.
 	Exact bool
+	// AboveLimit is true when the search stopped early having proven
+	// Distance > *Options.Limit; Distance then holds the proven lower
+	// bound and Mapping is nil. Only possible when Options.Limit is set.
+	AboveLimit bool
 	// Nodes is the number of A* expansions performed.
 	Nodes int64
 }
@@ -55,15 +69,22 @@ func Exact(g1, g2 *graph.Graph, opts Options) Result {
 	_, uniform := cm.(Uniform)
 	useH := uniform && !opts.DisableHeuristic
 
+	limit := math.Inf(1)
+	if opts.Limit != nil {
+		limit = *opts.Limit
+	}
 	s := &astar{
 		g1: g1, g2: g2, cm: cm,
 		order: vertexOrder(g1),
 		useH:  useH,
+		limit: limit,
 	}
 	res := s.run(opts.MaxNodes)
-	if !res.Exact {
+	if !res.Exact && !res.AboveLimit {
 		// Graceful degradation: bipartite approximation upper bound
-		// (precomputed by the caller when available).
+		// (precomputed by the caller when available). An AboveLimit
+		// result is left alone — its Distance is a proven lower bound,
+		// which an upper bound cannot replace.
 		ub := opts.Upper
 		if ub == nil {
 			b := Bipartite(g1, g2, cm)
@@ -119,6 +140,7 @@ type astar struct {
 	cm     CostModel
 	order  []int
 	useH   bool
+	limit  float64 // decision threshold (+Inf = plain optimization)
 
 	// scratch, rebuilt per expansion
 	mapping []int  // g1 vertex -> g2 vertex or -1; -2 = unassigned
@@ -160,6 +182,12 @@ func (s *astar) run(maxNodes int64) Result {
 			return Result{Distance: math.Inf(1), Exact: false, Nodes: nodes}
 		}
 		cur := heap.Pop(open).(*node)
+		if cur.g+cur.h > s.limit {
+			// cur is the cheapest open node and its f-value lower-bounds
+			// every completion still reachable, so no mapping fits under
+			// the limit: the decision "distance > limit" is proven.
+			return Result{Distance: cur.g + cur.h, AboveLimit: true, Nodes: nodes}
+		}
 		nodes++
 		if cur.depth == n1 {
 			// Complete assignment: add the completion cost for unused g2

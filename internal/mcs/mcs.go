@@ -43,14 +43,32 @@ type Options struct {
 	// filter-and-refine pipeline already paid for it in the refinement
 	// tier. Must come from the same pair and orientation.
 	Floor *Mapping
+	// Need, when > 0, turns the search into a decision procedure for
+	// "|mcs| >= Need": branches that cannot reach Need common edges are
+	// pruned regardless of the incumbent, and the search stops the
+	// moment any mapping reaches Need edges. If the pruned space is
+	// exhausted without the cap firing and without reaching Need, the
+	// result reports ProvedBelowNeed — a certificate that |mcs| < Need.
+	// The returned Mapping is then only decision-grade (the aggressive
+	// pruning may have skipped the true maximum), so Exhausted is never
+	// set when Need > 0; ranked queries use this to discard candidates
+	// whose distance provably exceeds the current threshold, re-running
+	// a plain search for candidates that survive.
+	Need int
 }
 
 // Result reports the outcome of an exact search.
 type Result struct {
 	Mapping Mapping
 	// Exhausted is true when the search space was fully explored, i.e. the
-	// mapping is provably maximum.
+	// mapping is provably maximum. Never set when Options.Need > 0: the
+	// decision-grade pruning forfeits maximality.
 	Exhausted bool
+	// ProvedBelowNeed is true when the Need-pruned search space was
+	// fully explored without any mapping reaching Options.Need common
+	// edges: a certificate that |mcs| < Need. Only possible when
+	// Options.Need > 0 and the node cap did not fire.
+	ProvedBelowNeed bool
 	// Nodes is the number of search-tree expansions performed.
 	Nodes int64
 }
@@ -78,9 +96,13 @@ func Exact(g1, g2 *graph.Graph, opts Options) Result {
 	}
 	s := searcherPool.Get().(*searcher)
 	s.g1, s.g2, s.maxNodes = g1, g2, opts.MaxNodes
+	s.need = opts.Need
 	s.run()
 	m := Mapping{Pairs: s.bestPairs, Edges: s.bestEdges}
-	res := Result{Exhausted: !s.capped, Nodes: s.nodes}
+	res := Result{Exhausted: !s.capped && opts.Need == 0, Nodes: s.nodes}
+	if opts.Need > 0 {
+		res.ProvedBelowNeed = !s.capped && !s.decided
+	}
 	s.release()
 	if swapped {
 		for i := range m.Pairs {
@@ -106,6 +128,8 @@ type searcher struct {
 	maxNodes int64
 	nodes    int64
 	capped   bool
+	need     int  // decision threshold (0 = plain maximization)
+	decided  bool // a mapping with >= need edges was found
 
 	m1 []int // g1 vertex -> g2 vertex or -1
 	m2 []int // g2 vertex -> g1 vertex or -1
@@ -130,6 +154,7 @@ var searcherPool = sync.Pool{New: func() any { return &searcher{} }}
 func (s *searcher) release() {
 	s.g1, s.g2 = nil, nil
 	s.nodes, s.capped = 0, false
+	s.need, s.decided = 0, false
 	s.curPairs = s.curPairs[:0]
 	s.curEdges = 0
 	s.bestPairs, s.bestEdges = nil, 0
@@ -163,8 +188,8 @@ func (s *searcher) run() {
 	// later seed's search forbids earlier seed u-vertices as members:
 	// any connected common subgraph has a minimal g1-vertex, so rooting the
 	// enumeration at that vertex covers all candidates exactly once.
-	for u := 0; u < n1 && !s.capped; u++ {
-		for v := 0; v < n2 && !s.capped; v++ {
+	for u := 0; u < n1 && !s.capped && !s.decided; u++ {
+		for v := 0; v < n2 && !s.capped && !s.decided; v++ {
 			if s.g1.VertexLabel(u) != s.g2.VertexLabel(v) {
 				continue
 			}
@@ -193,7 +218,19 @@ func (s *searcher) extend(root int) {
 		s.bestEdges = s.curEdges
 		s.bestPairs = append([]Pair(nil), s.curPairs...)
 	}
-	if s.bound() <= s.bestEdges {
+	if s.need > 0 && s.bestEdges >= s.need {
+		// Decision reached: a common subgraph with Need edges exists.
+		s.decided = true
+		return
+	}
+	// Decision-grade pruning: with a Need threshold, branches that
+	// cannot reach Need edges are irrelevant even when they could beat
+	// the incumbent.
+	floor := s.bestEdges
+	if s.need > 0 && s.need-1 > floor {
+		floor = s.need - 1
+	}
+	if s.bound() <= floor {
 		return
 	}
 	// Candidate extensions: unmapped g1 vertex u > root adjacent to a mapped
@@ -222,6 +259,9 @@ func (s *searcher) extend(root int) {
 			s.curEdges -= gain
 			s.curPairs = s.curPairs[:len(s.curPairs)-1]
 			s.m1[u], s.m2[v] = -1, -1
+			if s.capped || s.decided {
+				return
+			}
 		}
 	}
 }

@@ -1,0 +1,64 @@
+package mcs
+
+import (
+	"math/rand"
+	"testing"
+
+	"skygraph/internal/graph"
+)
+
+// TestNeedDecision: a Need-fed search either certifies |mcs| < Need —
+// and the true maximum really is below — or finds a witness of at
+// least Need edges.
+func TestNeedDecision(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 25; trial++ {
+		g1 := graph.Molecule(3+rng.Intn(4), rng)
+		g2 := graph.Molecule(3+rng.Intn(4), rng)
+		truth := Exact(g1, g2, Options{})
+		if !truth.Exhausted {
+			t.Fatal("uncapped reference search not exhausted")
+		}
+		best := truth.Mapping.Edges
+		for _, need := range []int{1, best, best + 1, best + 3} {
+			if need < 1 {
+				continue // Need 0 is a plain maximization, not a decision
+			}
+			res := Exact(g1, g2, Options{Need: need})
+			if res.Exhausted {
+				t.Fatalf("trial %d need %d: decision result claims exhaustive maximality", trial, need)
+			}
+			if res.ProvedBelowNeed {
+				if best >= need {
+					t.Fatalf("trial %d: proof claims |mcs| < %d but exact is %d", trial, need, best)
+				}
+				continue
+			}
+			if res.Mapping.Edges < need {
+				t.Fatalf("trial %d need %d: no proof and no witness (best found %d, exact %d)",
+					trial, need, res.Mapping.Edges, best)
+			}
+		}
+	}
+}
+
+// TestNeedCappedNoFalseProof: whatever the node cap does to a Need-fed
+// search, ProvedBelowNeed may only appear when the true maximum really
+// is below Need — here Need is set to the true maximum itself, so any
+// certificate is a false proof.
+func TestNeedCappedNoFalseProof(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 15; trial++ {
+		g1 := graph.Molecule(6, rng)
+		g2 := graph.Molecule(6, rng)
+		truth := Exact(g1, g2, Options{}).Mapping.Edges
+		if truth == 0 {
+			continue
+		}
+		for _, cap := range []int64{0, 2, 50} {
+			if res := Exact(g1, g2, Options{Need: truth, MaxNodes: cap}); res.ProvedBelowNeed {
+				t.Fatalf("trial %d cap %d: proof claims |mcs| < %d but that IS the maximum", trial, cap, truth)
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package measure
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"skygraph/internal/graph"
+)
+
+func rankSweep() []Measure {
+	return []Measure{DistEd{}, DistNEd{}, DistMcs{}, DistGu{}, DistVLabel{}, DistELabel{}, DistDegree{}}
+}
+
+// TestIntervalAdmissible: for every built-in measure, the scalar
+// interval brackets the value Compute reports — from tier-0 signatures
+// alone, after refinement, and under engine caps.
+func TestIntervalAdmissible(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		g := graph.Molecule(3+rng.Intn(7), rng)
+		q := graph.Molecule(3+rng.Intn(7), rng)
+		sg, sq := NewSignature(g), NewSignature(q)
+		bs0 := BoundPair(sg, sq)
+		bs1 := Refine(g, q, bs0)
+		for _, opts := range []Options{{}, {GEDMaxNodes: 15, MCSMaxNodes: 15}} {
+			ps := Compute(g, q, opts)
+			for _, m := range rankSweep() {
+				v := m.FromStats(ps)
+				for _, bs := range []BoundStats{bs0, bs1} {
+					lo, hi := bs.Interval(m)
+					if v < lo || v > hi {
+						t.Fatalf("trial %d %s: value %v outside [%v, %v] (caps %+v)", trial, m.Name(), v, lo, hi, opts)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlanRankCutoffs checks the cutoff semantics against brute force:
+// for every integer GED in the interval, the distance fits the
+// threshold iff GED <= GEDLimit; for every integer |mcs|, it fits iff
+// |mcs| >= MCSNeed.
+func TestPlanRankCutoffs(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 30; trial++ {
+		g := graph.Molecule(3+rng.Intn(6), rng)
+		q := graph.Molecule(3+rng.Intn(6), rng)
+		bs := Refine(g, q, BoundPair(NewSignature(g), NewSignature(q)))
+		for _, m := range rankSweep() {
+			lo, hi := bs.Interval(m)
+			for _, t0 := range []float64{lo - 0.5, lo, (lo + hi) / 2, hi, hi + 0.5} {
+				p := PlanRank(m, bs, t0)
+				if p.NeedGED {
+					for gv := int(bs.GEDLo); gv <= int(bs.GEDHi); gv++ {
+						fits := m.FromStats(bs.statsAt(float64(gv), bs.MCSHi)) <= t0
+						if fits != (float64(gv) <= p.GEDLimit) {
+							t.Fatalf("%s t=%v: GED=%d fits=%v but limit=%v", m.Name(), t0, gv, fits, p.GEDLimit)
+						}
+					}
+				}
+				if p.NeedMCS {
+					for mv := bs.MCSLo; mv <= bs.MCSHi; mv++ {
+						fits := m.FromStats(bs.statsAt(bs.GEDLo, mv)) <= t0
+						if fits != (mv >= p.MCSNeed) {
+							t.Fatalf("%s t=%v: MCS=%d fits=%v but need=%d", m.Name(), t0, mv, fits, p.MCSNeed)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestComputeRankMatchesComputeHinted: ComputeRank either excludes a
+// pair — and then the true reported distance really exceeds the
+// threshold — or returns the bit-identical score of the full
+// evaluation, with and without engine caps and refinement witnesses.
+func TestComputeRankMatchesComputeHinted(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 30; trial++ {
+		g := graph.Molecule(3+rng.Intn(6), rng)
+		q := graph.Molecule(3+rng.Intn(6), rng)
+		sg, sq := NewSignature(g), NewSignature(q)
+		for _, opts := range []Options{{}, {GEDMaxNodes: 15, MCSMaxNodes: 15}} {
+			bs, wit := RefineWitness(g, q, BoundPair(sg, sq))
+			h := PairHints{Sig1: sg, Sig2: sq, Witness: wit}
+			for _, m := range rankSweep() {
+				truth := m.FromStats(ComputeHinted(g, q, opts, h))
+				if got, _ := ScorePair(g, q, m, opts, h); got != truth {
+					t.Fatalf("%s: ScorePair %v != truth %v (caps %+v)", m.Name(), got, truth, opts)
+				}
+				lo, hi := bs.Interval(m)
+				for _, t0 := range []float64{lo - 1, lo, truth, (lo + hi) / 2, hi, math.Inf(1)} {
+					score, excluded, _ := ComputeRank(g, q, m, t0, bs, opts, h)
+					if excluded {
+						if truth <= t0 {
+							t.Fatalf("%s t=%v: excluded but truth %v fits (caps %+v)", m.Name(), t0, truth, opts)
+						}
+						continue
+					}
+					if score != truth {
+						t.Fatalf("%s t=%v: score %v != truth %v (caps %+v)", m.Name(), t0, score, truth, opts)
+					}
+				}
+			}
+		}
+	}
+}

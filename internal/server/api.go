@@ -50,12 +50,14 @@ type QueryRequest struct {
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 	// All requests the full vector table in the skyline response.
 	All bool `json:"all,omitempty"`
-	// Prune overrides filter-and-refine evaluation for skyline requests.
-	// Unset means the server default: prune whenever the answer allows it
-	// (no full table requested, boundable basis). Set false to force full
-	// evaluation — e.g. to warm a table that later top-k/range queries on
-	// the same graph can reuse. Ignored for topk/range kinds, which
-	// always need complete tables.
+	// Prune overrides filter-and-refine evaluation. Unset means the
+	// server default: prune whenever the answer allows it — skyline
+	// requests with no full table asked for (boundable basis), and
+	// topk/range requests on a built-in measure, which then evaluate
+	// best-first against the live k-th best score or radius instead of
+	// building complete tables. Set false to force full evaluation —
+	// e.g. to warm per-shard tables that later queries of any kind on
+	// the same graph are served from.
 	Prune *bool `json:"prune,omitempty"`
 }
 
@@ -64,10 +66,12 @@ type QueryStats struct {
 	// Evaluated counts pair evaluations performed for this request;
 	// it is 0 when every shard table came from the cache.
 	Evaluated int `json:"evaluated"`
-	// Pruned counts database graphs the filter-and-refine pipeline
-	// excluded without exact evaluation while building tables for this
-	// request; like Evaluated it is 0 for cache hits, so Evaluated +
-	// Pruned is the total size of the freshly evaluated shards.
+	// Pruned counts database graphs the filter-and-refine machinery
+	// excluded without exact evaluation for this request: the interval
+	// filter while building pruned skyline tables, the best-first
+	// threshold cutoff and engine decision runs on the ranked paths.
+	// Like Evaluated it is 0 for cache hits, so Evaluated + Pruned is
+	// the total size of the freshly evaluated shards.
 	Pruned int `json:"pruned"`
 	// Inexact counts table pairs where a capped engine returned a bound
 	// (a property of the answer, whether cached or fresh).
@@ -251,8 +255,9 @@ type ReqStats struct {
 	Inserts uint64 `json:"inserts"`
 	Deletes uint64 `json:"deletes"`
 	Errors  uint64 `json:"errors"`
-	// PairEvals counts exact pair evaluations across all table builds;
-	// PairsPruned counts pairs the bound filter spared those builds.
+	// PairEvals counts exact pair evaluations across all table builds
+	// and best-first ranked scans; PairsPruned counts pairs the bound
+	// filter and threshold cutoffs spared.
 	PairEvals        uint64 `json:"pair_evals"`
 	PairsPruned      uint64 `json:"pairs_pruned"`
 	QueryTimeouts    uint64 `json:"query_timeouts"`

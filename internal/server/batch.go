@@ -58,13 +58,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Resolve every item first — in parallel, since resolution includes
-	// the per-item query-graph canonicalization — then de-conflict table
-	// variants: if any item of a table group (same query hash, basis,
-	// engine budgets) needs a complete table — a topk/range kind, a
-	// skyline asking for the full table, or an explicit prune=false —
-	// the group's skyline items run unpruned too, so the whole group
-	// coalesces onto one full build per shard instead of building both
-	// variants.
+	// the per-item query-graph canonicalization — then de-conflict
+	// evaluation variants per table group (same query hash, basis,
+	// engine budgets). A group runs unpruned — one shared complete
+	// build per shard — when any member needs a complete table (a
+	// skyline asking for the full table, any explicit prune=false), or
+	// when it mixes pruned skyline and pruned ranked members: one full
+	// build answers every kind, where separate pruned-table and
+	// best-first evaluations would each re-pay most of the group's pair
+	// work. Groups that are uniformly pruned-skyline or uniformly
+	// pruned-ranked keep their cheaper pruned paths.
 	items := make([]batchItem, len(req.Queries))
 	var resolveWG sync.WaitGroup
 	var nextItem atomic.Int64
@@ -83,9 +86,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	resolveWG.Wait()
 	needFull := make(map[string]bool)
+	prunedKinds := make(map[string]int) // bit 1: skyline member, bit 2: ranked member
 	for i := range items {
-		if items[i].errMsg == "" && !items[i].res.prune {
-			needFull[items[i].res.tableGroup()] = true
+		if items[i].errMsg != "" {
+			continue
+		}
+		group := items[i].res.tableGroup()
+		switch {
+		case !items[i].res.prune:
+			needFull[group] = true
+		case items[i].kind == "skyline":
+			prunedKinds[group] |= 1
+		default:
+			prunedKinds[group] |= 2
+		}
+	}
+	for group, kinds := range prunedKinds {
+		if kinds == 1|2 {
+			needFull[group] = true
 		}
 	}
 	for i := range items {
@@ -184,19 +202,11 @@ func (s *Server) runBatchQuery(ctx context.Context, it batchItem, bq *BatchQuery
 	if it.errMsg != "" {
 		return fail(it.errMsg)
 	}
-	ts, err := s.tables(ctx, it.res)
+	ans, err := s.execQuery(ctx, it.kind, &bq.QueryRequest, it.res, start)
 	if err != nil {
 		_, msg := s.classifyQueryErr(err)
 		return fail(msg)
 	}
-	stats := s.queryStats(ts, start)
-	switch it.kind {
-	case "skyline":
-		out.Skyline = s.skylineAnswer(&bq.QueryRequest, it.res, ts, stats)
-	case "topk":
-		out.TopK = s.topkAnswer(&bq.QueryRequest, it.res, ts, stats)
-	case "range":
-		out.Range = s.rangeAnswer(&bq.QueryRequest, it.res, ts, stats)
-	}
+	out.Skyline, out.TopK, out.Range = ans.sky, ans.tk, ans.rng
 	return out
 }

@@ -3,23 +3,28 @@ package server
 import (
 	"container/list"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"skygraph/internal/gdb"
 	"skygraph/internal/measure"
+	"skygraph/internal/topk"
 )
 
-// Cache is a bounded LRU of per-shard query vector tables. A key binds
-// a table to the exact inputs that produced it — shard index, that
-// shard's generation, canonical query-graph hash, measure basis and
-// engine options — so a lookup can only ever return a table that
-// answers the current request exactly. Because the owning shard's
-// generation participates in the key, a mutation invalidates exactly
-// that shard's entries: old-generation tables become unreachable and
-// are either aged out by the LRU or dropped eagerly by PruneStale;
-// tables of the other shards stay live.
+// Cache is a bounded LRU of per-shard query vector tables plus merged
+// ranked answers. A table key binds a table to the exact inputs that
+// produced it — shard index, that shard's generation, canonical
+// query-graph hash, measure basis and engine options — so a lookup can
+// only ever return a table that answers the current request exactly.
+// Because the owning shard's generation participates in the key, a
+// mutation invalidates exactly that shard's entries: old-generation
+// tables become unreachable and are either aged out by the LRU or
+// dropped eagerly by PruneStale; tables of the other shards stay live.
+// Ranked answers (RankedKey) instead carry every shard's generation —
+// the merged result spans the whole database, so any mutation
+// invalidates them.
 //
 // Counters are atomics, read without the LRU lock: /stats can hammer
 // the cache while queries run without contending on (or racing with)
@@ -36,10 +41,34 @@ type Cache struct {
 	invalidations atomic.Uint64
 }
 
+// cacheEntry is one cached value: a per-shard vector table (shard >= 0,
+// invalidated when that shard's generation moves past the table's), or
+// a whole-database ranked answer (shard == -1, bound to EVERY shard's
+// generation via gens — any mutation anywhere invalidates it).
 type cacheEntry struct {
-	key   string
-	shard int
-	table *gdb.VectorTable
+	key    string
+	shard  int
+	table  *gdb.VectorTable
+	gens   []uint64
+	ranked *rankedEntry
+}
+
+// rankedEntry is a cached pruned ranked answer: the merged items of one
+// (kind, measure, k-or-radius) query over all shards. It lives in its
+// own key namespace (RankedKey) so it can never shadow — or be returned
+// for — a full-table lookup.
+type rankedEntry struct {
+	items   []topk.Item
+	inexact int
+}
+
+// stale reports whether the entry was computed before generation gen of
+// the given shard.
+func (e *cacheEntry) stale(shard int, gen uint64) bool {
+	if e.shard >= 0 {
+		return e.shard == shard && e.table.Generation < gen
+	}
+	return shard < len(e.gens) && e.gens[shard] < gen
 }
 
 // NewCache returns an LRU holding at most capacity tables. Capacity < 1
@@ -64,6 +93,22 @@ func CacheKey(shard int, generation uint64, queryHash string, basis []measure.Me
 // full-table, top-k or range lookup — hence the separate namespace.
 func prunedKey(full string) string { return full + "|pruned" }
 
+// RankedKey renders the cache key of a pruned ranked answer: the merged
+// result of one (kind, measure, k/radius) query, bound to the canonical
+// query hash, the engine budgets and every shard's generation. The
+// basis does not participate — a ranked answer depends only on its
+// ranking measure. The "r|" namespace keeps ranked answers from ever
+// shadowing a table key.
+func RankedKey(kind string, gens []uint64, queryHash string, m measure.Measure, arg float64, eval measure.Options) string {
+	gs := make([]string, len(gens))
+	for i, g := range gens {
+		gs[i] = strconv.FormatUint(g, 10)
+	}
+	return fmt.Sprintf("r|%s|g%s|q%s|m%s|a%s|%s",
+		kind, strings.Join(gs, ","), queryHash, m.Name(),
+		strconv.FormatFloat(arg, 'g', -1, 64), eval.Key())
+}
+
 // Get returns the cached table for key, marking it most recently used.
 func (c *Cache) Get(key string) (*gdb.VectorTable, bool) {
 	return c.get(key, false)
@@ -77,6 +122,33 @@ func (c *Cache) getRecheck(key string) (*gdb.VectorTable, bool) {
 }
 
 func (c *Cache) get(key string, quiet bool) (*gdb.VectorTable, bool) {
+	e, ok := c.lookup(key, quiet)
+	if !ok {
+		return nil, false
+	}
+	return e.table, true
+}
+
+// GetRanked returns the cached ranked answer for key, marking it most
+// recently used.
+func (c *Cache) GetRanked(key string) (*rankedEntry, bool) {
+	return c.getRanked(key, false)
+}
+
+// getRankedRecheck is GetRanked for a lookup already counted as a miss.
+func (c *Cache) getRankedRecheck(key string) (*rankedEntry, bool) {
+	return c.getRanked(key, true)
+}
+
+func (c *Cache) getRanked(key string, quiet bool) (*rankedEntry, bool) {
+	e, ok := c.lookup(key, quiet)
+	if !ok {
+		return nil, false
+	}
+	return e.ranked, true
+}
+
+func (c *Cache) lookup(key string, quiet bool) (*cacheEntry, bool) {
 	c.mu.Lock()
 	el, ok := c.items[key]
 	if !ok {
@@ -87,10 +159,10 @@ func (c *Cache) get(key string, quiet bool) (*gdb.VectorTable, bool) {
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	t := el.Value.(*cacheEntry).table
+	e := el.Value.(*cacheEntry)
 	c.mu.Unlock()
 	c.hits.Add(1)
-	return t, true
+	return e, true
 }
 
 // contains reports whether key is cached, without touching recency or
@@ -105,18 +177,27 @@ func (c *Cache) contains(key string) bool {
 // Put stores shard's table under key, evicting the least recently used
 // entry when the cache is full.
 func (c *Cache) Put(key string, shard int, t *gdb.VectorTable) {
+	c.put(&cacheEntry{key: key, shard: shard, table: t})
+}
+
+// PutRanked stores a ranked answer computed at the given per-shard
+// generations under key (one cache slot, like a table).
+func (c *Cache) PutRanked(key string, gens []uint64, r *rankedEntry) {
+	c.put(&cacheEntry{key: key, shard: -1, gens: gens, ranked: r})
+}
+
+func (c *Cache) put(e *cacheEntry) {
 	if c.capacity < 1 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		e := el.Value.(*cacheEntry)
-		e.shard, e.table = shard, t
+	if el, ok := c.items[e.key]; ok {
+		*el.Value.(*cacheEntry) = *e
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, shard: shard, table: t})
+	c.items[e.key] = c.ll.PushFront(e)
 	for c.ll.Len() > c.capacity {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
@@ -138,7 +219,7 @@ func (c *Cache) PruneStale(shard int, gen uint64) int {
 	dropped := 0
 	for el := c.ll.Front(); el != nil; {
 		next := el.Next()
-		if e := el.Value.(*cacheEntry); e.shard == shard && e.table.Generation < gen {
+		if e := el.Value.(*cacheEntry); e.stale(shard, gen) {
 			c.ll.Remove(el)
 			delete(c.items, e.key)
 			dropped++

@@ -214,11 +214,16 @@ func (s *Server) resolveQuery(req *QueryRequest, needMeasure bool) (resolved, er
 	// Workers 0 is resolved per query in tables(), where the number of
 	// shards actually needing evaluation is known.
 	res.opts = gdb.QueryOptions{Basis: basis, Eval: s.mergeEval(req.Eval), Workers: s.cfg.Workers}
-	// needMeasure is true exactly for the ranking kinds (topk/range),
-	// which need complete tables; skyline requests prune unless the full
-	// table was asked for or the request opted out.
-	res.prune = !needMeasure && !req.All && measure.Boundable(basis) &&
-		(req.Prune == nil || *req.Prune)
+	// Every kind prunes by default when the bounds allow it: skyline
+	// requests unless the full table was asked for (boundable basis),
+	// ranking kinds whenever the ranking measure is a built-in. "prune":
+	// false opts out either way.
+	if needMeasure {
+		res.prune = measure.Rankable(res.m) && (req.Prune == nil || *req.Prune)
+	} else {
+		res.prune = !req.All && measure.Boundable(basis) &&
+			(req.Prune == nil || *req.Prune)
+	}
 	return res, nil
 }
 
@@ -257,11 +262,13 @@ func (s *Server) timeout(req *QueryRequest) time.Duration {
 	return d
 }
 
-// flightCall is one in-progress shard-table computation that concurrent
-// identical requests wait on instead of recomputing.
+// flightCall is one in-progress computation — a shard table, or a
+// merged ranked answer — that concurrent identical requests wait on
+// instead of recomputing.
 type flightCall struct {
-	done chan struct{} // closed once t/err are set
+	done chan struct{} // closed once the result fields are set
 	t    *gdb.VectorTable
+	ra   *rankedAnswer
 	err  error
 }
 
@@ -576,12 +583,68 @@ func (s *Server) rangeAnswer(req *QueryRequest, res resolved, ts tableSet, stats
 	return &RangeResponse{Measure: res.m.Name(), Radius: *req.Radius, Items: toItemJSON(items), Stats: stats}
 }
 
-// runQuery wraps the shared decode / resolve / timeout / tables
-// plumbing of the three query endpoints, leaving only answer shaping to
-// fn.
-func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, needMeasure bool,
-	validate func(*QueryRequest) error,
-	answer func(*QueryRequest, resolved, tableSet, QueryStats) any) {
+// answer bundles the per-kind response of one executed query; exactly
+// one field is set.
+type answer struct {
+	sky *SkylineResponse
+	tk  *TopKResponse
+	rng *RangeResponse
+}
+
+// body returns whichever response is set, for JSON encoding.
+func (a answer) body() any {
+	switch {
+	case a.sky != nil:
+		return a.sky
+	case a.tk != nil:
+		return a.tk
+	default:
+		return a.rng
+	}
+}
+
+// execQuery executes one resolved query of the given kind end to end —
+// pruned ranked evaluation for topk/range when the request allows it,
+// the per-shard table path otherwise. Shared by the dedicated endpoints
+// and /query/batch.
+func (s *Server) execQuery(ctx context.Context, kind string, req *QueryRequest, res resolved, start time.Time) (answer, error) {
+	if res.prune && kind != "skyline" {
+		ra, err := s.ranked(ctx, kind, res, req.K, derefRadius(req.Radius))
+		if err != nil {
+			return answer{}, err
+		}
+		stats := s.rankedStats(ra, start)
+		if kind == "topk" {
+			return answer{tk: &TopKResponse{Measure: res.m.Name(), K: req.K, Items: toItemJSON(ra.items), Stats: stats}}, nil
+		}
+		return answer{rng: &RangeResponse{Measure: res.m.Name(), Radius: *req.Radius, Items: toItemJSON(ra.items), Stats: stats}}, nil
+	}
+	ts, err := s.tables(ctx, res)
+	if err != nil {
+		return answer{}, err
+	}
+	stats := s.queryStats(ts, start)
+	switch kind {
+	case "topk":
+		return answer{tk: s.topkAnswer(req, res, ts, stats)}, nil
+	case "range":
+		return answer{rng: s.rangeAnswer(req, res, ts, stats)}, nil
+	default:
+		return answer{sky: s.skylineAnswer(req, res, ts, stats)}, nil
+	}
+}
+
+func derefRadius(r *float64) float64 {
+	if r == nil {
+		return 0
+	}
+	return *r
+}
+
+// runQuery wraps the shared decode / resolve / timeout / execute
+// plumbing of the three query endpoints.
+func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, kind string,
+	validate func(*QueryRequest) error) {
 	s.queries.Add(1)
 	start := time.Now()
 	var req QueryRequest
@@ -595,7 +658,7 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, needMeasure bo
 			return
 		}
 	}
-	res, err := s.resolveQuery(&req, needMeasure)
+	res, err := s.resolveQuery(&req, kind != "skyline")
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -606,34 +669,25 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, needMeasure bo
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
 	}
-	ts, err := s.tables(ctx, res)
+	ans, err := s.execQuery(ctx, kind, &req, res, start)
 	if err != nil {
 		code, msg := s.classifyQueryErr(err)
 		s.writeError(w, code, "%s", msg)
 		return
 	}
-	writeJSON(w, http.StatusOK, answer(&req, res, ts, s.queryStats(ts, start)))
+	writeJSON(w, http.StatusOK, ans.body())
 }
 
 func (s *Server) handleSkyline(w http.ResponseWriter, r *http.Request) {
-	s.runQuery(w, r, false, nil,
-		func(req *QueryRequest, res resolved, ts tableSet, stats QueryStats) any {
-			return s.skylineAnswer(req, res, ts, stats)
-		})
+	s.runQuery(w, r, "skyline", nil)
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	s.runQuery(w, r, true, validateTopK,
-		func(req *QueryRequest, res resolved, ts tableSet, stats QueryStats) any {
-			return s.topkAnswer(req, res, ts, stats)
-		})
+	s.runQuery(w, r, "topk", validateTopK)
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
-	s.runQuery(w, r, true, validateRange,
-		func(req *QueryRequest, res resolved, ts tableSet, stats QueryStats) any {
-			return s.rangeAnswer(req, res, ts, stats)
-		})
+	s.runQuery(w, r, "range", validateRange)
 }
 
 func toPointJSON(pts []skyline.Point) []PointJSON {

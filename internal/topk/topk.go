@@ -37,6 +37,74 @@ func (h *maxHeap) Pop() interface{} {
 	return it
 }
 
+// Bounded is a bounded max-heap keeping the k best (smallest) items
+// offered so far under the (score, ID) total order. It is the
+// incremental form of Select: O(log k) per offer and one O(k log k)
+// extraction, where repeatedly re-running Select over a growing slice
+// would be quadratic. The zero threshold question — "what score must a
+// new item beat to matter?" — is answered by Worst. Not safe for
+// concurrent use; wrap with a lock for shared collectors.
+type Bounded struct {
+	k int
+	h maxHeap
+}
+
+// NewBounded returns a collector of the k best items (k < 1 keeps
+// nothing).
+func NewBounded(k int) *Bounded { return &Bounded{k: k} }
+
+// Offer considers one item, reporting whether it entered the heap (it
+// is among the k best seen so far).
+func (b *Bounded) Offer(it Item) bool {
+	if b.k < 1 {
+		return false
+	}
+	if len(b.h) < b.k {
+		heap.Push(&b.h, it)
+		return true
+	}
+	if worse(b.h[0], it) {
+		b.h[0] = it
+		heap.Fix(&b.h, 0)
+		return true
+	}
+	return false
+}
+
+// Full reports whether k items are held — only then is Worst a
+// meaningful pruning threshold.
+func (b *Bounded) Full() bool { return len(b.h) >= b.k }
+
+// Worst returns the worst retained item (the current k-th best when
+// the heap is full); ok is false while the heap is empty.
+func (b *Bounded) Worst() (Item, bool) {
+	if len(b.h) == 0 {
+		return Item{}, false
+	}
+	return b.h[0], true
+}
+
+// Len returns the number of items held.
+func (b *Bounded) Len() int { return len(b.h) }
+
+// Items returns the held items sorted ascending by (score, ID) — the
+// exact order Select produces. The heap is left intact.
+func (b *Bounded) Items() []Item {
+	out := make([]Item, len(b.h))
+	copy(out, b.h)
+	sortItems(out)
+	return out
+}
+
+func sortItems(items []Item) {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Score != items[j].Score {
+			return items[i].Score < items[j].Score
+		}
+		return items[i].ID < items[j].ID
+	})
+}
+
 // Select returns the k items with the smallest scores, sorted ascending by
 // score with ties broken by ID for determinism. k larger than the input
 // returns everything.
@@ -44,26 +112,11 @@ func Select(items []Item, k int) []Item {
 	if k <= 0 {
 		return []Item{}
 	}
-	h := make(maxHeap, 0, k)
-	heap.Init(&h)
+	b := NewBounded(k)
 	for _, it := range items {
-		if len(h) < k {
-			heap.Push(&h, it)
-			continue
-		}
-		if worse(h[0], it) {
-			h[0] = it
-			heap.Fix(&h, 0)
-		}
+		b.Offer(it)
 	}
-	out := []Item(h)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score < out[j].Score
-		}
-		return out[i].ID < out[j].ID
-	})
-	return out
+	return b.Items()
 }
 
 // Recall returns |got ∩ want| / |want|: the fraction of the reference set
