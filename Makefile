@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-skyline bench-topk run-server vet
+.PHONY: build test race fuzz bench bench-skyline bench-topk bench-pivot bench-compare run-server vet
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,24 @@ bench-topk:
 	$(GO) test -bench=TopKScaling -benchmem -run=^$$ . > BENCH_topk.txt; \
 	$(GO) run ./cmd/benchjson < BENCH_topk.txt > BENCH_topk.json
 	@cat BENCH_topk.json
+
+# bench-pivot records the metric-pivot-tier experiment: signature-only
+# vs pivot vs pivot+memo ranked evaluation on the histogram-blind
+# rewired-family workload, as BENCH_pivot.json.
+bench-pivot:
+	@set -e; trap 'rm -f BENCH_pivot.txt' EXIT; \
+	$(GO) test -bench=PivotScaling -benchmem -run=^$$ . > BENCH_pivot.txt; \
+	$(GO) run ./cmd/benchjson < BENCH_pivot.txt > BENCH_pivot.json
+	@cat BENCH_pivot.json
+
+# bench-compare re-runs the pivot experiment and fails on a >20% ns/op
+# regression against the committed BENCH_pivot.json (same-machine
+# comparisons only — absolute ns/op is hardware-specific).
+bench-compare:
+	@set -e; trap 'rm -f BENCH_pivot_new.txt BENCH_pivot_new.json' EXIT; \
+	$(GO) test -bench=PivotScaling -benchmem -run=^$$ . > BENCH_pivot_new.txt; \
+	$(GO) run ./cmd/benchjson < BENCH_pivot_new.txt > BENCH_pivot_new.json; \
+	$(GO) run ./cmd/benchjson -compare BENCH_pivot.json BENCH_pivot_new.json
 
 run-server:
 	$(GO) run ./cmd/skygraphd -addr :8091 -shards 4 -cache 128

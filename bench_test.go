@@ -18,6 +18,7 @@ import (
 	"skygraph/internal/graph"
 	"skygraph/internal/mcs"
 	"skygraph/internal/measure"
+	"skygraph/internal/pivot"
 	"skygraph/internal/skyline"
 	"skygraph/internal/topk"
 )
@@ -195,6 +196,74 @@ func BenchmarkTopKScaling(b *testing.B) {
 			popts := opts
 			popts.Prune = true
 			run(b, popts)
+		})
+	}
+}
+
+// BenchmarkPivotScaling measures what the metric pivot index adds on
+// top of the signature-only ranked pruning of BenchmarkTopKScaling, on
+// the workload signatures are blind to: one family of REWIRED molecule
+// variants (dataset.RewiredClusters — identical label histograms,
+// different structure, so the histogram bound between family members
+// is 0 regardless of their true distance; think isomer databases).
+// DistEd top-5 queries evaluate best-first with signature bounds alone
+// ("sig", the tiers BENCH_topk.json records) versus with the
+// triangle-inequality pivot tier ("pivot") versus pivot plus the
+// cross-query score memo ("pivot+memo", warm after the first
+// iteration). Engines run uncapped (the family graphs are small), so
+// the pivot tier's upper bounds apply and the answers are the exact
+// ones; Workers is pinned to 1 so evaluated/op is deterministic.
+// evaluated/op counts graphs scored exactly — the pivot rows must come
+// in under the sig rows; memo_hits/op shows the warm path replaying
+// scores without engine work.
+func BenchmarkPivotScaling(b *testing.B) {
+	for _, n := range []int{40, 80} {
+		gs := dataset.RewiredClusters(1, n, 6, 7, 5, 1)
+		q := graph.Rewire(gs[0], 2, newGoRand(999))
+		q.SetName("q0")
+		opts := gdb.QueryOptions{Prune: true, Workers: 1}
+		run := func(b *testing.B, db *gdb.DB) {
+			var last gdb.QueryStats
+			for i := 0; i < b.N; i++ {
+				res, err := db.TopKQuery(q, measure.DistEd{}, 5, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.Stats
+			}
+			b.ReportMetric(float64(last.Evaluated), "evaluated/op")
+			b.ReportMetric(float64(last.Pruned), "pruned/op")
+			b.ReportMetric(float64(last.PivotPruned), "pivot_pruned/op")
+			b.ReportMetric(float64(last.PivotDists), "pivot_dists/op")
+			b.ReportMetric(float64(last.MemoHits), "memo_hits/op")
+		}
+		pivotCfg := pivot.Config{Pivots: 16, QueryMaxNodes: -1}
+		b.Run(fmt.Sprintf("n=%d/sig", n), func(b *testing.B) {
+			db := gdb.New()
+			if err := db.InsertAll(gs); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			run(b, db)
+		})
+		b.Run(fmt.Sprintf("n=%d/pivot", n), func(b *testing.B) {
+			db := gdb.New()
+			if err := db.InsertAll(gs); err != nil {
+				b.Fatal(err)
+			}
+			db.EnablePivots(pivotCfg).Wait()
+			b.ResetTimer()
+			run(b, db)
+		})
+		b.Run(fmt.Sprintf("n=%d/pivot+memo", n), func(b *testing.B) {
+			db := gdb.New()
+			if err := db.InsertAll(gs); err != nil {
+				b.Fatal(err)
+			}
+			db.EnablePivots(pivotCfg).Wait()
+			db.SetScoreMemo(gdb.NewScoreMemo(4096))
+			b.ResetTimer()
+			run(b, db)
 		})
 	}
 }

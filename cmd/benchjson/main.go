@@ -5,11 +5,23 @@
 // (`jq -r '.benchmarks[].raw'` round-trips it).
 //
 // Usage: go test -bench=SkylineScaling -benchmem . | benchjson > BENCH_skyline.json
+//
+// With -compare, benchjson instead reads two previously recorded
+// documents and exits nonzero when any benchmark present in both
+// regressed by more than -tolerance percent on ns/op — the backslide
+// guard bench jobs run after recording a fresh document:
+//
+//	benchjson -compare BENCH_pivot.json BENCH_pivot_new.json
+//
+// Benchmarks present in only one document are reported but never fail
+// the comparison (renames should not break the job), and the
+// comparison is only meaningful between runs on comparable hardware.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -33,6 +45,16 @@ type Doc struct {
 }
 
 func main() {
+	compare := flag.Bool("compare", false, "compare two recorded documents (old.json new.json) instead of converting stdin")
+	tolerance := flag.Float64("tolerance", 20, "maximum allowed ns/op regression in percent before -compare fails")
+	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(compareDocs(flag.Arg(0), flag.Arg(1), *tolerance))
+	}
 	doc := Doc{Context: map[string]string{}, Benchmarks: []Bench{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -66,6 +88,79 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// compareDocs loads two recorded documents and reports per-benchmark
+// ns/op movement, returning the process exit code: 1 when any shared
+// benchmark regressed past the tolerance, 0 otherwise.
+func compareDocs(oldPath, newPath string, tolerance float64) int {
+	oldDoc, err := loadDoc(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	newDoc, err := loadDoc(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	oldNs := map[string]float64{}
+	for _, b := range oldDoc.Benchmarks {
+		if v, ok := b.Metrics["ns/op"]; ok {
+			oldNs[b.Name] = v
+		}
+	}
+	failed := false
+	shared := 0
+	seen := map[string]bool{}
+	for _, b := range newDoc.Benchmarks {
+		nv, ok := b.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		seen[b.Name] = true
+		ov, ok := oldNs[b.Name]
+		if !ok || ov <= 0 {
+			fmt.Printf("%-60s new benchmark (%.0f ns/op)\n", b.Name, nv)
+			continue
+		}
+		shared++
+		delta := (nv - ov) / ov * 100
+		status := "ok"
+		if delta > tolerance {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-60s %12.0f -> %12.0f ns/op  %+7.1f%%  %s\n", b.Name, ov, nv, delta, status)
+	}
+	// Report disappeared benchmarks too — a regression hidden behind a
+	// rename should at least be visible in the job log.
+	for _, b := range oldDoc.Benchmarks {
+		if _, ok := b.Metrics["ns/op"]; ok && !seen[b.Name] {
+			fmt.Printf("%-60s missing from new document (was %.0f ns/op)\n", b.Name, b.Metrics["ns/op"])
+		}
+	}
+	if shared == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no shared benchmarks between the two documents")
+		return 2
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchjson: ns/op regression beyond %.0f%% detected\n", tolerance)
+		return 1
+	}
+	return 0
+}
+
+func loadDoc(path string) (Doc, error) {
+	var doc Doc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return doc, nil
 }
 
 // parseBenchLine splits "BenchmarkX-8  4  252594608 ns/op  29.00 evaluated/op ..."

@@ -5,6 +5,10 @@
 // skyline combiner, per-shard top-k heaps); an LRU cache of per-shard
 // query vector tables sits in front of the GED/MCS pair-evaluation hot
 // path, so a mutation invalidates only its own shard's tables.
+// -pivots attaches a background-maintained metric pivot index per
+// shard (triangle-inequality GED bounds for the filter tiers); -memo
+// adds the cross-query exact-score memo that survives mutations the
+// table cache cannot.
 //
 // Usage:
 //
@@ -16,6 +20,7 @@
 //	POST   /query/topk      single-measure top-k baseline
 //	POST   /query/range     single-measure range query
 //	POST   /query/batch     many queries, one request and time budget
+//	POST   /cache/warm      prebuild complete tables for given queries
 //	GET    /graphs          list graph names
 //	POST   /graphs          insert graph(s), invalidating owning shards
 //	GET    /graphs/{name}   fetch one graph as JSON
@@ -38,6 +43,7 @@ import (
 
 	"skygraph/internal/gdb"
 	"skygraph/internal/measure"
+	"skygraph/internal/pivot"
 	"skygraph/internal/server"
 )
 
@@ -53,6 +59,10 @@ func main() {
 	maxBatch := flag.Int("max-batch", 0, "max queries per /query/batch request (0 = default)")
 	gedBudget := flag.Int64("ged-budget", 0, "default GED search-node cap (0 = exact)")
 	mcsBudget := flag.Int64("mcs-budget", 0, "default MCS search-node cap (0 = exact)")
+	pivots := flag.Int("pivots", 0, "metric pivot index: pivots per shard (0 = disabled); pivot distance columns are maintained in the background")
+	pivotBudget := flag.Int64("pivot-budget", 0, "A* node cap per insert-time pivot distance (0 = package default, negative = exact)")
+	pivotQueryBudget := flag.Int64("pivot-query-budget", 0, "A* node cap per query-to-pivot distance (0 = package default, negative = exact)")
+	memoSize := flag.Int("memo", 0, "cross-query exact-score memo capacity (pair entries, 0 = disabled)")
 	flag.Parse()
 
 	db := gdb.NewSharded(*shards)
@@ -62,6 +72,12 @@ func main() {
 			log.Fatalf("skygraphd: loading %s: %v", *dbPath, err)
 		}
 		db = loaded
+	}
+	if *pivots > 0 {
+		db.EnablePivots(pivot.Config{Pivots: *pivots, MaxNodes: *pivotBudget, QueryMaxNodes: *pivotQueryBudget})
+	}
+	if *memoSize > 0 {
+		db.EnableScoreMemo(*memoSize)
 	}
 	stats := db.Stats()
 	log.Printf("skygraphd: serving %d graphs (%d vertices, %d edges) across %d shards on %s",

@@ -247,6 +247,37 @@ func MoleculeDB(n, minV, maxV int, seed int64) []*graph.Graph {
 	return out
 }
 
+// RewiredClusters generates a deterministic database of clusters * per
+// molecule-like graphs: each cluster is a random seed molecule (orders
+// drawn from [minV, maxV]) plus per-1 REWIRED variants within 1..ops
+// edge relocations of it (graph.Rewire — edges moved, labels and sizes
+// untouched). Every graph in a cluster shares the seed's exact label
+// histograms, so the histogram edit-distance bound between cluster
+// mates is 0 no matter how far apart they really are: signature
+// filters are blind inside clusters, and only a structural index (the
+// metric pivot tier) can separate them — the isomer-database regime.
+// The returned slice is deterministically shuffled so insertion order
+// carries no cluster locality. Names are c<cluster>m<member>.
+func RewiredClusters(clusters, per, minV, maxV, ops int, seed int64) []*graph.Graph {
+	if minV < 1 || maxV < minV {
+		panic(fmt.Sprintf("dataset: bad order range [%d,%d]", minV, maxV))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*graph.Graph, 0, clusters*per)
+	for c := 0; c < clusters; c++ {
+		root := graph.Molecule(minV+rng.Intn(maxV-minV+1), rng)
+		root.SetName(fmt.Sprintf("c%02dm00", c))
+		out = append(out, root)
+		for i := 1; i < per; i++ {
+			g := graph.Rewire(root, 1+rng.Intn(ops), rng)
+			g.SetName(fmt.Sprintf("c%02dm%02d", c, i))
+			out = append(out, g)
+		}
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
 // NoisyQueries derives query graphs from randomly chosen database members
 // by applying noiseOps random edit operations each, the standard way to
 // build similarity-search workloads with controlled noise.

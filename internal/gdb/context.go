@@ -26,10 +26,14 @@ func (db *DB) SkylineQueryContext(ctx context.Context, q *graph.Graph, opts Quer
 		Skyline: t.Skyline(opts.Algorithm),
 		All:     t.Points,
 		Stats: QueryStats{
-			Evaluated: len(t.Points),
-			Pruned:    t.Pruned,
-			Inexact:   t.Inexact,
-			Duration:  time.Since(start),
+			Evaluated:   len(t.Points),
+			Pruned:      t.Pruned,
+			Inexact:     t.Inexact,
+			PivotDists:  t.PivotDists,
+			PivotPruned: t.PivotPruned,
+			MemoHits:    t.MemoHits,
+			MemoMisses:  t.MemoMisses,
+			Duration:    time.Since(start),
 		},
 	}, nil
 }
@@ -37,8 +41,10 @@ func (db *DB) SkylineQueryContext(ctx context.Context, q *graph.Graph, opts Quer
 // evalVectorsCtx fills pts[i] with the GCS vector of graphs[i] vs q
 // using a worker pool, honoring ctx between pairs. hints, when
 // non-nil, is indexed like graphs and carries each pair's stored
-// signatures and refinement witnesses for the engines to reuse.
-func evalVectorsCtx(ctx context.Context, graphs []*graph.Graph, hints []measure.PairHints, q *graph.Graph, opts QueryOptions, pts []skyline.Point) (int, error) {
+// signatures and refinement witnesses for the engines to reuse. seqs
+// (indexed like graphs) and ec drive the score-memo interplay; a nil
+// ec computes every pair fresh.
+func evalVectorsCtx(ctx context.Context, graphs []*graph.Graph, seqs []uint64, hints []measure.PairHints, q *graph.Graph, opts QueryOptions, ec *evalCtx, pts []skyline.Point) (int, error) {
 	type result struct {
 		i       int
 		pt      skyline.Point
@@ -56,7 +62,7 @@ func evalVectorsCtx(ctx context.Context, graphs []*graph.Graph, hints []measure.
 				if hints != nil {
 					h = hints[i]
 				}
-				stats := measure.ComputeHinted(graphs[i], q, opts.Eval, h)
+				stats := ec.computeFull(graphs[i], q, seqs[i], opts.Eval, h)
 				r := result{
 					i:       i,
 					pt:      skyline.Point{ID: graphs[i].Name(), Vec: measure.GCS(stats, opts.Basis)},

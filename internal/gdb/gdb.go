@@ -10,9 +10,11 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"skygraph/internal/graph"
 	"skygraph/internal/measure"
+	"skygraph/internal/pivot"
 )
 
 // DB is a concurrency-safe collection of uniquely named graphs with a
@@ -25,12 +27,30 @@ type DB struct {
 	names  []string // insertion order
 	graphs map[string]*entry
 	gen    uint64 // bumped on every successful Insert/Delete
+
+	// pidx, when enabled, is the metric pivot index maintained in the
+	// background as graphs come and go (see EnablePivots).
+	pidx *pivot.Index
+	// memo, when set, is the cross-query exact-score memo consulted and
+	// fed by every evaluation path (see SetScoreMemo).
+	memo *ScoreMemo
 }
 
 type entry struct {
 	g   *graph.Graph
 	sig *measure.Signature
+	// seq is the graph's process-unique insert sequence: the
+	// generational key of the score memo. Deleting and re-inserting a
+	// name mints a new sequence, so memo entries of the old graph can
+	// never be served for the new one.
+	seq uint64
 }
+
+// insertSeq mints process-unique insert sequences. Process-wide (not
+// per DB) so one score memo can be shared across shards — and across a
+// Reshard, which re-inserts every graph into fresh DBs — without two
+// different graphs ever colliding on (name, seq).
+var insertSeq atomic.Uint64
 
 // New returns an empty database.
 func New() *DB {
@@ -41,6 +61,15 @@ func New() *DB {
 // name must be unused. The database stores g itself; callers must not
 // mutate a graph after insertion (Clone first if needed).
 func (db *DB) Insert(g *graph.Graph) error {
+	return db.insertWithSeq(g, insertSeq.Add(1))
+}
+
+// insertWithSeq is Insert with a caller-supplied insert sequence:
+// Reshard re-inserts the same immutable graphs into fresh shards and
+// keeps their sequences, so score-memo entries stay reachable across a
+// resize (the sequence identifies the graph VALUE, which a reshard
+// does not change).
+func (db *DB) insertWithSeq(g *graph.Graph, seq uint64) error {
 	if g.Name() == "" {
 		return fmt.Errorf("gdb: graph has no name")
 	}
@@ -52,10 +81,25 @@ func (db *DB) Insert(g *graph.Graph) error {
 	if _, dup := db.graphs[g.Name()]; dup {
 		return fmt.Errorf("gdb: duplicate graph name %q", g.Name())
 	}
-	db.graphs[g.Name()] = &entry{g: g, sig: measure.NewSignature(g)}
+	e := &entry{g: g, sig: measure.NewSignature(g), seq: seq}
+	db.graphs[g.Name()] = e
 	db.names = append(db.names, g.Name())
 	db.gen++
+	if db.pidx != nil {
+		db.pidx.Add(g.Name(), e.g, e.sig)
+	}
 	return nil
+}
+
+// seqOf returns the named graph's insert sequence.
+func (db *DB) seqOf(name string) (uint64, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e, ok := db.graphs[name]
+	if !ok {
+		return 0, false
+	}
+	return e.seq, true
 }
 
 // InsertAll inserts every graph, stopping at the first error.
@@ -94,7 +138,53 @@ func (db *DB) Delete(name string) bool {
 		}
 	}
 	db.gen++
+	if db.pidx != nil {
+		db.pidx.Remove(name)
+	}
 	return true
+}
+
+// EnablePivots attaches a metric pivot index (see internal/pivot) to
+// the database: pivot distance columns for the current graphs are
+// scheduled immediately and maintained in the background on every
+// insert and delete from then on. Queries pick the index up
+// automatically — partial columns simply leave individual candidates
+// on their signature-only bounds, so enabling is safe at any point.
+// Calling it again is a no-op; it returns the index either way.
+func (db *DB) EnablePivots(cfg pivot.Config) *pivot.Index {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.pidx == nil {
+		db.pidx = pivot.New(cfg)
+		for _, n := range db.names {
+			e := db.graphs[n]
+			db.pidx.Add(n, e.g, e.sig)
+		}
+	}
+	return db.pidx
+}
+
+// PivotIndex returns the attached pivot index (nil when disabled).
+func (db *DB) PivotIndex() *pivot.Index {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.pidx
+}
+
+// SetScoreMemo attaches a cross-query exact-score memo. Pass the same
+// memo to every shard of a sharded database — entries are keyed by
+// process-unique insert sequences, so sharing is safe.
+func (db *DB) SetScoreMemo(m *ScoreMemo) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.memo = m
+}
+
+// Memo returns the attached score memo (nil when disabled).
+func (db *DB) Memo() *ScoreMemo {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.memo
 }
 
 // Generation returns a counter that changes on every successful mutation

@@ -1,0 +1,223 @@
+package gdb
+
+import (
+	"math"
+	"strconv"
+	"sync/atomic"
+
+	"skygraph/internal/graph"
+	"skygraph/internal/lru"
+	"skygraph/internal/measure"
+	"skygraph/internal/pivot"
+)
+
+// ScoreMemo is the cross-query exact-score memo: a bounded LRU (the
+// same internal/lru core behind the serving layer's table cache) of
+// raw engine results keyed by
+//
+//	(stored graph insert sequence, canonical query hash, engine budgets)
+//
+// A memo hit replays the recorded GED/MCS engine output instead of
+// re-running the exponential engines — the engines are deterministic
+// for a fixed (pair, options), so replayed scores are byte-identical.
+// The invalidation rule is generational, like every cache in the
+// system: entries are keyed by the stored graph's process-unique
+// insert sequence, so deleting and re-inserting a name mints a new
+// sequence and strands the old entries (the LRU ages them out), while
+// an unrelated insert or delete invalidates *nothing* — which is
+// exactly the cross-query win. The serving layer's vector-table cache
+// dies wholesale on the owning shard's generation bump; the memo
+// survives it, so rebuilding a table after one insert only pays
+// engines for the new graph.
+//
+// One memo is safely shared across the shards of a Sharded database
+// (sequences are process-unique, names shard-stable).
+type ScoreMemo struct {
+	lru    *lru.Cache[measure.EngineResults]
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewScoreMemo returns a memo holding at most capacity pair entries
+// (< 1 disables it).
+func NewScoreMemo(capacity int) *ScoreMemo {
+	return &ScoreMemo{lru: lru.New[measure.EngineResults](capacity)}
+}
+
+// memoKey renders the cache key of one (stored graph, query) pair. The
+// graph name is included only for debuggability — seq alone is unique.
+func memoKey(name string, seq uint64, qh, evalKey string) string {
+	return name + "\x1f" + strconv.FormatUint(seq, 10) + "\x1f" + qh + "\x1f" + evalKey
+}
+
+// MemoStats is a point-in-time snapshot of memo counters.
+type MemoStats struct {
+	Capacity int    `json:"capacity"`
+	Entries  int    `json:"entries"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+}
+
+// Stats returns the current counters.
+func (m *ScoreMemo) Stats() MemoStats {
+	return MemoStats{
+		Capacity: m.lru.Capacity(),
+		Entries:  m.lru.Len(),
+		Hits:     m.hits.Load(),
+		Misses:   m.misses.Load(),
+	}
+}
+
+// evalCtx carries the per-query index material every evaluation path
+// over one snapshot shares: the pivot tier's triangle bounds, the
+// score-memo handles, and the per-query counters the wire stats
+// surface. A nil *evalCtx (no pivot index, no memo) is valid
+// everywhere and turns every method into a cheap no-op.
+type evalCtx struct {
+	// pb is the pivot tier's per-query state (nil = tier off).
+	pb *pivot.QueryBounds
+	// tightenHi gates the triangle *upper* bound: it brackets the true
+	// distance, which only brackets the reported distance when the GED
+	// engine runs uncapped (see BoundStats.TightenGED).
+	tightenHi bool
+
+	memo    *ScoreMemo
+	qh      string
+	evalKey string
+
+	pivotDists  int
+	pivotPruned atomic.Int64
+	memoHits    atomic.Int64
+	memoMisses  atomic.Int64
+}
+
+// newEvalCtx assembles the per-query context. usePivot is false on
+// paths that evaluate every pair anyway (unpruned full tables), where
+// paying engine runs for query-to-pivot distances buys nothing.
+func (db *DB) newEvalCtx(q *graph.Graph, qsig *measure.Signature, opts QueryOptions, usePivot bool) *evalCtx {
+	ec := &evalCtx{}
+	if pidx := db.PivotIndex(); usePivot && pidx != nil {
+		ec.pb = pidx.StartQuery(q, qsig)
+		if ec.pb != nil {
+			ec.pivotDists = ec.pb.Dists
+			ec.tightenHi = opts.Eval.GEDMaxNodes == 0
+		}
+	}
+	if memo := db.Memo(); memo != nil {
+		ec.memo = memo
+		ec.qh = opts.QueryHash
+		if ec.qh == "" {
+			ec.qh = graph.QueryHash(q)
+		}
+		ec.evalKey = opts.Eval.Key()
+	}
+	if ec.pb == nil && ec.memo == nil {
+		return nil
+	}
+	return ec
+}
+
+// tighten intersects the pivot tier's GED interval into bs, reporting
+// whether it actually narrowed anything (the attribution signal behind
+// the pivot_pruned counter).
+func (ec *evalCtx) tighten(bs *measure.BoundStats, name string) bool {
+	if ec == nil || ec.pb == nil {
+		return false
+	}
+	lo, hi, ok := ec.pb.GED(name)
+	if !ok {
+		return false
+	}
+	if !ec.tightenHi {
+		hi = math.Inf(1)
+	}
+	changed := lo > bs.GEDLo || hi < bs.GEDHi
+	bs.TightenGED(lo, hi)
+	return changed
+}
+
+// memoGet looks up the pair's recorded engine results, succeeding only
+// when they cover the given needs. Hit/miss counters (per query and
+// global) move on every call, so the ratio reflects what the memo
+// actually served.
+func (ec *evalCtx) memoGet(name string, seq uint64, needGED, needMCS bool) (measure.EngineResults, bool) {
+	if ec == nil || ec.memo == nil {
+		return measure.EngineResults{}, false
+	}
+	r, ok := ec.memo.lru.Get(memoKey(name, seq, ec.qh, ec.evalKey))
+	if ok && r.Covers(needGED, needMCS) {
+		ec.memoHits.Add(1)
+		ec.memo.hits.Add(1)
+		return r, true
+	}
+	ec.memoMisses.Add(1)
+	ec.memo.misses.Add(1)
+	if ok {
+		// Partial entry: reuse what is there, the caller runs the rest.
+		return r, false
+	}
+	return measure.EngineResults{}, false
+}
+
+// memoPeek is memoGet for an opportunistic probe — the pruned skyline
+// path's tier-0 interval collapse, which checks every snapshot graph
+// even though most get pruned without ever needing engines. Hits count
+// (the memo really served them); absences do not count as misses, so
+// the wire hit-ratio keeps meaning "share of engine-needing lookups
+// the memo answered" — the authoritative miss is counted where the
+// engines would otherwise run.
+func (ec *evalCtx) memoPeek(name string, seq uint64, needGED, needMCS bool) (measure.EngineResults, bool) {
+	if ec == nil || ec.memo == nil {
+		return measure.EngineResults{}, false
+	}
+	r, ok := ec.memo.lru.Get(memoKey(name, seq, ec.qh, ec.evalKey))
+	if ok && r.Covers(needGED, needMCS) {
+		ec.memoHits.Add(1)
+		ec.memo.hits.Add(1)
+		return r, true
+	}
+	return measure.EngineResults{}, false
+}
+
+// memoPublish merges freshly computed engine results into the memo.
+func (ec *evalCtx) memoPublish(name string, seq uint64, got measure.EngineResults) {
+	if ec == nil || ec.memo == nil || (!got.HasGED && !got.HasMCS) {
+		return
+	}
+	ec.memo.lru.Update(memoKey(name, seq, ec.qh, ec.evalKey), func(old measure.EngineResults, ok bool) measure.EngineResults {
+		if !ok {
+			return got
+		}
+		if got.HasGED && !old.HasGED {
+			old.GED, old.GEDExact, old.HasGED = got.GED, got.GEDExact, true
+		}
+		if got.HasMCS && !old.HasMCS {
+			old.MCS, old.MCSExact, old.HasMCS = got.MCS, got.MCSExact, true
+		}
+		return old
+	})
+}
+
+// computeFull evaluates a pair's full statistics with memo interplay:
+// replayed entirely on a covering hit, completed from a partial entry,
+// published after a fresh run. h must carry both signatures.
+func (ec *evalCtx) computeFull(g, q *graph.Graph, seq uint64, eval measure.Options, h measure.PairHints) measure.PairStats {
+	if ec == nil || ec.memo == nil || h.Sig1 == nil || h.Sig2 == nil {
+		return measure.ComputeHinted(g, q, eval, h)
+	}
+	have, hit := ec.memoGet(g.Name(), seq, true, true)
+	if hit {
+		return measure.PairStatsFrom(h.Sig1, h.Sig2, have)
+	}
+	ps, got := measure.ComputeWith(g, q, eval, h, have)
+	ec.memoPublish(g.Name(), seq, got)
+	return ps
+}
+
+// counters folds the per-query counters into stats fields.
+func (ec *evalCtx) counters() (pivotDists, memoHits, memoMisses int) {
+	if ec == nil {
+		return 0, 0, 0
+	}
+	return ec.pivotDists, int(ec.memoHits.Load()), int(ec.memoMisses.Load())
+}

@@ -17,7 +17,10 @@ import (
 // so its exact GED/MCS never runs. Evaluation proceeds in tiers of
 // increasing cost:
 //
-//	tier 0  signature bounds   O(labels) per pair, from the stored index
+//	tier 0  signature bounds   O(labels) per pair, from the stored index,
+//	        intersected with the pivot index's triangle-inequality GED
+//	        interval (O(P) arithmetic after P query-to-pivot distances)
+//	        and collapsed to the exact point on a score-memo hit
 //	tier 1  bipartite + greedy polynomial refinement of the survivors
 //	tier 2  exact GED/MCS      only for graphs the bounds cannot exclude
 //
@@ -26,33 +29,82 @@ import (
 // skyline over the tier-2 survivors is byte-identical to the skyline of
 // the full evaluation.
 
-// evalPruned runs the pipeline for q against the snapshot (graphs,
-// sigs). It returns the exact points of the surviving graphs in
-// insertion order, the number of graphs pruned without exact
-// evaluation, and the inexact pair count among the survivors. The
-// caller has already checked measure.Boundable(opts.Basis).
-func evalPruned(ctx context.Context, graphs []*graph.Graph, sigs []*measure.Signature, q *graph.Graph, opts QueryOptions) (pts []skyline.Point, pruned, inexact int, err error) {
-	n := len(graphs)
+// evalPruned runs the pipeline for q against the snapshot. It returns
+// the exact points of the surviving graphs in insertion order, the
+// number of graphs pruned without exact evaluation, and the inexact
+// pair count among the survivors. The caller has already checked
+// measure.Boundable(opts.Basis); ec may be nil (no pivot tier, no
+// memo).
+func evalPruned(ctx context.Context, sn snap, q *graph.Graph, qsig *measure.Signature, ec *evalCtx, opts QueryOptions) (pts []skyline.Point, pruned, inexact int, err error) {
+	n := len(sn.graphs)
 	if n == 0 {
 		return []skyline.Point{}, 0, 0, nil
 	}
-	qsig := measure.NewSignature(q)
 
-	// Tier 0: bound every graph from its stored signature alone.
+	// Tier 0: bound every graph from its stored signature alone, then
+	// tighten with the pivot tier and collapse memo-known pairs to
+	// their exact point (the strongest interval there is). sigIpts
+	// keeps the signature-only intervals when the pivot tier is live,
+	// purely to attribute exclusions: a graph pruned under the merged
+	// bounds but not under the signature bounds owes its exclusion to
+	// the pivot tier.
 	bounds := make([]measure.BoundStats, n)
 	ipts := make([]skyline.IntervalPoint, n)
-	for i, sig := range sigs {
-		bounds[i] = measure.BoundPair(sig, qsig)
-		lo, hi := bounds[i].IntervalGCS(opts.Basis)
-		ipts[i] = skyline.IntervalPoint{ID: graphs[i].Name(), Lo: lo, Hi: hi}
+	memoRes := make([]*measure.PairStats, n)
+	attribute := ec != nil && ec.pb != nil
+	var sigIpts []skyline.IntervalPoint
+	if attribute {
+		sigIpts = make([]skyline.IntervalPoint, n)
 	}
-	skyline.IntervalPrune(ipts)
+	for i, sig := range sn.sigs {
+		name := sn.graphs[i].Name()
+		bounds[i] = measure.BoundPair(sig, qsig)
+		if r, ok := ec.memoPeek(name, sn.seqs[i], true, true); ok {
+			ps := measure.PairStatsFrom(sig, qsig, r)
+			memoRes[i] = &ps
+			vec := measure.GCS(ps, opts.Basis)
+			ipts[i] = skyline.IntervalPoint{ID: name, Lo: vec, Hi: vec}
+			if attribute {
+				sigIpts[i] = ipts[i]
+			}
+			continue
+		}
+		if attribute {
+			lo, hi := bounds[i].IntervalGCS(opts.Basis)
+			sigIpts[i] = skyline.IntervalPoint{ID: name, Lo: lo, Hi: hi}
+		}
+		ec.tighten(&bounds[i], name)
+		lo, hi := bounds[i].IntervalGCS(opts.Basis)
+		ipts[i] = skyline.IntervalPoint{ID: name, Lo: lo, Hi: hi}
+	}
+	if attribute {
+		// Attribution without a second full quadratic pass: a tightened
+		// interval is a subset of its signature interval (optimistic
+		// corner rises, pessimistic falls), so a signature-pruned point
+		// is merged-pruned a fortiori. Prune under signature bounds
+		// first, pre-seed those exclusions, and let the merged pass
+		// test only the signature survivors — whatever it additionally
+		// prunes is exactly the pivot tier's contribution.
+		skyline.IntervalPrune(sigIpts)
+		for i := range ipts {
+			ipts[i].Pruned = sigIpts[i].Pruned
+		}
+		skyline.IntervalPrune(ipts)
+		for i := range ipts {
+			if ipts[i].Pruned && !sigIpts[i].Pruned {
+				ec.pivotPruned.Add(1)
+			}
+		}
+	} else {
+		skyline.IntervalPrune(ipts)
+	}
 
 	// Tier 1: tighten the survivors with the polynomial engines, then
 	// prune again. Already-pruned points keep their tier-0 corners —
-	// they stay excluded and still act as filters.
+	// they stay excluded and still act as filters. Memo-scored points
+	// are already exact and skip refinement.
 	wits := make([]*measure.Witness, n)
-	if err := refineSurvivors(ctx, graphs, q, bounds, wits, ipts, opts); err != nil {
+	if err := refineSurvivors(ctx, sn.graphs, q, bounds, wits, memoRes, ipts, opts); err != nil {
 		return nil, 0, 0, err
 	}
 	skyline.IntervalPrune(ipts)
@@ -60,33 +112,69 @@ func evalPruned(ctx context.Context, graphs []*graph.Graph, sigs []*measure.Sign
 	// Tier 2: exact evaluation of whatever the bounds could not settle,
 	// handing each survivor its signatures and tier-1 witness so the
 	// engines reuse the histograms and bipartite/greedy results instead
-	// of recomputing them.
-	survivors := make([]*graph.Graph, 0, n)
-	hints := make([]measure.PairHints, 0, n)
+	// of recomputing them. Memo-scored survivors contribute their
+	// replayed stats directly — no engine runs at all.
+	type slot struct {
+		i  int
+		at int // index into the points slice
+	}
+	var (
+		engGraphs []*graph.Graph
+		engSeqs   []uint64
+		engHints  []measure.PairHints
+		engSlots  []slot
+	)
+	survivors := 0
 	for i := range ipts {
-		if !ipts[i].Pruned {
-			survivors = append(survivors, graphs[i])
-			hints = append(hints, measure.PairHints{Sig1: sigs[i], Sig2: qsig, Witness: wits[i]})
+		if ipts[i].Pruned {
+			continue
+		}
+		survivors++
+	}
+	pts = make([]skyline.Point, survivors)
+	at := 0
+	for i := range ipts {
+		if ipts[i].Pruned {
+			continue
+		}
+		if ps := memoRes[i]; ps != nil {
+			pts[at] = skyline.Point{ID: sn.graphs[i].Name(), Vec: measure.GCS(*ps, opts.Basis)}
+			if !ps.GEDExact || !ps.MCSExact {
+				inexact++
+			}
+		} else {
+			engGraphs = append(engGraphs, sn.graphs[i])
+			engSeqs = append(engSeqs, sn.seqs[i])
+			engHints = append(engHints, measure.PairHints{Sig1: sn.sigs[i], Sig2: qsig, Witness: wits[i]})
+			engSlots = append(engSlots, slot{i: i, at: at})
+		}
+		at++
+	}
+	if len(engGraphs) > 0 {
+		engPts := make([]skyline.Point, len(engGraphs))
+		engInexact, err := evalVectorsCtx(ctx, engGraphs, engSeqs, engHints, q, opts, ec, engPts)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		inexact += engInexact
+		for j, s := range engSlots {
+			pts[s.at] = engPts[j]
 		}
 	}
-	pts = make([]skyline.Point, len(survivors))
-	inexact, err = evalVectorsCtx(ctx, survivors, hints, q, opts, pts)
-	if err != nil {
-		return nil, 0, 0, err
-	}
-	return pts, n - len(survivors), inexact, nil
+	return pts, n - survivors, inexact, nil
 }
 
 // refineSurvivors runs measure.RefineWitness on every unpruned
 // candidate with a worker pool, updating the pessimistic corners in
 // place and recording each candidate's witness in wits. (The
 // optimistic corners are untouched: refinement only lowers the GED
-// upper bound and raises the MCS lower bound.) Honors ctx between
-// candidates.
-func refineSurvivors(ctx context.Context, graphs []*graph.Graph, q *graph.Graph, bounds []measure.BoundStats, wits []*measure.Witness, ipts []skyline.IntervalPoint, opts QueryOptions) error {
+// upper bound and raises the MCS lower bound.) Memo-scored candidates
+// (memoRes[i] != nil) already sit on their exact point and are
+// skipped. Honors ctx between candidates.
+func refineSurvivors(ctx context.Context, graphs []*graph.Graph, q *graph.Graph, bounds []measure.BoundStats, wits []*measure.Witness, memoRes []*measure.PairStats, ipts []skyline.IntervalPoint, opts QueryOptions) error {
 	var todo []int
 	for i := range ipts {
-		if !ipts[i].Pruned {
+		if !ipts[i].Pruned && memoRes[i] == nil {
 			todo = append(todo, i)
 		}
 	}

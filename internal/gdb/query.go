@@ -26,6 +26,11 @@ type QueryOptions struct {
 	Workers int
 	// Algorithm computes the skyline; nil means skyline.SFS.
 	Algorithm skyline.Algorithm
+	// QueryHash optionally carries graph.QueryHash(q), precomputed by
+	// the caller (the serving layer computes it for its cache keys
+	// anyway). The cross-query score memo keys on it; when empty it is
+	// computed on demand, once per evaluation.
+	QueryHash string
 	// Prune enables filter-and-refine evaluation driven by the
 	// signature/bound index. For skyline queries, graphs whose bound
 	// intervals prove them dominated are never evaluated exactly; the
@@ -68,8 +73,30 @@ type QueryStats struct {
 	// Inexact counts pairs where a capped engine returned a bound rather
 	// than the exact value.
 	Inexact int
+	// PivotDists counts query-to-pivot distance computations the pivot
+	// tier paid for (P per freshly scanned shard with a live index).
+	PivotDists int
+	// PivotPruned counts graphs whose exclusion needed the pivot
+	// tier's triangle bounds — the signature bounds alone would not
+	// have excluded them.
+	PivotPruned int
+	// MemoHits and MemoMisses count cross-query score-memo lookups;
+	// hits replayed recorded engine results instead of running engines.
+	MemoHits   int
+	MemoMisses int
 	// Duration is the wall-clock query time.
 	Duration time.Duration
+}
+
+// addRanked folds one database's ranked-scan contribution in.
+func (s *QueryStats) addRanked(o RankedStats) {
+	s.Evaluated += o.Evaluated
+	s.Pruned += o.Pruned
+	s.Inexact += o.Inexact
+	s.PivotDists += o.PivotDists
+	s.PivotPruned += o.PivotPruned
+	s.MemoHits += o.MemoHits
+	s.MemoMisses += o.MemoMisses
 }
 
 // SkylineResult is the answer to a similarity skyline query.
@@ -127,14 +154,15 @@ func (db *DB) TopKQueryContext(ctx context.Context, q *graph.Graph, m measure.Me
 		if err != nil {
 			return TopKResult{}, err
 		}
-		stats.Evaluated, stats.Pruned, stats.Inexact = rs.Evaluated, rs.Pruned, rs.Inexact
+		stats.addRanked(rs)
 		items = run.Items()
 	} else {
-		all, inexact, err := db.scanScores(ctx, q, m, opts)
+		all, inexact, ec, err := db.scanScores(ctx, q, m, opts)
 		if err != nil {
 			return TopKResult{}, err
 		}
 		stats.Evaluated, stats.Inexact = len(all), inexact
+		stats.PivotDists, stats.MemoHits, stats.MemoMisses = ec.counters()
 		// One bounded-heap pass, extracted once at the end — not a
 		// re-selection per improving item.
 		items = topk.Select(all, k)
@@ -168,21 +196,23 @@ func (db *DB) RangeQueryContext(ctx context.Context, q *graph.Graph, m measure.M
 	if opts.Prune && measure.Rankable(m) {
 		// One snapshot serves both the scan and the result ordering, so
 		// a concurrent mutation cannot desync the two.
-		graphs, sigs, _ := db.snapshot()
+		sn := db.snapshot()
 		run := NewRankedRange(m, radius)
-		rs, err := evalRanked(ctx, graphs, sigs, run.querySig(q), q, m, opts, run.coll)
+		qsig := run.querySig(q)
+		rs, err := evalRanked(ctx, sn, qsig, q, m, opts, db.newEvalCtx(q, qsig, opts, true), run.coll)
 		if err != nil {
 			return RangeResult{}, err
 		}
-		stats.Evaluated, stats.Pruned, stats.Inexact = rs.Evaluated, rs.Pruned, rs.Inexact
+		stats.addRanked(rs)
 		items = append(items, run.Items()...)
-		sortItemsBySnapshot(items, graphs)
+		sortItemsBySnapshot(items, sn.graphs)
 	} else {
-		all, inexact, err := db.scanScores(ctx, q, m, opts)
+		all, inexact, ec, err := db.scanScores(ctx, q, m, opts)
 		if err != nil {
 			return RangeResult{}, err
 		}
 		stats.Evaluated, stats.Inexact = len(all), inexact
+		stats.PivotDists, stats.MemoHits, stats.MemoMisses = ec.counters()
 		for _, it := range all {
 			if it.Score <= radius {
 				items = append(items, it)
@@ -208,12 +238,17 @@ func sortItemsBySnapshot(items []topk.Item, graphs []*graph.Graph) {
 // database graph under m, in snapshot order, computed by a worker pool
 // that honors ctx between pairs. Only the engines m consumes run
 // (measure.ScorePair) — a foreign measure falls back to the full pair
-// evaluation.
-func (db *DB) scanScores(ctx context.Context, q *graph.Graph, m measure.Measure, opts QueryOptions) ([]topk.Item, int, error) {
-	graphs, sigs, _ := db.snapshot()
+// evaluation. The score memo applies on both branches (replayed
+// results are byte-identical to fresh engine runs); the returned
+// evalCtx carries the lookup counters.
+func (db *DB) scanScores(ctx context.Context, q *graph.Graph, m measure.Measure, opts QueryOptions) ([]topk.Item, int, *evalCtx, error) {
+	sn := db.snapshot()
 	qsig := measure.NewSignature(q)
+	ec := db.newEvalCtx(q, qsig, opts, false)
 	rankable := measure.Rankable(m)
-	items := make([]topk.Item, len(graphs))
+	needGED, needMCS := measure.EngineNeeds(m)
+	useMemo := ec != nil && ec.memo != nil
+	items := make([]topk.Item, len(sn.graphs))
 	type result struct {
 		i       int
 		score   float64
@@ -224,19 +259,25 @@ func (db *DB) scanScores(ctx context.Context, q *graph.Graph, m measure.Measure,
 	done := make(chan struct{})
 	defer close(done)
 	workers := opts.Workers
-	if workers > len(graphs) {
-		workers = len(graphs)
+	if workers > len(sn.graphs) {
+		workers = len(sn.graphs)
 	}
 	for w := 0; w < workers; w++ {
 		go func() {
 			for i := range work {
-				h := measure.PairHints{Sig1: sigs[i], Sig2: qsig}
+				h := measure.PairHints{Sig1: sn.sigs[i], Sig2: qsig}
 				var r result
 				r.i = i
 				if rankable {
-					r.score, r.inexact = measure.ScorePair(graphs[i], q, m, opts.Eval, h)
+					var have measure.EngineResults
+					if useMemo && (needGED || needMCS) {
+						have, _ = ec.memoGet(sn.graphs[i].Name(), sn.seqs[i], needGED, needMCS)
+					}
+					var got measure.EngineResults
+					r.score, got, r.inexact = measure.ScorePairWith(sn.graphs[i], q, m, opts.Eval, h, have)
+					ec.memoPublish(sn.graphs[i].Name(), sn.seqs[i], got)
 				} else {
-					ps := measure.ComputeHinted(graphs[i], q, opts.Eval, h)
+					ps := ec.computeFull(sn.graphs[i], q, sn.seqs[i], opts.Eval, h)
 					r.score, r.inexact = m.FromStats(ps), !ps.GEDExact || !ps.MCSExact
 				}
 				select {
@@ -249,7 +290,7 @@ func (db *DB) scanScores(ctx context.Context, q *graph.Graph, m measure.Measure,
 	}
 	go func() {
 		defer close(work)
-		for i := range graphs {
+		for i := range sn.graphs {
 			select {
 			case work <- i:
 			case <-done:
@@ -258,18 +299,18 @@ func (db *DB) scanScores(ctx context.Context, q *graph.Graph, m measure.Measure,
 		}
 	}()
 	inexact := 0
-	for filled := 0; filled < len(graphs); filled++ {
+	for filled := 0; filled < len(sn.graphs); filled++ {
 		select {
 		case <-ctx.Done():
-			return nil, 0, ctx.Err()
+			return nil, 0, nil, ctx.Err()
 		case r := <-results:
-			items[r.i] = topk.Item{ID: graphs[r.i].Name(), Score: r.score}
+			items[r.i] = topk.Item{ID: sn.graphs[r.i].Name(), Score: r.score}
 			if r.inexact {
 				inexact++
 			}
 		}
 	}
-	return items, inexact, nil
+	return items, inexact, ec, nil
 }
 
 // DiverseResult is the answer to a diversity-refined skyline query

@@ -43,21 +43,36 @@ type rankedCollector interface {
 	// threshold is the current bar: a candidate whose score provably
 	// exceeds it can never enter the answer. Monotone non-increasing.
 	threshold() float64
+	// seedUppers hands the collector one snapshot's per-candidate
+	// upper bounds on the reported score (the pessimistic corner of
+	// the bound index), BEFORE any of them is evaluated. A top-k
+	// collector floors its threshold at the k-th smallest: the k best
+	// reported scores each sit under one of the k smallest uppers, so
+	// any candidate provably above that floor can never make the
+	// answer — pruning starts tight instead of waiting for k exact
+	// scores. Sound per shard snapshot (a subset's k-th best is never
+	// below the global k-th best). Range collectors ignore it (their
+	// threshold is the radius, fixed).
+	seedUppers(his []float64)
 	// items returns the collected answer (order documented per kind).
 	items() []topk.Item
 }
 
 // topkCollector keeps the k best items in a bounded max-heap; the
-// threshold is the k-th best score once k items are held (+Inf before).
+// threshold is the k-th best score once k items are held, floored by
+// the best seedUppers bound (+Inf before either exists).
 type topkCollector struct {
-	mu sync.Mutex
-	b  *topk.Bounded
-	th atomicFloat
+	mu    sync.Mutex
+	k     int
+	b     *topk.Bounded
+	th    atomicFloat
+	floor atomicFloat
 }
 
 func newTopkCollector(k int) *topkCollector {
-	c := &topkCollector{b: topk.NewBounded(k)}
+	c := &topkCollector{k: k, b: topk.NewBounded(k)}
 	c.th.store(math.Inf(1))
+	c.floor.store(math.Inf(1))
 	return c
 }
 
@@ -72,7 +87,27 @@ func (c *topkCollector) offer(it topk.Item) {
 	}
 }
 
-func (c *topkCollector) threshold() float64 { return c.th.load() }
+func (c *topkCollector) seedUppers(his []float64) {
+	if len(his) < c.k {
+		return // fewer candidates than k: this snapshot bounds nothing
+	}
+	sorted := append([]float64(nil), his...)
+	sort.Float64s(sorted)
+	v := sorted[c.k-1]
+	c.mu.Lock()
+	if v < c.floor.load() {
+		c.floor.store(v)
+	}
+	c.mu.Unlock()
+}
+
+func (c *topkCollector) threshold() float64 {
+	t := c.th.load()
+	if f := c.floor.load(); f < t {
+		return f
+	}
+	return t
+}
 
 // items returns the k best in ascending (score, ID) order — exactly
 // topk.Select's order.
@@ -105,6 +140,9 @@ func (c *rangeCollector) offer(it topk.Item) {
 
 func (c *rangeCollector) threshold() float64 { return c.radius }
 
+// seedUppers is a no-op: the range threshold is the radius itself.
+func (c *rangeCollector) seedUppers([]float64) {}
+
 // items returns the in-radius items in unspecified order; callers
 // restore insertion order (evaluation order is nondeterministic).
 func (c *rangeCollector) items() []topk.Item {
@@ -116,7 +154,8 @@ func (c *rangeCollector) items() []topk.Item {
 // RankedStats reports the work one database contributed to a ranked
 // evaluation.
 type RankedStats struct {
-	// Evaluated counts graphs whose exact score was computed.
+	// Evaluated counts graphs whose exact score was computed (memo
+	// replays included — the score is exact either way).
 	Evaluated int
 	// Pruned counts graphs excluded without an exact score: best-first
 	// cutoff, interval filter, or an engine decision run.
@@ -124,12 +163,25 @@ type RankedStats struct {
 	// Inexact counts evaluated graphs whose score came from a capped
 	// engine bound.
 	Inexact int
+	// PivotDists counts query-to-pivot engine runs; PivotPruned counts
+	// excluded graphs that only the pivot tier's bound condemns at the
+	// final threshold (the signature bound alone would have let them
+	// through to the engines).
+	PivotDists  int
+	PivotPruned int
+	// MemoHits/MemoMisses count score-memo lookups during the scan.
+	MemoHits   int
+	MemoMisses int
 }
 
 func (s *RankedStats) add(o RankedStats) {
 	s.Evaluated += o.Evaluated
 	s.Pruned += o.Pruned
 	s.Inexact += o.Inexact
+	s.PivotDists += o.PivotDists
+	s.PivotPruned += o.PivotPruned
+	s.MemoHits += o.MemoHits
+	s.MemoMisses += o.MemoMisses
 }
 
 // Ranked is one in-progress best-first ranked query: the shared
@@ -142,6 +194,8 @@ type Ranked struct {
 
 	sigOnce sync.Once
 	qsig    *measure.Signature
+	qhOnce  sync.Once
+	qh      string
 }
 
 // NewRankedTopK starts a top-k evaluation under measure m.
@@ -174,35 +228,87 @@ func (r *Ranked) querySig(q *graph.Graph) *measure.Signature {
 	return r.qsig
 }
 
+func (r *Ranked) queryHash(q *graph.Graph) string {
+	r.qhOnce.Do(func() { r.qh = graph.QueryHash(q) })
+	return r.qh
+}
+
 // EvalDB runs the best-first scan of one database's snapshot against
 // the shared threshold. opts.Workers bounds the scan's parallelism
 // (resolved by the caller); opts.Eval caps the exact engines exactly as
 // on the full-scan path, so included scores match it byte for byte.
 func (r *Ranked) EvalDB(ctx context.Context, db *DB, q *graph.Graph, opts QueryOptions) (RankedStats, error) {
-	graphs, sigs, _ := db.snapshot()
-	return evalRanked(ctx, graphs, sigs, r.querySig(q), q, r.m, opts, r.coll)
+	sn := db.snapshot()
+	qsig := r.querySig(q)
+	if opts.QueryHash == "" && db.Memo() != nil {
+		// Canonicalize once per query, not once per shard: the Ranked
+		// value is shared by all shards of one query.
+		opts.QueryHash = r.queryHash(q)
+	}
+	return evalRanked(ctx, sn, qsig, q, r.m, opts, db.newEvalCtx(q, qsig, opts, true), r.coll)
 }
 
 // evalRanked is the scan itself: order candidates by optimistic bound,
-// drain them with a worker pool, stop at the threshold.
-func evalRanked(ctx context.Context, graphs []*graph.Graph, sigs []*measure.Signature, qsig *measure.Signature, q *graph.Graph, m measure.Measure, opts QueryOptions, coll rankedCollector) (RankedStats, error) {
-	n := len(graphs)
+// drain them with a worker pool, stop at the threshold. ec (nil-safe)
+// adds the pivot tier — tighter optimistic bounds, so the scan claims
+// true near-neighbors earlier and the cutoff fires sooner — and the
+// score memo, which replays recorded pair scores without any engine
+// work.
+func evalRanked(ctx context.Context, sn snap, qsig *measure.Signature, q *graph.Graph, m measure.Measure, opts QueryOptions, ec *evalCtx, coll rankedCollector) (RankedStats, error) {
+	n := len(sn.graphs)
 	if n == 0 {
 		return RankedStats{}, nil
 	}
 
-	// Tier 0: bound every candidate from its stored signature alone and
-	// order by the optimistic end (ties by snapshot position, for a
-	// deterministic claim order).
+	// Tier 0: bound every candidate from its stored signature alone,
+	// tightened by the pivot tier, and order by the optimistic end
+	// (ties by snapshot position, for a deterministic claim order).
+	// sigLos keeps the signature-only optimistic bound for attribution.
 	bounds := make([]measure.BoundStats, n)
 	los := make([]float64, n)
+	sigLos := los
+	attribute := ec != nil && ec.pb != nil
+	if attribute {
+		sigLos = make([]float64, n)
+	}
+	his := make([]float64, n)
 	order := make([]int, n)
-	for i, sig := range sigs {
+	for i, sig := range sn.sigs {
 		bounds[i] = measure.BoundPair(sig, qsig)
-		los[i], _ = bounds[i].Interval(m)
+		if attribute {
+			sigLos[i], _ = bounds[i].Interval(m)
+			ec.tighten(&bounds[i], sn.graphs[i].Name())
+		}
+		los[i], his[i] = bounds[i].Interval(m)
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool { return los[order[a]] < los[order[b]] })
+	// Claim order: by the optimistic end — which is what lets the scan
+	// STOP at the first claim whose lo exceeds the threshold
+	// (everything after is at least as hopeless) — with lo ties broken
+	// by the pessimistic end. Distances are integral, so lo ties are
+	// the common case, and within a tie the candidate that is CERTAINLY
+	// near (small hi) should feed the threshold before one that is
+	// merely possibly near; remaining ties keep snapshot order, for a
+	// deterministic claim sequence. The answer itself is
+	// order-independent — exclusion always carries a proof.
+	sort.SliceStable(order, func(a, b int) bool {
+		la, lb := los[order[a]], los[order[b]]
+		if la != lb {
+			return la < lb
+		}
+		return his[order[a]] < his[order[b]]
+	})
+	// Seed the threshold from the pessimistic corners before anything
+	// evaluates: the k best reported scores each sit under one of the k
+	// smallest uppers (tier-0 uppers already bracket what the capped
+	// engines report; the pivot tier tightens them further when the GED
+	// engine is uncapped), so the scan starts against a real bar instead
+	// of +Inf.
+	coll.seedUppers(his)
+
+	needGED, needMCS := measure.EngineNeeds(m)
+	useMemo := ec != nil && ec.memo != nil && (needGED || needMCS)
+	scored := make([]atomic.Bool, n)
 
 	workers := opts.Workers
 	if workers < 1 {
@@ -240,28 +346,45 @@ func evalRanked(ctx context.Context, graphs []*graph.Graph, sigs []*measure.Sign
 					return
 				}
 				i := order[k]
+				name := sn.graphs[i].Name()
 				if los[i] > coll.threshold() {
 					// Candidates are claimed in optimistic-bound order:
 					// everything after this one is at least as hopeless.
 					stopped.Store(true)
 					return
 				}
+				// Memo replay: a recorded pair score skips refinement and
+				// the engines entirely.
+				if useMemo {
+					if r, ok := ec.memoGet(name, sn.seqs[i], needGED, needMCS); ok {
+						ps := measure.PairStatsFrom(sn.sigs[i], qsig, r)
+						local.Evaluated++
+						if (needGED && !r.GEDExact) || (needMCS && !r.MCSExact) {
+							local.Inexact++
+						}
+						scored[i].Store(true)
+						coll.offer(topk.Item{ID: name, Score: m.FromStats(ps)})
+						continue
+					}
+				}
 				// Tier 1: polynomial refinement, witnesses kept for the
 				// engines.
 				var wit *measure.Witness
-				bounds[i], wit = measure.RefineWitness(graphs[i], q, bounds[i])
-				hints := measure.PairHints{Sig1: sigs[i], Sig2: qsig, Witness: wit}
+				bounds[i], wit = measure.RefineWitness(sn.graphs[i], q, bounds[i])
+				hints := measure.PairHints{Sig1: sn.sigs[i], Sig2: qsig, Witness: wit}
 				// Tier 2: threshold-fed evaluation — an engine decision
 				// run excludes, or a plain exact run scores.
-				score, excluded, inexact := measure.ComputeRank(graphs[i], q, m, coll.threshold(), bounds[i], opts.Eval, hints)
+				score, got, excluded, inexact := measure.ComputeRankResults(sn.graphs[i], q, m, coll.threshold(), bounds[i], opts.Eval, hints)
 				if excluded {
 					continue
 				}
+				ec.memoPublish(name, sn.seqs[i], got)
 				local.Evaluated++
 				if inexact {
 					local.Inexact++
 				}
-				coll.offer(topk.Item{ID: graphs[i].Name(), Score: score})
+				scored[i].Store(true)
+				coll.offer(topk.Item{ID: name, Score: score})
 			}
 		}()
 	}
@@ -270,5 +393,17 @@ func evalRanked(ctx context.Context, graphs []*graph.Graph, sigs []*measure.Sign
 		return RankedStats{}, ctx.Err()
 	}
 	stats.Pruned = n - stats.Evaluated
+	if attribute {
+		// Attribute exclusions the pivot tier alone explains: at the
+		// final threshold the merged optimistic bound condemns the
+		// candidate but the signature bound would have let it through.
+		th := coll.threshold()
+		for i := 0; i < n; i++ {
+			if !scored[i].Load() && los[i] > th && sigLos[i] <= th {
+				stats.PivotPruned++
+			}
+		}
+	}
+	stats.PivotDists, stats.MemoHits, stats.MemoMisses = ec.counters()
 	return stats, nil
 }

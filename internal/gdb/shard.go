@@ -11,6 +11,7 @@ import (
 
 	"skygraph/internal/graph"
 	"skygraph/internal/measure"
+	"skygraph/internal/pivot"
 	"skygraph/internal/skyline"
 	"skygraph/internal/topk"
 )
@@ -31,6 +32,12 @@ type Sharded struct {
 	mu    sync.RWMutex
 	order []string       // global insertion order of live graph names
 	pos   map[string]int // name -> index in order
+
+	// pivotCfg remembers the per-shard pivot configuration (nil =
+	// disabled) and memo the shared score memo, so Reshard can carry
+	// both over to the new shard set.
+	pivotCfg *pivot.Config
+	memo     *ScoreMemo
 }
 
 // NewSharded returns an empty database split across n shards (n < 1 is
@@ -142,6 +149,100 @@ func (sh *Sharded) Graphs() []*graph.Graph {
 	return out
 }
 
+// EnablePivots attaches one metric pivot index per shard (each shard
+// indexes exactly its own graphs — sharded pruning stays per shard, as
+// with the signature bounds). Stored so Reshard re-enables the index
+// on the new shard set.
+func (sh *Sharded) EnablePivots(cfg pivot.Config) {
+	sh.mu.Lock()
+	sh.pivotCfg = &cfg
+	sh.mu.Unlock()
+	for _, db := range sh.shards {
+		db.EnablePivots(cfg)
+	}
+}
+
+// EnableScoreMemo attaches one shared cross-query score memo to every
+// shard (entries are keyed by process-unique insert sequences, so
+// sharing one LRU across shards is safe and pools its capacity where
+// the traffic is).
+func (sh *Sharded) EnableScoreMemo(capacity int) *ScoreMemo {
+	sh.mu.Lock()
+	if sh.memo == nil {
+		sh.memo = NewScoreMemo(capacity)
+	}
+	m := sh.memo
+	sh.mu.Unlock()
+	for _, db := range sh.shards {
+		db.SetScoreMemo(m)
+	}
+	return m
+}
+
+// Memo returns the shared score memo (nil when disabled).
+func (sh *Sharded) Memo() *ScoreMemo {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.memo
+}
+
+// WaitPivots blocks until every shard's pivot index has computed all
+// scheduled distance columns (tests and benchmarks).
+func (sh *Sharded) WaitPivots() {
+	for _, db := range sh.shards {
+		if ix := db.PivotIndex(); ix != nil {
+			ix.Wait()
+		}
+	}
+}
+
+// Reshard redistributes the database across n shards: a new Sharded
+// holding the same graphs in the same global insertion order, with the
+// pivot index configuration and the shared score memo carried over —
+// every new shard's index re-selects pivots over its own graphs and
+// rebuilds its distance columns in the background (WaitPivots blocks
+// until they are ready), and graphs KEEP their insert sequences (a
+// reshard moves values, it does not change them), so existing memo
+// entries stay reachable. The receiver is left untouched; callers must
+// quiesce mutations for the duration or the new database may miss
+// them.
+func (sh *Sharded) Reshard(n int) (*Sharded, error) {
+	out := NewSharded(n)
+	sh.mu.RLock()
+	cfg, memo := sh.pivotCfg, sh.memo
+	sh.mu.RUnlock()
+	if cfg != nil {
+		out.EnablePivots(*cfg)
+	}
+	if memo != nil {
+		out.mu.Lock()
+		out.memo = memo
+		out.mu.Unlock()
+		for _, db := range out.shards {
+			db.SetScoreMemo(memo)
+		}
+	}
+	for _, name := range sh.Names() {
+		src := sh.shards[sh.ShardFor(name)]
+		g, ok := src.Get(name)
+		if !ok {
+			continue // deleted mid-reshard; the caller broke quiescence
+		}
+		seq, _ := src.seqOf(name)
+		out.mu.Lock()
+		err := out.shards[out.ShardFor(name)].insertWithSeq(g, seq)
+		if err == nil {
+			out.pos[name] = len(out.order)
+			out.order = append(out.order, name)
+		}
+		out.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // ShardGeneration returns shard i's generation counter.
 func (sh *Sharded) ShardGeneration(i int) uint64 { return sh.shards[i].Generation() }
 
@@ -225,6 +326,10 @@ func (sh *Sharded) shardedWorkers(w int) int {
 // re-established by the skyline merge.
 func (sh *Sharded) VectorTables(ctx context.Context, q *graph.Graph, opts QueryOptions) ([]*VectorTable, error) {
 	opts.Workers = sh.shardedWorkers(opts.Workers)
+	if opts.QueryHash == "" && sh.Memo() != nil {
+		// Canonicalize once for all shards; each shard's memo keys use it.
+		opts.QueryHash = graph.QueryHash(q)
+	}
 	tables := make([]*VectorTable, len(sh.shards))
 	errs := make([]error, len(sh.shards))
 	var wg sync.WaitGroup
@@ -357,6 +462,10 @@ func mergedStats(tables []*VectorTable, start time.Time) QueryStats {
 		s.Evaluated += len(t.Points)
 		s.Pruned += t.Pruned
 		s.Inexact += t.Inexact
+		s.PivotDists += t.PivotDists
+		s.PivotPruned += t.PivotPruned
+		s.MemoHits += t.MemoHits
+		s.MemoMisses += t.MemoMisses
 	}
 	return s
 }
@@ -478,9 +587,7 @@ func (sh *Sharded) evalRankedShards(ctx context.Context, run *Ranked, q *graph.G
 	}
 	total := QueryStats{}
 	for _, s := range stats {
-		total.Evaluated += s.Evaluated
-		total.Pruned += s.Pruned
-		total.Inexact += s.Inexact
+		total.addRanked(s)
 	}
 	return total, nil
 }

@@ -34,24 +34,47 @@ type VectorTable struct {
 	Complete bool
 	// Inexact counts pairs where a capped engine returned a bound.
 	Inexact int
+	// PivotDists counts query-to-pivot engine runs the pivot tier paid
+	// for while building the table; PivotPruned counts graphs whose
+	// tier-0 exclusion needed the pivot tier's triangle bounds (they
+	// survive the signature bounds alone).
+	PivotDists  int
+	PivotPruned int
+	// MemoHits and MemoMisses count score-memo lookups during the
+	// build; hits replayed recorded engine results instead of running
+	// the engines.
+	MemoHits   int
+	MemoMisses int
 	// Duration is the wall-clock time of the evaluation.
 	Duration time.Duration
 }
 
-// snapshot returns the stored graphs, their signatures and the
-// generation they belong to under a single lock acquisition, so the
-// triple is always consistent.
-func (db *DB) snapshot() ([]*graph.Graph, []*measure.Signature, uint64) {
+// snap is one consistent read of the database: the stored graphs,
+// their signatures, their insert sequences (the score-memo keys) and
+// the generation they belong to, all under a single lock acquisition.
+type snap struct {
+	graphs []*graph.Graph
+	sigs   []*measure.Signature
+	seqs   []uint64
+	gen    uint64
+}
+
+func (db *DB) snapshot() snap {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	graphs := make([]*graph.Graph, 0, len(db.names))
-	sigs := make([]*measure.Signature, 0, len(db.names))
+	sn := snap{
+		graphs: make([]*graph.Graph, 0, len(db.names)),
+		sigs:   make([]*measure.Signature, 0, len(db.names)),
+		seqs:   make([]uint64, 0, len(db.names)),
+		gen:    db.gen,
+	}
 	for _, n := range db.names {
 		e := db.graphs[n]
-		graphs = append(graphs, e.g)
-		sigs = append(sigs, e.sig)
+		sn.graphs = append(sn.graphs, e.g)
+		sn.sigs = append(sn.sigs, e.sig)
+		sn.seqs = append(sn.seqs, e.seq)
 	}
-	return graphs, sigs, db.gen
+	return sn
 }
 
 // VectorTable evaluates the GCS vector of database graphs against q in
@@ -69,28 +92,39 @@ func (db *DB) snapshot() ([]*graph.Graph, []*measure.Signature, uint64) {
 func (db *DB) VectorTable(ctx context.Context, q *graph.Graph, opts QueryOptions) (*VectorTable, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
-	graphs, sigs, gen := db.snapshot()
-	t := &VectorTable{Generation: gen, Basis: opts.Basis, Complete: true}
+	sn := db.snapshot()
+	qsig := measure.NewSignature(q)
+	t := &VectorTable{Generation: sn.gen, Basis: opts.Basis, Complete: true}
+	var ec *evalCtx
 	if opts.Prune && measure.Boundable(opts.Basis) {
-		pts, pruned, inexact, err := evalPruned(ctx, graphs, sigs, q, opts)
+		// The pivot tier only pays off when bounds can exclude pairs, so
+		// only the pruned build computes query-to-pivot distances.
+		ec = db.newEvalCtx(q, qsig, opts, true)
+		pts, pruned, inexact, err := evalPruned(ctx, sn, q, qsig, ec, opts)
 		if err != nil {
 			return nil, err
 		}
 		t.Points, t.Pruned, t.Inexact, t.Complete = pts, pruned, inexact, pruned == 0
 	} else {
 		// Stored signatures spare the per-pair histogram/degree rebuild
-		// even on the unpruned path; the query's is computed once.
-		qsig := measure.NewSignature(q)
-		hints := make([]measure.PairHints, len(graphs))
+		// even on the unpruned path; the query's is computed once. The
+		// score memo still applies — a warm memo rebuilds a full table
+		// with engines running only for graphs inserted since.
+		ec = db.newEvalCtx(q, qsig, opts, false)
+		hints := make([]measure.PairHints, len(sn.graphs))
 		for i := range hints {
-			hints[i] = measure.PairHints{Sig1: sigs[i], Sig2: qsig}
+			hints[i] = measure.PairHints{Sig1: sn.sigs[i], Sig2: qsig}
 		}
-		pts := make([]skyline.Point, len(graphs))
-		inexact, err := evalVectorsCtx(ctx, graphs, hints, q, opts, pts)
+		pts := make([]skyline.Point, len(sn.graphs))
+		inexact, err := evalVectorsCtx(ctx, sn.graphs, sn.seqs, hints, q, opts, ec, pts)
 		if err != nil {
 			return nil, err
 		}
 		t.Points, t.Inexact = pts, inexact
+	}
+	t.PivotDists, t.MemoHits, t.MemoMisses = ec.counters()
+	if ec != nil {
+		t.PivotPruned = int(ec.pivotPruned.Load())
 	}
 	t.Duration = time.Since(start)
 	return t, nil

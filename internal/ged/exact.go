@@ -51,6 +51,15 @@ type Result struct {
 	// Distance > *Options.Limit; Distance then holds the proven lower
 	// bound and Mapping is nil. Only possible when Options.Limit is set.
 	AboveLimit bool
+	// LowerBound is a proven lower bound on the true distance: the
+	// distance itself for exact results, the cheapest open f-value at
+	// the stopping point for capped or limit-stopped searches (the
+	// f-value of an ancestor lower-bounds all of its completions, so no
+	// mapping can cost less). Engines that do not search (Bipartite,
+	// Beam) leave it 0 — the trivial bound. The pivot index stores it as
+	// the low end of a distance interval when the insert-time search
+	// caps out.
+	LowerBound float64
 	// Nodes is the number of A* expansions performed.
 	Nodes int64
 }
@@ -168,7 +177,8 @@ func (s *astar) run(maxNodes int64) Result {
 	s.cacheEdges()
 	if n1 == 0 {
 		// Pure insertion of g2.
-		return Result{Distance: s.completionCostAfter(-1), Mapping: []int{}, Exact: true}
+		d := s.completionCostAfter(-1)
+		return Result{Distance: d, Mapping: []int{}, Exact: true, LowerBound: d}
 	}
 
 	open := &nodeHeap{}
@@ -179,21 +189,25 @@ func (s *astar) run(maxNodes int64) Result {
 	var nodes int64
 	for open.Len() > 0 {
 		if maxNodes > 0 && nodes >= maxNodes {
-			return Result{Distance: math.Inf(1), Exact: false, Nodes: nodes}
+			// The cheapest open f-value lower-bounds every completion
+			// still reachable, so it is a certified floor of the true
+			// distance even though the search gives up on exactness.
+			top := (*open)[0]
+			return Result{Distance: math.Inf(1), Exact: false, LowerBound: top.g + top.h, Nodes: nodes}
 		}
 		cur := heap.Pop(open).(*node)
 		if cur.g+cur.h > s.limit {
 			// cur is the cheapest open node and its f-value lower-bounds
 			// every completion still reachable, so no mapping fits under
 			// the limit: the decision "distance > limit" is proven.
-			return Result{Distance: cur.g + cur.h, AboveLimit: true, Nodes: nodes}
+			return Result{Distance: cur.g + cur.h, AboveLimit: true, LowerBound: cur.g + cur.h, Nodes: nodes}
 		}
 		nodes++
 		if cur.depth == n1 {
 			// Complete assignment: add the completion cost for unused g2
 			// vertices and untouched g2 edges, already included in g via
 			// the final expansion step.
-			return Result{Distance: cur.g, Mapping: s.extractMapping(cur), Exact: true, Nodes: nodes}
+			return Result{Distance: cur.g, Mapping: s.extractMapping(cur), Exact: true, LowerBound: cur.g, Nodes: nodes}
 		}
 		s.loadState(cur)
 		u := s.order[cur.depth]

@@ -227,6 +227,41 @@ func Mutate(g *Graph, nops int, vlabels, elabels []string, rng *rand.Rand) *Grap
 	return out
 }
 
+// Rewire returns a clone of g perturbed by nops edge relocations: each
+// operation removes one edge and re-adds an edge with the SAME label
+// between a different vertex pair (connectivity preserved, max degree
+// 4, retried like Mutate). Unlike Mutate, a rewire changes no label
+// histogram and no size — the perturbed graph is invisible to
+// label-multiset filters (its histogram edit-distance bound to g is 0)
+// while its true edit distance grows by up to 2 per operation. Rewired
+// families are therefore the adversarial workload for signature-based
+// pruning and the motivating one for metric (pivot) indexing.
+func Rewire(g *Graph, nops int, rng *rand.Rand) *Graph {
+	out := g.Clone()
+	out.SetName(g.Name() + "~")
+	if out.Size() == 0 || out.Order() < 3 {
+		return out
+	}
+	for done, tries := 0, 0; done < nops && tries < 200*nops; tries++ {
+		edges := out.Edges()
+		e := edges[rng.Intn(len(edges))]
+		lbl := e.Label
+		out.RemoveEdge(e.U, e.V)
+		if !out.IsConnected() {
+			out.MustAddEdge(e.U, e.V, lbl)
+			continue
+		}
+		u, v := rng.Intn(out.Order()), rng.Intn(out.Order())
+		if u == v || out.HasEdge(u, v) || out.Degree(u) >= 4 || out.Degree(v) >= 4 || (u == e.U && v == e.V) || (u == e.V && v == e.U) {
+			out.MustAddEdge(e.U, e.V, lbl)
+			continue
+		}
+		out.MustAddEdge(u, v, lbl)
+		done++
+	}
+	return out
+}
+
 func pick(labels []string, rng *rand.Rand) string {
 	if len(labels) == 0 {
 		return ""

@@ -1,0 +1,95 @@
+package lru
+
+import "testing"
+
+func TestGetPutEvict(t *testing.T) {
+	c := New[int](2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	// "b" is now least recently used; inserting "c" must evict it.
+	if ev := c.Put("c", 3); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted out of LRU order")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	c := New[int](2)
+	c.Put("a", 1)
+	c.Put("a", 7)
+	if v, _ := c.Get("a"); v != 7 {
+		t.Fatalf("replaced value = %d", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestContainsNoRecency(t *testing.T) {
+	c := New[int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if !c.Contains("a") {
+		t.Fatal("Contains(a) = false")
+	}
+	// Contains must not have refreshed "a": it is still the LRU entry.
+	c.Put("c", 3)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("Contains refreshed recency")
+	}
+}
+
+func TestUpdateMerges(t *testing.T) {
+	c := New[int](2)
+	c.Update("a", func(old int, ok bool) int {
+		if ok {
+			t.Fatal("merge saw a value in an empty cache")
+		}
+		return 1
+	})
+	c.Update("a", func(old int, ok bool) int {
+		if !ok || old != 1 {
+			t.Fatalf("merge old = %d, %v", old, ok)
+		}
+		return old + 10
+	})
+	if v, _ := c.Get("a"); v != 11 {
+		t.Fatalf("merged value = %d", v)
+	}
+}
+
+func TestPruneFunc(t *testing.T) {
+	c := New[int](4)
+	for _, k := range []string{"a1", "a2", "b1"} {
+		c.Put(k, 0)
+	}
+	if n := c.PruneFunc(func(k string, _ int) bool { return k[0] == 'a' }); n != 2 {
+		t.Fatalf("pruned %d, want 2", n)
+	}
+	if c.Len() != 1 || !c.Contains("b1") {
+		t.Fatalf("wrong survivor set, len %d", c.Len())
+	}
+}
+
+func TestDisabled(t *testing.T) {
+	c := New[int](0)
+	c.Put("a", 1)
+	c.Update("a", func(int, bool) int { return 2 })
+	if _, ok := c.Get("a"); ok || c.Len() != 0 {
+		t.Fatal("disabled cache stored an entry")
+	}
+}

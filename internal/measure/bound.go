@@ -135,6 +135,23 @@ func RefineWitness(g1, g2 *graph.Graph, bs BoundStats) (BoundStats, *Witness) {
 	return bs, w
 }
 
+// TightenGED intersects an externally certified GED interval — the
+// pivot tier's triangle-inequality bounds — into bs. Admissibility is
+// the caller's contract: lo must lower-bound the true edit distance
+// (any true-distance floor also floors what Compute reports, capped or
+// not), but hi must upper-bound the value Compute would *report* —
+// with a capped GED engine that is the bipartite fallback, which a
+// true-distance ceiling does not dominate, so callers pass hi = +Inf
+// unless the GED engine runs uncapped.
+func (bs *BoundStats) TightenGED(lo, hi float64) {
+	if lo > bs.GEDLo {
+		bs.GEDLo = lo
+	}
+	if hi < bs.GEDHi {
+		bs.GEDHi = hi
+	}
+}
+
 // corners returns the optimistic and pessimistic PairStats corners of
 // the interval: every basis measure is non-decreasing in GED and
 // non-increasing in MCS (distances shrink as similarity grows), so the

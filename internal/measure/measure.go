@@ -82,21 +82,61 @@ type PairHints struct {
 // ComputeHinted is Compute reusing whatever hints the caller has. The
 // returned statistics are identical to plain Compute's either way.
 func ComputeHinted(g1, g2 *graph.Graph, opts Options, h PairHints) PairStats {
-	gopts := ged.Options{MaxNodes: opts.GEDMaxNodes}
-	mopts := mcs.Options{MaxNodes: opts.MCSMaxNodes}
-	if h.Witness != nil {
-		gopts.Upper = &h.Witness.GEDUpper
-		mopts.Floor = &h.Witness.MCSFloor
+	ps, _ := ComputeWith(g1, g2, opts, h, EngineResults{})
+	return ps
+}
+
+// EngineResults carries the raw exact-engine outputs of one pair in
+// one orientation, the unit the cross-query score memo stores: the
+// engines are deterministic for a fixed (pair, options), so replaying
+// a recorded result is byte-identical to re-running the engine.
+type EngineResults struct {
+	// GED and GEDExact mirror PairStats (value or bipartite bound);
+	// HasGED reports whether the GED engine's result is present.
+	GED      float64
+	GEDExact bool
+	HasGED   bool
+	// MCS/MCSExact/HasMCS are the MCS engine analogues.
+	MCS      int
+	MCSExact bool
+	HasMCS   bool
+}
+
+// Covers reports whether the results satisfy the given engine needs.
+func (r EngineResults) Covers(needGED, needMCS bool) bool {
+	return (!needGED || r.HasGED) && (!needMCS || r.HasMCS)
+}
+
+// ComputeWith is ComputeHinted with per-engine reuse: engine results
+// already present in have are taken as-is and only the missing engines
+// run. It returns the pair statistics (byte-identical to plain
+// Compute's — recorded results must come from the same pair,
+// orientation and options) plus the now-complete engine results for
+// republication.
+func ComputeWith(g1, g2 *graph.Graph, opts Options, h PairHints, have EngineResults) (PairStats, EngineResults) {
+	if !have.HasGED {
+		gopts := ged.Options{MaxNodes: opts.GEDMaxNodes}
+		if h.Witness != nil {
+			gopts.Upper = &h.Witness.GEDUpper
+		}
+		gres := ged.Exact(g1, g2, gopts)
+		have.GED, have.GEDExact, have.HasGED = gres.Distance, gres.Exact, true
 	}
-	gres := ged.Exact(g1, g2, gopts)
-	mres := mcs.Exact(g1, g2, mopts)
+	if !have.HasMCS {
+		mopts := mcs.Options{MaxNodes: opts.MCSMaxNodes}
+		if h.Witness != nil {
+			mopts.Floor = &h.Witness.MCSFloor
+		}
+		mres := mcs.Exact(g1, g2, mopts)
+		have.MCS, have.MCSExact, have.HasMCS = mres.Mapping.Edges, mres.Exhausted, true
+	}
 	v1, e1, d1 := histsOf(g1, h.Sig1)
 	v2, e2, d2 := histsOf(g2, h.Sig2)
 	return PairStats{
-		GED:       gres.Distance,
-		GEDExact:  gres.Exact,
-		MCS:       mres.Mapping.Edges,
-		MCSExact:  mres.Exhausted,
+		GED:       have.GED,
+		GEDExact:  have.GEDExact,
+		MCS:       have.MCS,
+		MCSExact:  have.MCSExact,
 		Size1:     g1.Size(),
 		Size2:     g2.Size(),
 		Order1:    g1.Order(),
@@ -104,6 +144,29 @@ func ComputeHinted(g1, g2 *graph.Graph, opts Options, h PairHints) PairStats {
 		VHistDist: graph.HistogramDistance(v1, v2),
 		EHistDist: graph.HistogramDistance(e1, e2),
 		DegL1:     degreeL1(d1, d2),
+	}, have
+}
+
+// PairStatsFrom assembles the pair statistics of a graph pair known by
+// its stored signatures and previously recorded engine results — the
+// memo-hit path: no graph access and no engine runs, byte-identical to
+// ComputeHinted on the same pair (signatures carry exactly the
+// order/size/histogram/degree material the cheap fields derive from).
+// Fields of engines absent from r are zero; callers must only consume
+// measures r covers.
+func PairStatsFrom(s1, s2 *Signature, r EngineResults) PairStats {
+	return PairStats{
+		GED:       r.GED,
+		GEDExact:  r.GEDExact,
+		MCS:       r.MCS,
+		MCSExact:  r.MCSExact,
+		Size1:     s1.Size,
+		Size2:     s2.Size,
+		Order1:    s1.Order,
+		Order2:    s2.Order,
+		VHistDist: graph.HistogramDistance(s1.VHist, s2.VHist),
+		EHistDist: graph.HistogramDistance(s1.EHist, s2.EHist),
+		DegL1:     degreeL1(s1.Degrees, s2.Degrees),
 	}
 }
 

@@ -157,6 +157,15 @@ func PlanRank(m Measure, bs BoundStats, t float64) RankPlan {
 // a capped engine that actually ran backed it. Only valid for Rankable
 // measures.
 func ScorePair(g1, g2 *graph.Graph, m Measure, opts Options, h PairHints) (score float64, inexact bool) {
+	score, _, inexact = ScorePairWith(g1, g2, m, opts, h, EngineResults{})
+	return score, inexact
+}
+
+// ScorePairWith is ScorePair with per-engine reuse: results already
+// present in have (and consumed by m) are replayed instead of re-run,
+// and got returns the engine results this call used — exactly the
+// engines m consumes — for republication into a memo.
+func ScorePairWith(g1, g2 *graph.Graph, m Measure, opts Options, h PairHints, have EngineResults) (score float64, got EngineResults, inexact bool) {
 	v1, e1, d1 := histsOf(g1, h.Sig1)
 	v2, e2, d2 := histsOf(g2, h.Sig2)
 	ps := PairStats{
@@ -168,24 +177,32 @@ func ScorePair(g1, g2 *graph.Graph, m Measure, opts Options, h PairHints) (score
 	}
 	needGED, needMCS := EngineNeeds(m)
 	if needGED {
-		gopts := ged.Options{MaxNodes: opts.GEDMaxNodes}
-		if h.Witness != nil {
-			gopts.Upper = &h.Witness.GEDUpper
+		if !have.HasGED {
+			gopts := ged.Options{MaxNodes: opts.GEDMaxNodes}
+			if h.Witness != nil {
+				gopts.Upper = &h.Witness.GEDUpper
+			}
+			gres := ged.Exact(g1, g2, gopts)
+			have.GED, have.GEDExact, have.HasGED = gres.Distance, gres.Exact, true
 		}
-		gres := ged.Exact(g1, g2, gopts)
-		ps.GED, ps.GEDExact = gres.Distance, gres.Exact
-		inexact = inexact || !gres.Exact
+		ps.GED, ps.GEDExact = have.GED, have.GEDExact
+		got.GED, got.GEDExact, got.HasGED = have.GED, have.GEDExact, true
+		inexact = inexact || !have.GEDExact
 	}
 	if needMCS {
-		mopts := mcs.Options{MaxNodes: opts.MCSMaxNodes}
-		if h.Witness != nil {
-			mopts.Floor = &h.Witness.MCSFloor
+		if !have.HasMCS {
+			mopts := mcs.Options{MaxNodes: opts.MCSMaxNodes}
+			if h.Witness != nil {
+				mopts.Floor = &h.Witness.MCSFloor
+			}
+			mres := mcs.Exact(g1, g2, mopts)
+			have.MCS, have.MCSExact, have.HasMCS = mres.Mapping.Edges, mres.Exhausted, true
 		}
-		mres := mcs.Exact(g1, g2, mopts)
-		ps.MCS, ps.MCSExact = mres.Mapping.Edges, mres.Exhausted
-		inexact = inexact || !mres.Exhausted
+		ps.MCS, ps.MCSExact = have.MCS, have.MCSExact
+		got.MCS, got.MCSExact, got.HasMCS = have.MCS, have.MCSExact, true
+		inexact = inexact || !have.MCSExact
 	}
-	return m.FromStats(ps), inexact
+	return m.FromStats(ps), got, inexact
 }
 
 // ComputeRank is the threshold-fed pair evaluation: it either proves
@@ -196,13 +213,25 @@ func ScorePair(g1, g2 *graph.Graph, m Measure, opts Options, h PairHints) (score
 // refinement witness as usual. inexact reports whether a capped engine
 // backed the returned score.
 func ComputeRank(g1, g2 *graph.Graph, m Measure, t float64, bs BoundStats, opts Options, h PairHints) (score float64, excluded, inexact bool) {
+	score, _, excluded, inexact = ComputeRankResults(g1, g2, m, t, bs, opts, h)
+	return score, excluded, inexact
+}
+
+// ComputeRankResults is ComputeRank additionally returning the plain
+// engine results that back an included score — exactly the engines m
+// consumes, for republication into a memo. Decision-run outcomes are
+// never returned: a search truncated at the decision threshold is not
+// the plain engine's answer (except the uncapped goal case, whose
+// value is provably identical and is returned). Excluded candidates
+// return empty results.
+func ComputeRankResults(g1, g2 *graph.Graph, m Measure, t float64, bs BoundStats, opts Options, h PairHints) (score float64, got EngineResults, excluded, inexact bool) {
 	lo, hi := bs.Interval(m)
 	if lo > t {
 		// The whole interval sits above the threshold: the reported
 		// distance cannot fit. (The best-first scan normally stops
 		// before such candidates; this catches a threshold that
 		// tightened after the candidate was claimed.)
-		return 0, true, false
+		return 0, EngineResults{}, true, false
 	}
 	plan := PlanRank(m, bs, t)
 	ps := bs.statsAt(0, 0)
@@ -219,7 +248,7 @@ func ComputeRank(g1, g2 *graph.Graph, m Measure, t float64, bs BoundStats, opts 
 			dres := ged.Exact(g1, g2, dopts)
 			switch {
 			case dres.AboveLimit:
-				return 0, true, false
+				return 0, EngineResults{}, true, false
 			case opts.GEDMaxNodes == 0 && dres.Exact:
 				// Uncapped decision searches that reach a goal are the
 				// plain search truncated at nothing: the goal is the
@@ -234,6 +263,7 @@ func ComputeRank(g1, g2 *graph.Graph, m Measure, t float64, bs BoundStats, opts 
 		if !ps.GEDExact {
 			inexact = true
 		}
+		got.GED, got.GEDExact, got.HasGED = ps.GED, ps.GEDExact, true
 	}
 	if plan.NeedMCS {
 		mopts := mcs.Options{MaxNodes: opts.MCSMaxNodes}
@@ -245,7 +275,7 @@ func ComputeRank(g1, g2 *graph.Graph, m Measure, t float64, bs BoundStats, opts 
 			dopts := mopts
 			dopts.Need = plan.MCSNeed
 			if dres := mcs.Exact(g1, g2, dopts); dres.ProvedBelowNeed {
-				return 0, true, false
+				return 0, EngineResults{}, true, false
 			}
 			// A decision run that reached Need stopped early; its
 			// mapping is decision-grade only, so the survivor pays the
@@ -256,6 +286,7 @@ func ComputeRank(g1, g2 *graph.Graph, m Measure, t float64, bs BoundStats, opts 
 		if !mres.Exhausted {
 			inexact = true
 		}
+		got.MCS, got.MCSExact, got.HasMCS = ps.MCS, ps.MCSExact, true
 	}
-	return m.FromStats(ps), false, inexact
+	return m.FromStats(ps), got, false, inexact
 }

@@ -19,6 +19,15 @@ type Pair struct{ U, V int }
 // product vertex. Product vertices (u1,v1) and (u2,v2) are adjacent iff
 // u1 != u2, v1 != v2 and either both factors have an equally-labeled edge
 // between the respective vertices, or neither factor has any edge there.
+//
+// The O(n²) double loop over product vertices probes both factors'
+// adjacency once per pair; doing that through per-vertex label maps
+// (graph.EdgeLabel) made the probe a hash lookup on the MCS hot path.
+// Instead both factors are flattened once into dense label-id
+// adjacency rows sharing one label table, which turns the adjacency
+// test into two array loads and an integer compare: ids are equal
+// exactly when both factors have equally-labeled edges there or
+// neither has any (id 0).
 func Modular(g, h *graph.Graph) (*clique.Graph, []Pair) {
 	var pairs []Pair
 	for u := 0; u < g.Order(); u++ {
@@ -28,21 +37,43 @@ func Modular(g, h *graph.Graph) (*clique.Graph, []Pair) {
 			}
 		}
 	}
+	labels := map[string]int32{}
+	gadj, gn := labelAdjacency(g, labels)
+	hadj, hn := labelAdjacency(h, labels)
 	pg := clique.NewGraph(len(pairs))
 	for i := 0; i < len(pairs); i++ {
+		a := pairs[i]
+		grow := gadj[a.U*gn : (a.U+1)*gn]
+		hrow := hadj[a.V*hn : (a.V+1)*hn]
 		for j := i + 1; j < len(pairs); j++ {
-			a, b := pairs[i], pairs[j]
+			b := pairs[j]
 			if a.U == b.U || a.V == b.V {
 				continue
 			}
-			gl, gok := g.EdgeLabel(a.U, b.U)
-			hl, hok := h.EdgeLabel(a.V, b.V)
-			if (gok && hok && gl == hl) || (!gok && !hok) {
+			if grow[b.U] == hrow[b.V] {
 				pg.AddEdge(i, j)
 			}
 		}
 	}
 	return pg, pairs
+}
+
+// labelAdjacency flattens a factor into a dense n×n row-major matrix of
+// edge-label ids: 0 for no edge, otherwise 1 + the label's index in the
+// shared table (so ids are comparable across both factors).
+func labelAdjacency(g *graph.Graph, labels map[string]int32) ([]int32, int) {
+	n := g.Order()
+	adj := make([]int32, n*n)
+	for _, e := range g.Edges() {
+		id, ok := labels[e.Label]
+		if !ok {
+			id = int32(len(labels)) + 1
+			labels[e.Label] = id
+		}
+		adj[e.U*n+e.V] = id
+		adj[e.V*n+e.U] = id
+	}
+	return adj, n
 }
 
 // MaxCommonInducedSubgraph returns a maximum common induced subgraph of g

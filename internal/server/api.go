@@ -17,6 +17,7 @@
 package server
 
 import (
+	"skygraph/internal/gdb"
 	"skygraph/internal/graph"
 	"skygraph/internal/measure"
 )
@@ -76,6 +77,19 @@ type QueryStats struct {
 	// Inexact counts table pairs where a capped engine returned a bound
 	// (a property of the answer, whether cached or fresh).
 	Inexact int `json:"inexact"`
+	// PivotPruned counts graphs (within Pruned) whose exclusion needed
+	// the pivot tier's triangle-inequality bounds; PivotDists counts
+	// the query-to-pivot distance computations the tier paid for. Both
+	// are 0 when the daemon runs without -pivots, and 0 for cache hits
+	// (like Evaluated/Pruned, they count work this request caused).
+	PivotPruned int `json:"pivot_pruned"`
+	PivotDists  int `json:"pivot_dists"`
+	// MemoHits and MemoMisses count cross-query score-memo lookups
+	// during this request's fresh evaluations; hits replayed recorded
+	// engine results instead of running the exact engines. Both 0
+	// without -memo.
+	MemoHits   int `json:"memo_hits"`
+	MemoMisses int `json:"memo_misses"`
 	// CacheHit reports whether every shard table came from the cache.
 	CacheHit bool `json:"cache_hit"`
 	// Shards is the number of shards the query ran against.
@@ -182,6 +196,12 @@ type BatchStats struct {
 	// Pruned counts graphs the bound filter excluded across the batch's
 	// answers.
 	Pruned int `json:"pruned"`
+	// PivotPruned, PivotDists, MemoHits and MemoMisses aggregate the
+	// per-item pivot-tier and score-memo counters (see QueryStats).
+	PivotPruned int `json:"pivot_pruned"`
+	PivotDists  int `json:"pivot_dists"`
+	MemoHits    int `json:"memo_hits"`
+	MemoMisses  int `json:"memo_misses"`
 	// ShardHits counts shard tables served from the cache or a
 	// coalesced leader across the batch.
 	ShardHits int `json:"shard_hits"`
@@ -227,14 +247,24 @@ type StatsResponse struct {
 	DB            DBStats     `json:"db"`
 	Shards        []ShardInfo `json:"shards"`
 	Cache         CacheStats  `json:"cache"`
-	Requests      ReqStats    `json:"requests"`
+	// Memo is the cross-query score memo's occupancy and lifetime
+	// hit/miss counters (absent without -memo).
+	Memo     *gdb.MemoStats `json:"memo,omitempty"`
+	Requests ReqStats       `json:"requests"`
 }
 
-// ShardInfo is one shard's occupancy and generation.
+// ShardInfo is one shard's occupancy and generation, plus its pivot
+// index occupancy when the daemon runs with -pivots: Pivots is the
+// selected pivot count, PivotReady how many stored graphs have their
+// distance column computed, PivotPending how many are still queued
+// behind the background workers.
 type ShardInfo struct {
-	Index      int    `json:"index"`
-	Graphs     int    `json:"graphs"`
-	Generation uint64 `json:"generation"`
+	Index        int    `json:"index"`
+	Graphs       int    `json:"graphs"`
+	Generation   uint64 `json:"generation"`
+	Pivots       int    `json:"pivots,omitempty"`
+	PivotReady   int    `json:"pivot_ready,omitempty"`
+	PivotPending int    `json:"pivot_pending,omitempty"`
 }
 
 // DBStats mirrors gdb.Stats in wire form.
@@ -258,10 +288,49 @@ type ReqStats struct {
 	// PairEvals counts exact pair evaluations across all table builds
 	// and best-first ranked scans; PairsPruned counts pairs the bound
 	// filter and threshold cutoffs spared.
-	PairEvals        uint64 `json:"pair_evals"`
-	PairsPruned      uint64 `json:"pairs_pruned"`
+	PairEvals   uint64 `json:"pair_evals"`
+	PairsPruned uint64 `json:"pairs_pruned"`
+	// PivotPruned counts pairs (within PairsPruned) only the pivot
+	// tier's triangle bounds excluded; PivotDists counts query-to-pivot
+	// distance computations. MemoHits/MemoMisses total the score-memo
+	// lookups the query paths performed.
+	PivotPruned      uint64 `json:"pivot_pruned"`
+	PivotDists       uint64 `json:"pivot_dists"`
+	MemoHits         uint64 `json:"memo_hits"`
+	MemoMisses       uint64 `json:"memo_misses"`
 	QueryTimeouts    uint64 `json:"query_timeouts"`
 	InflightRejected uint64 `json:"inflight_rejected"`
+}
+
+// WarmRequest is the body of POST /cache/warm: query graphs whose
+// complete per-shard vector tables should be built (and cached) ahead
+// of traffic. Warming populates the table cache and, when enabled, the
+// cross-query score memo — so later queries of any kind on these (or
+// isomorphic) graphs answer from cache, and even after a mutation
+// invalidates the tables, rebuilding them replays memoized pair scores
+// instead of re-running engines.
+type WarmRequest struct {
+	// Queries holds the query graphs to warm, each with the optional
+	// basis/eval fields of a normal request (k, radius, algorithm and
+	// prune are ignored — warming always builds complete tables).
+	Queries []QueryRequest `json:"queries"`
+	// TimeoutMS bounds the whole warming pass (0 = server default).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// WarmResult reports one warmed query.
+type WarmResult struct {
+	// Evaluated counts fresh pair evaluations; ShardHits counts shard
+	// tables that were already cached.
+	Evaluated int    `json:"evaluated"`
+	ShardHits int    `json:"shard_hits"`
+	Error     string `json:"error,omitempty"`
+}
+
+// WarmResponse answers /cache/warm, one result per query in order.
+type WarmResponse struct {
+	Results    []WarmResult `json:"results"`
+	DurationMS float64      `json:"duration_ms"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.

@@ -139,6 +139,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		qs := res.stats()
 		stats.Evaluated += qs.Evaluated
 		stats.Pruned += qs.Pruned
+		stats.PivotPruned += qs.PivotPruned
+		stats.PivotDists += qs.PivotDists
+		stats.MemoHits += qs.MemoHits
+		stats.MemoMisses += qs.MemoMisses
 		stats.ShardHits += qs.ShardHits
 	}
 	writeJSON(w, http.StatusOK, BatchResponse{Results: results, Stats: stats})

@@ -1,39 +1,36 @@
 package server
 
 import (
-	"container/list"
 	"fmt"
 	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 
 	"skygraph/internal/gdb"
+	"skygraph/internal/lru"
 	"skygraph/internal/measure"
 	"skygraph/internal/topk"
 )
 
 // Cache is a bounded LRU of per-shard query vector tables plus merged
-// ranked answers. A table key binds a table to the exact inputs that
-// produced it — shard index, that shard's generation, canonical
-// query-graph hash, measure basis and engine options — so a lookup can
-// only ever return a table that answers the current request exactly.
-// Because the owning shard's generation participates in the key, a
-// mutation invalidates exactly that shard's entries: old-generation
-// tables become unreachable and are either aged out by the LRU or
-// dropped eagerly by PruneStale; tables of the other shards stay live.
-// Ranked answers (RankedKey) instead carry every shard's generation —
-// the merged result spans the whole database, so any mutation
-// invalidates them.
+// ranked answers, layered on the shared internal/lru core (the same
+// machinery behind gdb's cross-query score memo). A table key binds a
+// table to the exact inputs that produced it — shard index, that
+// shard's generation, canonical query-graph hash, measure basis and
+// engine options — so a lookup can only ever return a table that
+// answers the current request exactly. Because the owning shard's
+// generation participates in the key, a mutation invalidates exactly
+// that shard's entries: old-generation tables become unreachable and
+// are either aged out by the LRU or dropped eagerly by PruneStale;
+// tables of the other shards stay live. Ranked answers (RankedKey)
+// instead carry every shard's generation — the merged result spans the
+// whole database, so any mutation invalidates them.
 //
 // Counters are atomics, read without the LRU lock: /stats can hammer
 // the cache while queries run without contending on (or racing with)
 // the hot lookup path.
 type Cache struct {
-	mu       sync.Mutex
-	capacity int
-	ll       *list.List // front = most recently used
-	items    map[string]*list.Element
+	lru *lru.Cache[*cacheEntry]
 
 	hits          atomic.Uint64
 	misses        atomic.Uint64
@@ -46,7 +43,6 @@ type Cache struct {
 // a whole-database ranked answer (shard == -1, bound to EVERY shard's
 // generation via gens — any mutation anywhere invalidates it).
 type cacheEntry struct {
-	key    string
 	shard  int
 	table  *gdb.VectorTable
 	gens   []uint64
@@ -74,11 +70,7 @@ func (e *cacheEntry) stale(shard int, gen uint64) bool {
 // NewCache returns an LRU holding at most capacity tables. Capacity < 1
 // disables caching (every Get misses, Put is a no-op).
 func NewCache(capacity int) *Cache {
-	return &Cache{
-		capacity: capacity,
-		ll:       list.New(),
-		items:    make(map[string]*list.Element),
-	}
+	return &Cache{lru: lru.New[*cacheEntry](capacity)}
 }
 
 // CacheKey renders the canonical cache key for one shard's vector table.
@@ -149,61 +141,31 @@ func (c *Cache) getRanked(key string, quiet bool) (*rankedEntry, bool) {
 }
 
 func (c *Cache) lookup(key string, quiet bool) (*cacheEntry, bool) {
-	c.mu.Lock()
-	el, ok := c.items[key]
+	e, ok := c.lru.Get(key)
 	if !ok {
-		c.mu.Unlock()
 		if !quiet {
 			c.misses.Add(1)
 		}
 		return nil, false
 	}
-	c.ll.MoveToFront(el)
-	e := el.Value.(*cacheEntry)
-	c.mu.Unlock()
 	c.hits.Add(1)
 	return e, true
 }
 
 // contains reports whether key is cached, without touching recency or
 // the hit/miss counters — a planning peek, not a lookup.
-func (c *Cache) contains(key string) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, ok := c.items[key]
-	return ok
-}
+func (c *Cache) contains(key string) bool { return c.lru.Contains(key) }
 
 // Put stores shard's table under key, evicting the least recently used
 // entry when the cache is full.
 func (c *Cache) Put(key string, shard int, t *gdb.VectorTable) {
-	c.put(&cacheEntry{key: key, shard: shard, table: t})
+	c.evictions.Add(uint64(c.lru.Put(key, &cacheEntry{shard: shard, table: t})))
 }
 
 // PutRanked stores a ranked answer computed at the given per-shard
 // generations under key (one cache slot, like a table).
 func (c *Cache) PutRanked(key string, gens []uint64, r *rankedEntry) {
-	c.put(&cacheEntry{key: key, shard: -1, gens: gens, ranked: r})
-}
-
-func (c *Cache) put(e *cacheEntry) {
-	if c.capacity < 1 {
-		return
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[e.key]; ok {
-		*el.Value.(*cacheEntry) = *e
-		c.ll.MoveToFront(el)
-		return
-	}
-	c.items[e.key] = c.ll.PushFront(e)
-	for c.ll.Len() > c.capacity {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
-		c.evictions.Add(1)
-	}
+	c.evictions.Add(uint64(c.lru.Put(key, &cacheEntry{shard: -1, gens: gens, ranked: r})))
 }
 
 // PruneStale eagerly drops every entry of shard computed before
@@ -214,28 +176,15 @@ func (c *Cache) put(e *cacheEntry) {
 // newer than the caller's (possibly stale) generation read, and other
 // shards' entries are never touched.
 func (c *Cache) PruneStale(shard int, gen uint64) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	dropped := 0
-	for el := c.ll.Front(); el != nil; {
-		next := el.Next()
-		if e := el.Value.(*cacheEntry); e.stale(shard, gen) {
-			c.ll.Remove(el)
-			delete(c.items, e.key)
-			dropped++
-		}
-		el = next
-	}
+	dropped := c.lru.PruneFunc(func(_ string, e *cacheEntry) bool {
+		return e.stale(shard, gen)
+	})
 	c.invalidations.Add(uint64(dropped))
 	return dropped
 }
 
 // Len returns the number of cached tables.
-func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
-}
+func (c *Cache) Len() int { return c.lru.Len() }
 
 // CacheStats is a point-in-time snapshot of cache counters.
 type CacheStats struct {
@@ -251,7 +200,7 @@ type CacheStats struct {
 // not block concurrent lookups.
 func (c *Cache) Stats() CacheStats {
 	return CacheStats{
-		Capacity:      c.capacity,
+		Capacity:      c.lru.Capacity(),
 		Entries:       c.Len(),
 		Hits:          c.hits.Load(),
 		Misses:        c.misses.Load(),

@@ -25,9 +25,14 @@ type rankedAnswer struct {
 	items   []topk.Item
 	inexact int
 	// evaluated and pruned count pair decisions this request caused
-	// (0 when the whole answer came from a cache).
-	evaluated int
-	pruned    int
+	// (0 when the whole answer came from a cache), with the pivot-tier
+	// and score-memo activity of the fresh shard scans alongside.
+	evaluated   int
+	pruned      int
+	pivotPruned int
+	pivotDists  int
+	memoHits    int
+	memoMisses  int
 	// shardHits counts shards served from cached complete tables; hit
 	// reports the whole merged answer came from the ranked cache (or a
 	// coalesced leader).
@@ -70,6 +75,7 @@ func (s *Server) ranked(ctx context.Context, kind string, res resolved, k int, r
 			if leader.err == nil {
 				ra := *leader.ra
 				ra.evaluated, ra.pruned = 0, 0
+				ra.pivotPruned, ra.pivotDists, ra.memoHits, ra.memoMisses = 0, 0, 0, 0
 				ra.shardHits, ra.hit = n, true
 				return ra, nil
 			}
@@ -179,6 +185,10 @@ func (s *Server) leadRanked(ctx context.Context, kind string, res resolved, k in
 			ra.evaluated += st.Evaluated
 			ra.pruned += st.Pruned
 			ra.inexact += st.Inexact
+			ra.pivotPruned += st.PivotPruned
+			ra.pivotDists += st.PivotDists
+			ra.memoHits += st.MemoHits
+			ra.memoMisses += st.MemoMisses
 		}
 	}
 
@@ -188,6 +198,10 @@ func (s *Server) leadRanked(ctx context.Context, kind string, res resolved, k in
 	}
 	s.pairEvals.Add(uint64(ra.evaluated))
 	s.pairsPruned.Add(uint64(ra.pruned))
+	s.pivotPruned.Add(uint64(ra.pivotPruned))
+	s.pivotDists.Add(uint64(ra.pivotDists))
+	s.memoHits.Add(uint64(ra.memoHits))
+	s.memoMisses.Add(uint64(ra.memoMisses))
 	// Cache only when no mutation raced the evaluation: generations are
 	// monotone, so unchanged before/after means every snapshot the scan
 	// used matches the keyed generations.
@@ -212,12 +226,16 @@ func gensEqual(a, b []uint64) bool {
 // rankedStats assembles the wire stats for one pruned ranked answer.
 func (s *Server) rankedStats(ra rankedAnswer, start time.Time) QueryStats {
 	return QueryStats{
-		Evaluated:  ra.evaluated,
-		Pruned:     ra.pruned,
-		Inexact:    ra.inexact,
-		CacheHit:   ra.hit || ra.shardHits == s.db.NumShards(),
-		Shards:     s.db.NumShards(),
-		ShardHits:  ra.shardHits,
-		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
+		Evaluated:   ra.evaluated,
+		Pruned:      ra.pruned,
+		Inexact:     ra.inexact,
+		PivotPruned: ra.pivotPruned,
+		PivotDists:  ra.pivotDists,
+		MemoHits:    ra.memoHits,
+		MemoMisses:  ra.memoMisses,
+		CacheHit:    ra.hit || ra.shardHits == s.db.NumShards(),
+		Shards:      s.db.NumShards(),
+		ShardHits:   ra.shardHits,
+		DurationMS:  float64(time.Since(start).Microseconds()) / 1000,
 	}
 }

@@ -67,6 +67,10 @@ type Server struct {
 	errors      atomic.Uint64
 	pairEvals   atomic.Uint64
 	pairsPruned atomic.Uint64
+	pivotPruned atomic.Uint64
+	pivotDists  atomic.Uint64
+	memoHits    atomic.Uint64
+	memoMisses  atomic.Uint64
 	timeouts    atomic.Uint64
 	rejected    atomic.Uint64
 }
@@ -105,6 +109,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /query/topk", s.handleTopK)
 	mux.HandleFunc("POST /query/range", s.handleRange)
 	mux.HandleFunc("POST /query/batch", s.handleBatch)
+	mux.HandleFunc("POST /cache/warm", s.handleWarm)
 	mux.HandleFunc("GET /graphs", s.handleList)
 	mux.HandleFunc("POST /graphs", s.handleInsert)
 	mux.HandleFunc("GET /graphs/{name}", s.handleGet)
@@ -212,8 +217,9 @@ func (s *Server) resolveQuery(req *QueryRequest, needMeasure bool) (resolved, er
 	}
 
 	// Workers 0 is resolved per query in tables(), where the number of
-	// shards actually needing evaluation is known.
-	res.opts = gdb.QueryOptions{Basis: basis, Eval: s.mergeEval(req.Eval), Workers: s.cfg.Workers}
+	// shards actually needing evaluation is known. The canonical query
+	// hash rides along so the score memo never re-canonicalizes.
+	res.opts = gdb.QueryOptions{Basis: basis, Eval: s.mergeEval(req.Eval), Workers: s.cfg.Workers, QueryHash: res.qh}
 	// Every kind prunes by default when the bounds allow it: skyline
 	// requests unless the full table was asked for (boundable basis),
 	// ranking kinds whenever the ranking measure is a built-in. "prune":
@@ -274,13 +280,48 @@ type flightCall struct {
 
 // tableSet is the per-shard answer material for one query, plus what it
 // cost: hits counts shards served from cache (or a coalesced leader),
-// evaluated and pruned count pair evaluations this request caused and
-// spared (both 0 for shards served from cache).
+// the work sums count pair evaluations (and pivot/memo activity) this
+// request caused — all 0 for shards served from cache.
 type tableSet struct {
-	tables    []*gdb.VectorTable
-	hits      int
-	evaluated int
-	pruned    int
+	tables []*gdb.VectorTable
+	hits   int
+	work   tableWork
+}
+
+// tableWork sums the fresh-evaluation counters of one or more shard
+// table builds.
+type tableWork struct {
+	evaluated   int
+	pruned      int
+	pivotPruned int
+	pivotDists  int
+	memoHits    int
+	memoMisses  int
+}
+
+// freshWork extracts a table's counters, zeroed for cache hits (the
+// work was counted by the request that built the table).
+func freshWork(t *gdb.VectorTable, hit bool) tableWork {
+	if hit {
+		return tableWork{}
+	}
+	return tableWork{
+		evaluated:   len(t.Points),
+		pruned:      t.Pruned,
+		pivotPruned: t.PivotPruned,
+		pivotDists:  t.PivotDists,
+		memoHits:    t.MemoHits,
+		memoMisses:  t.MemoMisses,
+	}
+}
+
+func (w *tableWork) add(o tableWork) {
+	w.evaluated += o.evaluated
+	w.pruned += o.pruned
+	w.pivotPruned += o.pivotPruned
+	w.pivotDists += o.pivotDists
+	w.memoHits += o.memoHits
+	w.memoMisses += o.memoMisses
 }
 
 func (ts tableSet) inexact() int {
@@ -305,7 +346,7 @@ func (s *Server) tables(ctx context.Context, res resolved) (tableSet, error) {
 			return tableSet{}, err
 		}
 		out.tables[0] = t
-		out.hits, out.evaluated, out.pruned = boolToInt(hit), freshEvals(t, hit), freshPruned(t, hit)
+		out.hits, out.work = boolToInt(hit), freshWork(t, hit)
 		return out, nil
 	}
 	// Spread the default worker budget over the shards that will
@@ -326,12 +367,11 @@ func (s *Server) tables(ctx context.Context, res resolved) (tableSet, error) {
 		}
 	}
 	var (
-		wg        sync.WaitGroup
-		hits      atomic.Int64
-		evaluated atomic.Int64
-		prunedN   atomic.Int64
-		errMu     sync.Mutex
-		firstErr  error
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		hits     int
+		work     tableWork
+		firstErr error
 	)
 	for i := 0; i < n; i++ {
 		wg.Add(1)
@@ -339,24 +379,25 @@ func (s *Server) tables(ctx context.Context, res resolved) (tableSet, error) {
 			defer wg.Done()
 			t, hit, err := s.shardTable(ctx, i, qh, res)
 			if err != nil {
-				errMu.Lock()
+				mu.Lock()
 				if firstErr == nil {
 					firstErr = err
 				}
-				errMu.Unlock()
+				mu.Unlock()
 				return
 			}
 			out.tables[i] = t
-			hits.Add(int64(boolToInt(hit)))
-			evaluated.Add(int64(freshEvals(t, hit)))
-			prunedN.Add(int64(freshPruned(t, hit)))
+			mu.Lock()
+			hits += boolToInt(hit)
+			work.add(freshWork(t, hit))
+			mu.Unlock()
 		}(i)
 	}
 	wg.Wait()
 	if firstErr != nil {
 		return tableSet{}, firstErr
 	}
-	out.hits, out.evaluated, out.pruned = int(hits.Load()), int(evaluated.Load()), int(prunedN.Load())
+	out.hits, out.work = hits, work
 	return out, nil
 }
 
@@ -377,20 +418,6 @@ func (s *Server) cachedForQuery(shard int, qh string, res resolved) bool {
 		return true
 	}
 	return res.prune && s.cache.contains(prunedKey(key))
-}
-
-func freshEvals(t *gdb.VectorTable, hit bool) int {
-	if hit {
-		return 0
-	}
-	return len(t.Points)
-}
-
-func freshPruned(t *gdb.VectorTable, hit bool) int {
-	if hit {
-		return 0
-	}
-	return t.Pruned
 }
 
 // shardTable returns one shard's table for a resolved query, from the
@@ -491,6 +518,10 @@ func (s *Server) lead(ctx context.Context, res resolved, shard int, qh, key, ful
 	}
 	s.pairEvals.Add(uint64(len(t.Points)))
 	s.pairsPruned.Add(uint64(t.Pruned))
+	s.pivotPruned.Add(uint64(t.PivotPruned))
+	s.pivotDists.Add(uint64(t.PivotDists))
+	s.memoHits.Add(uint64(t.MemoHits))
+	s.memoMisses.Add(uint64(t.MemoMisses))
 	// The snapshot generation is authoritative: if the shard changed
 	// between the key computation and the snapshot, rekey so the entry
 	// stays reachable exactly as long as it is valid. A pruning build
@@ -526,13 +557,17 @@ func (s *Server) classifyQueryErr(err error) (int, string) {
 // queryStats assembles the wire stats for one answered query.
 func (s *Server) queryStats(ts tableSet, start time.Time) QueryStats {
 	return QueryStats{
-		Evaluated:  ts.evaluated,
-		Pruned:     ts.pruned,
-		Inexact:    ts.inexact(),
-		CacheHit:   ts.hits == len(ts.tables),
-		Shards:     len(ts.tables),
-		ShardHits:  ts.hits,
-		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
+		Evaluated:   ts.work.evaluated,
+		Pruned:      ts.work.pruned,
+		Inexact:     ts.inexact(),
+		PivotPruned: ts.work.pivotPruned,
+		PivotDists:  ts.work.pivotDists,
+		MemoHits:    ts.work.memoHits,
+		MemoMisses:  ts.work.memoMisses,
+		CacheHit:    ts.hits == len(ts.tables),
+		Shards:      len(ts.tables),
+		ShardHits:   ts.hits,
+		DurationMS:  float64(time.Since(start).Microseconds()) / 1000,
 	}
 }
 
@@ -803,6 +838,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Graphs:     s.db.Shard(i).Len(),
 			Generation: s.db.ShardGeneration(i),
 		}
+		if ix := s.db.Shard(i).PivotIndex(); ix != nil {
+			shards[i].Pivots, shards[i].PivotReady, shards[i].PivotPending = ix.Ready()
+		}
+	}
+	var memo *gdb.MemoStats
+	if m := s.db.Memo(); m != nil {
+		ms := m.Stats()
+		memo = &ms
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -818,6 +861,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		Shards: shards,
 		Cache:  s.cache.Stats(),
+		Memo:   memo,
 		Requests: ReqStats{
 			Queries:          s.queries.Load(),
 			Batches:          s.batches.Load(),
@@ -826,8 +870,72 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Errors:           s.errors.Load(),
 			PairEvals:        s.pairEvals.Load(),
 			PairsPruned:      s.pairsPruned.Load(),
+			PivotPruned:      s.pivotPruned.Load(),
+			PivotDists:       s.pivotDists.Load(),
+			MemoHits:         s.memoHits.Load(),
+			MemoMisses:       s.memoMisses.Load(),
 			QueryTimeouts:    s.timeouts.Load(),
 			InflightRejected: s.rejected.Load(),
 		},
+	})
+}
+
+// handleWarm answers POST /cache/warm: build (and cache) the complete
+// per-shard vector tables of the given query graphs ahead of traffic.
+// Queries run sequentially — warming is maintenance, not serving, so it
+// should trickle through the inflight budget rather than flood it; each
+// item still evaluates its shards in parallel like a normal cold query.
+func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req WarmRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.writeError(w, http.StatusBadRequest, "empty warm request")
+		return
+	}
+	// Same size cap as /query/batch: every warm item is a full unpruned
+	// table build across all shards, the most expensive request kind
+	// there is.
+	maxBatch := s.cfg.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	if len(req.Queries) > maxBatch {
+		s.writeError(w, http.StatusBadRequest, "warm request of %d queries exceeds the limit of %d", len(req.Queries), maxBatch)
+		return
+	}
+	ctx := r.Context()
+	if d := s.timeout(&QueryRequest{TimeoutMS: req.TimeoutMS}); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	results := make([]WarmResult, len(req.Queries))
+	for i := range req.Queries {
+		qr := req.Queries[i]
+		// Warming always builds the complete table: every later query
+		// kind — skyline, full-table, top-k, range — can be served from
+		// it, and pruned variants would warm nothing ranked.
+		qr.All = true
+		res, err := s.resolveQuery(&qr, false)
+		if err != nil {
+			results[i] = WarmResult{Error: err.Error()}
+			s.errors.Add(1)
+			continue
+		}
+		ts, err := s.tables(ctx, res)
+		if err != nil {
+			_, msg := s.classifyQueryErr(err)
+			results[i] = WarmResult{Error: msg}
+			continue
+		}
+		results[i] = WarmResult{Evaluated: ts.work.evaluated, ShardHits: ts.hits}
+	}
+	writeJSON(w, http.StatusOK, WarmResponse{
+		Results:    results,
+		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
 	})
 }
