@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-skyline bench-topk bench-pivot bench-compare run-server vet
+.PHONY: build test race fuzz bench bench-skyline bench-topk bench-pivot bench-compare run-server smoke vet
 
 build:
 	$(GO) build ./...
@@ -62,3 +62,9 @@ bench-compare:
 
 run-server:
 	$(GO) run ./cmd/skygraphd -addr :8091 -shards 4 -cache 128
+
+# smoke boots skygraphd, fires a short mixed-traffic loadgen burst
+# (failing on any request error) and asserts /metrics recorded it.
+# SMOKE_DURATION/SMOKE_ADDR override the defaults (5s, 127.0.0.1:8191).
+smoke:
+	bash ./scripts/smoke.sh

@@ -1,0 +1,594 @@
+// Command loadgen drives a running skygraphd with a configurable mix
+// of skyline, top-k, range, batch and mutation traffic and reports
+// client-side latency distributions. It is the load side of the
+// observability layer: run it against a daemon, then read the server's
+// /metrics and slow-query log against loadgen's own percentiles.
+//
+// Two pacing modes:
+//
+//   - closed loop (default): -concurrency workers each issue requests
+//     back to back, so offered load adapts to server latency;
+//   - open loop (-qps > 0): requests start on a fixed schedule
+//     regardless of completions, exposing queueing collapse the closed
+//     loop hides.
+//
+// The workload is deterministic from -seed: query graphs are mutated
+// clones of a seeded molecule corpus, so two runs against the same
+// database offer identical request streams. Inserts add loadgen-owned
+// graphs (never touching the preloaded corpus) and deletes only ever
+// remove graphs a previous insert of the same run created.
+//
+// The -out report is a cmd/benchjson document — one benchmark entry
+// per query kind plus an aggregate — so regression gating reuses the
+// existing tooling:
+//
+//	loadgen -addr :8091 -duration 30s -out new.json
+//	benchjson -compare old.json new.json
+//
+// Usage:
+//
+//	loadgen -addr :8091 -duration 10s -concurrency 8 \
+//	        -mix skyline=4,topk=3,range=2,batch=1,insert=1,delete=1
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skygraph/internal/graph"
+	"skygraph/internal/server"
+)
+
+// opKinds is the fixed op vocabulary, in report order.
+var opKinds = []string{"skyline", "topk", "range", "batch", "insert", "delete"}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8091", "skygraphd base URL (a bare :port is completed to http://127.0.0.1:port)")
+	duration := flag.Duration("duration", 10*time.Second, "how long to offer load")
+	concurrency := flag.Int("concurrency", 4, "closed-loop workers (also the in-flight cap in open-loop mode)")
+	qps := flag.Float64("qps", 0, "open-loop target request rate (0 = closed loop)")
+	mixSpec := flag.String("mix", "skyline=4,topk=3,range=2,batch=1,insert=1,delete=1", "comma-separated kind=weight traffic mix (kinds: skyline, topk, range, batch, insert, delete)")
+	seed := flag.Int64("seed", 1, "workload seed (request stream is deterministic given the seed)")
+	corpus := flag.Int("corpus", 64, "seeded molecule corpus size query graphs are mutated from")
+	k := flag.Int("k", 5, "k for top-k requests")
+	radius := flag.Float64("radius", 6, "radius for range requests")
+	batchSize := flag.Int("batch-size", 4, "queries per batch request")
+	timeout := flag.Duration("timeout", 30*time.Second, "client-side per-request timeout")
+	waitReady := flag.Duration("wait-ready", 30*time.Second, "wait up to this long for /readyz before starting (0 = skip the check)")
+	out := flag.String("out", "", "write the benchjson-compatible JSON report here (empty = stdout)")
+	failOnError := flag.Bool("fail-on-error", false, "exit nonzero when any request failed")
+	flag.Parse()
+
+	base := *addr
+	if strings.HasPrefix(base, ":") {
+		base = "127.0.0.1" + base
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimSuffix(base, "/")
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	if *waitReady > 0 {
+		if err := awaitReady(client, base, *waitReady); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	gen := newWorkload(*seed, *corpus, *k, *radius, *batchSize)
+	rec := newRecorder()
+	start := time.Now()
+	if *qps > 0 {
+		runOpenLoop(client, base, gen, mix, rec, *duration, *qps, *concurrency)
+	} else {
+		runClosedLoop(client, base, gen, mix, rec, *duration, *concurrency)
+	}
+	elapsed := time.Since(start)
+
+	doc := rec.report(base, elapsed, *concurrency, *qps)
+	rec.printSummary(os.Stderr, elapsed)
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatalf("writing report: %v", err)
+	}
+	if *failOnError && rec.totalErrors() > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d request(s) failed\n", rec.totalErrors())
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// parseMix parses "skyline=4,topk=3,..." into per-kind weights.
+func parseMix(spec string) (map[string]int, error) {
+	known := make(map[string]bool, len(opKinds))
+	for _, k := range opKinds {
+		known[k] = true
+	}
+	mix := map[string]int{}
+	total := 0
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok || !known[name] {
+			return nil, fmt.Errorf("bad mix entry %q (want kind=weight with kind one of %s)", part, strings.Join(opKinds, ", "))
+		}
+		var w int
+		if _, err := fmt.Sscanf(val, "%d", &w); err != nil || w < 0 {
+			return nil, fmt.Errorf("bad mix weight %q", part)
+		}
+		mix[name] = w
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("mix %q has zero total weight", spec)
+	}
+	return mix, nil
+}
+
+// awaitReady polls GET /readyz until the daemon reports ready.
+func awaitReady(client *http.Client, base string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := client.Get(base + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("daemon at %s not reachable within %s: %v", base, budget, err)
+			}
+			return fmt.Errorf("daemon at %s not ready within %s", base, budget)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// workload produces the deterministic request stream: query graphs are
+// mutated clones of a fixed molecule corpus, insert graphs are fresh
+// molecules owned by this run.
+type workload struct {
+	corpus    []*graph.Graph
+	k         int
+	radius    float64
+	batchSize int
+
+	nextInsert atomic.Int64
+	insertedMu sync.Mutex
+	inserted   []string
+}
+
+func newWorkload(seed int64, corpusSize, k int, radius float64, batchSize int) *workload {
+	rng := rand.New(rand.NewSource(seed))
+	corpus := make([]*graph.Graph, corpusSize)
+	for i := range corpus {
+		corpus[i] = graph.Molecule(5+i%4, rng)
+	}
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	return &workload{corpus: corpus, k: k, radius: radius, batchSize: batchSize}
+}
+
+// queryGraph returns a fresh query graph derived from the corpus.
+func (wl *workload) queryGraph(rng *rand.Rand) *graph.Graph {
+	base := wl.corpus[rng.Intn(len(wl.corpus))]
+	q := graph.Mutate(base, 1+rng.Intn(3), graph.MoleculeAlphabet.Atoms, graph.MoleculeAlphabet.Bonds, rng)
+	q.SetName("q")
+	return q
+}
+
+// insertGraph returns a fresh run-owned graph to insert. The name is
+// only remembered (via noteInserted) once the insert has actually
+// landed, so deletes never race an in-flight insert into a 404.
+func (wl *workload) insertGraph(rng *rand.Rand) *graph.Graph {
+	g := graph.Molecule(5+rng.Intn(4), rng)
+	// The PID keeps names unique across repeated runs against a daemon
+	// that still holds a previous run's graphs.
+	g.SetName(fmt.Sprintf("loadgen-%d-%06d", os.Getpid(), wl.nextInsert.Add(1)))
+	return g
+}
+
+// noteInserted records a successfully inserted run-owned graph name as
+// a future delete target.
+func (wl *workload) noteInserted(name string) {
+	wl.insertedMu.Lock()
+	wl.inserted = append(wl.inserted, name)
+	wl.insertedMu.Unlock()
+}
+
+// popInserted takes one run-owned graph name for deletion, or "" when
+// none remain.
+func (wl *workload) popInserted() string {
+	wl.insertedMu.Lock()
+	defer wl.insertedMu.Unlock()
+	if len(wl.inserted) == 0 {
+		return ""
+	}
+	name := wl.inserted[len(wl.inserted)-1]
+	wl.inserted = wl.inserted[:len(wl.inserted)-1]
+	return name
+}
+
+// pickKind draws an op kind from the weighted mix.
+func pickKind(rng *rand.Rand, mix map[string]int) string {
+	total := 0
+	for _, k := range opKinds {
+		total += mix[k]
+	}
+	n := rng.Intn(total)
+	for _, k := range opKinds {
+		n -= mix[k]
+		if n < 0 {
+			return k
+		}
+	}
+	return "skyline"
+}
+
+// doOp issues one request of the given kind and reports whether it
+// succeeded.
+func doOp(client *http.Client, base string, wl *workload, rng *rand.Rand, kind string) error {
+	switch kind {
+	case "skyline":
+		return postJSON(client, base+"/query/skyline", server.QueryRequest{Graph: wl.queryGraph(rng)})
+	case "topk":
+		return postJSON(client, base+"/query/topk", server.QueryRequest{Graph: wl.queryGraph(rng), K: wl.k})
+	case "range":
+		r := wl.radius
+		return postJSON(client, base+"/query/range", server.QueryRequest{Graph: wl.queryGraph(rng), Radius: &r})
+	case "batch":
+		qs := make([]server.BatchQuery, wl.batchSize)
+		for i := range qs {
+			switch i % 3 {
+			case 0:
+				qs[i] = server.BatchQuery{Kind: "skyline", QueryRequest: server.QueryRequest{Graph: wl.queryGraph(rng)}}
+			case 1:
+				qs[i] = server.BatchQuery{Kind: "topk", QueryRequest: server.QueryRequest{Graph: wl.queryGraph(rng), K: wl.k}}
+			default:
+				r := wl.radius
+				qs[i] = server.BatchQuery{Kind: "range", QueryRequest: server.QueryRequest{Graph: wl.queryGraph(rng), Radius: &r}}
+			}
+		}
+		return postJSON(client, base+"/query/batch", server.BatchRequest{Queries: qs})
+	case "insert":
+		g := wl.insertGraph(rng)
+		err := postJSON(client, base+"/graphs", server.InsertRequest{Graph: g})
+		if err == nil {
+			wl.noteInserted(g.Name())
+		}
+		return err
+	case "delete":
+		name := wl.popInserted()
+		if name == "" {
+			// Nothing of ours to delete yet; insert instead so the op
+			// still exercises the mutation path.
+			g := wl.insertGraph(rng)
+			err := postJSON(client, base+"/graphs", server.InsertRequest{Graph: g})
+			if err == nil {
+				wl.noteInserted(g.Name())
+			}
+			return err
+		}
+		req, err := http.NewRequest(http.MethodDelete, base+"/graphs/"+name, nil)
+		if err != nil {
+			return err
+		}
+		return checkResp(client.Do(req))
+	}
+	return fmt.Errorf("unknown op kind %q", kind)
+}
+
+func postJSON(client *http.Client, url string, body any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+	return checkResp(resp, err)
+}
+
+func checkResp(resp *http.Response, err error) error {
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// runClosedLoop runs workers that each issue requests back to back
+// until the deadline.
+func runClosedLoop(client *http.Client, base string, wl *workload, mix map[string]int, rec *recorder, d time.Duration, workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for time.Now().Before(deadline) {
+				kind := pickKind(rng, mix)
+				t0 := time.Now()
+				err := doOp(client, base, wl, rng, kind)
+				rec.record(kind, time.Since(t0), err)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runOpenLoop starts requests on a fixed schedule. Arrivals that would
+// exceed the in-flight cap are counted as dropped rather than queued,
+// so the offered rate stays honest when the server falls behind.
+func runOpenLoop(client *http.Client, base string, wl *workload, mix map[string]int, rec *recorder, d time.Duration, qps float64, cap int) {
+	if cap < 1 {
+		cap = 1
+	}
+	period := time.Duration(float64(time.Second) / qps)
+	if period <= 0 {
+		period = time.Microsecond
+	}
+	rng := rand.New(rand.NewSource(12345))
+	sem := make(chan struct{}, cap)
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for now := range ticker.C {
+		if now.After(deadline) {
+			break
+		}
+		kind := pickKind(rng, mix)
+		select {
+		case sem <- struct{}{}:
+		default:
+			rec.drop()
+			continue
+		}
+		// Each op draws from its own rng so in-flight requests do not
+		// race the dispatcher's stream.
+		opRng := rand.New(rand.NewSource(rng.Int63()))
+		wg.Add(1)
+		go func(kind string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			err := doOp(client, base, wl, opRng, kind)
+			rec.record(kind, time.Since(t0), err)
+		}(kind)
+	}
+	wg.Wait()
+}
+
+// recorder accumulates per-kind client-side latencies and error counts.
+type recorder struct {
+	mu      sync.Mutex
+	lat     map[string][]float64 // milliseconds
+	errs    map[string]int
+	dropped int
+}
+
+func newRecorder() *recorder {
+	return &recorder{lat: map[string][]float64{}, errs: map[string]int{}}
+}
+
+func (r *recorder) record(kind string, d time.Duration, err error) {
+	ms := float64(d.Microseconds()) / 1000
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err != nil {
+		r.errs[kind]++
+		return
+	}
+	r.lat[kind] = append(r.lat[kind], ms)
+}
+
+func (r *recorder) drop() {
+	r.mu.Lock()
+	r.dropped++
+	r.mu.Unlock()
+}
+
+func (r *recorder) totalErrors() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.errs {
+		n += e
+	}
+	return n
+}
+
+// percentile returns the q-quantile of sorted ms latencies.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// kindStats is one kind's digest.
+type kindStats struct {
+	count                     int
+	errors                    int
+	meanMS, p50, p95, p99, mx float64
+}
+
+func (r *recorder) stats(kind string) kindStats {
+	r.mu.Lock()
+	lat := append([]float64(nil), r.lat[kind]...)
+	errs := r.errs[kind]
+	r.mu.Unlock()
+	sort.Float64s(lat)
+	st := kindStats{count: len(lat), errors: errs}
+	if len(lat) == 0 {
+		return st
+	}
+	sum := 0.0
+	for _, v := range lat {
+		sum += v
+	}
+	st.meanMS = sum / float64(len(lat))
+	st.p50 = percentile(lat, 0.50)
+	st.p95 = percentile(lat, 0.95)
+	st.p99 = percentile(lat, 0.99)
+	st.mx = lat[len(lat)-1]
+	return st
+}
+
+// Bench and Doc mirror cmd/benchjson's document shape so reports feed
+// straight into `benchjson -compare`.
+type Bench struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+	Raw        string             `json:"raw"`
+}
+
+type Doc struct {
+	Context    map[string]string `json:"context"`
+	Benchmarks []Bench           `json:"benchmarks"`
+}
+
+// bench renders one kind's digest as a benchjson entry. ns/op is the
+// mean latency so -compare's regression gate works unchanged.
+func bench(name string, st kindStats, qps float64) Bench {
+	m := map[string]float64{
+		"ns/op":  st.meanMS * 1e6,
+		"p50-ms": st.p50,
+		"p95-ms": st.p95,
+		"p99-ms": st.p99,
+		"max-ms": st.mx,
+		"qps":    qps,
+		"errors": float64(st.errors),
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\t%8d", name, st.count)
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "\t%12.2f %s", m[k], k)
+	}
+	return Bench{Name: name, Iterations: int64(st.count), Metrics: m, Raw: sb.String()}
+}
+
+// report assembles the final benchjson document.
+func (r *recorder) report(base string, elapsed time.Duration, concurrency int, targetQPS float64) Doc {
+	doc := Doc{Context: map[string]string{
+		"target":      base,
+		"mode":        map[bool]string{true: "open", false: "closed"}[targetQPS > 0],
+		"concurrency": fmt.Sprintf("%d", concurrency),
+		"duration":    elapsed.String(),
+	}}
+	if targetQPS > 0 {
+		doc.Context["target-qps"] = fmt.Sprintf("%g", targetQPS)
+	}
+	if r.dropped > 0 {
+		doc.Context["dropped"] = fmt.Sprintf("%d", r.dropped)
+	}
+	var all kindStats
+	allLat := []float64{}
+	r.mu.Lock()
+	for _, lat := range r.lat {
+		allLat = append(allLat, lat...)
+	}
+	for _, e := range r.errs {
+		all.errors += e
+	}
+	r.mu.Unlock()
+	sort.Float64s(allLat)
+	all.count = len(allLat)
+	if all.count > 0 {
+		sum := 0.0
+		for _, v := range allLat {
+			sum += v
+		}
+		all.meanMS = sum / float64(all.count)
+		all.p50 = percentile(allLat, 0.50)
+		all.p95 = percentile(allLat, 0.95)
+		all.p99 = percentile(allLat, 0.99)
+		all.mx = allLat[len(allLat)-1]
+	}
+	secs := elapsed.Seconds()
+	doc.Benchmarks = append(doc.Benchmarks, bench("BenchmarkLoadgen/all", all, float64(all.count)/secs))
+	for _, kind := range opKinds {
+		st := r.stats(kind)
+		if st.count == 0 && st.errors == 0 {
+			continue
+		}
+		doc.Benchmarks = append(doc.Benchmarks, bench("BenchmarkLoadgen/"+kind, st, float64(st.count)/secs))
+	}
+	return doc
+}
+
+// printSummary writes the human-readable digest.
+func (r *recorder) printSummary(w io.Writer, elapsed time.Duration) {
+	fmt.Fprintf(w, "loadgen: %s elapsed\n", elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "%-10s %8s %7s %10s %10s %10s %10s %10s\n",
+		"kind", "count", "errors", "mean-ms", "p50-ms", "p95-ms", "p99-ms", "max-ms")
+	for _, kind := range opKinds {
+		st := r.stats(kind)
+		if st.count == 0 && st.errors == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-10s %8d %7d %10.2f %10.2f %10.2f %10.2f %10.2f\n",
+			kind, st.count, st.errors, st.meanMS, st.p50, st.p95, st.p99, st.mx)
+	}
+	if r.dropped > 0 {
+		fmt.Fprintf(w, "dropped (open-loop in-flight cap): %d\n", r.dropped)
+	}
+}

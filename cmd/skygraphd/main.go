@@ -26,7 +26,13 @@
 //	GET    /graphs/{name}   fetch one graph as JSON
 //	DELETE /graphs/{name}   delete a graph, invalidating its shard
 //	GET    /stats           database, shard, cache and request counters
+//	GET    /metrics         Prometheus text exposition (format 0.0.4)
 //	GET    /healthz         liveness probe
+//	GET    /readyz          readiness probe (database loaded, pivot columns built)
+//
+// -slow-query-ms logs any query at or above the threshold as one JSON
+// line (with its per-stage trace) to stderr; -pprof-addr serves
+// net/http/pprof on a separate listener, kept off the query port.
 package main
 
 import (
@@ -36,6 +42,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -63,6 +70,8 @@ func main() {
 	pivotBudget := flag.Int64("pivot-budget", 0, "A* node cap per insert-time pivot distance (0 = package default, negative = exact)")
 	pivotQueryBudget := flag.Int64("pivot-query-budget", 0, "A* node cap per query-to-pivot distance (0 = package default, negative = exact)")
 	memoSize := flag.Int("memo", 0, "cross-query exact-score memo capacity (pair entries, 0 = disabled)")
+	slowQueryMS := flag.Int("slow-query-ms", 0, "log queries at or above this server-side duration as JSON lines to stderr (0 = disabled)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled; keep it private)")
 	flag.Parse()
 
 	db := gdb.NewSharded(*shards)
@@ -84,19 +93,38 @@ func main() {
 		stats.Graphs, stats.Vertices, stats.Edges, db.NumShards(), *addr)
 
 	srv := server.New(db, server.Config{
-		CacheSize:      *cacheSize,
-		Workers:        *shardWorkers,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		MaxInflight:    *inflight,
-		MaxBatch:       *maxBatch,
-		DefaultEval:    measure.Options{GEDMaxNodes: *gedBudget, MCSMaxNodes: *mcsBudget},
+		CacheSize:          *cacheSize,
+		Workers:            *shardWorkers,
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTimeout,
+		MaxInflight:        *inflight,
+		MaxBatch:           *maxBatch,
+		DefaultEval:        measure.Options{GEDMaxNodes: *gedBudget, MCSMaxNodes: *mcsBudget},
+		SlowQueryThreshold: time.Duration(*slowQueryMS) * time.Millisecond,
 	})
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	if *pprofAddr != "" {
+		// pprof gets its own mux and listener so profiling endpoints
+		// never share the query port (or its inflight accounting).
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Addr: *pprofAddr, Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			log.Printf("skygraphd: pprof on %s", *pprofAddr)
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("skygraphd: pprof: %v", err)
+			}
+		}()
 	}
 
 	errCh := make(chan error, 1)

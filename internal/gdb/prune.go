@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"skygraph/internal/graph"
 	"skygraph/internal/measure"
@@ -48,6 +49,13 @@ func evalPruned(ctx context.Context, sn snap, q *graph.Graph, qsig *measure.Sign
 	// purely to attribute exclusions: a graph pruned under the merged
 	// bounds but not under the signature bounds owes its exclusion to
 	// the pivot tier.
+	trace := opts.Trace
+	var tierStart time.Time
+	var pivotDur time.Duration
+	tightened := 0
+	if trace != nil {
+		tierStart = time.Now()
+	}
 	bounds := make([]measure.BoundStats, n)
 	ipts := make([]skyline.IntervalPoint, n)
 	memoRes := make([]*measure.PairStats, n)
@@ -73,10 +81,21 @@ func evalPruned(ctx context.Context, sn snap, q *graph.Graph, qsig *measure.Sign
 			lo, hi := bounds[i].IntervalGCS(opts.Basis)
 			sigIpts[i] = skyline.IntervalPoint{ID: name, Lo: lo, Hi: hi}
 		}
-		ec.tighten(&bounds[i], name)
+		if trace != nil && attribute {
+			// The pivot intersection (including any lazy query-to-pivot
+			// engine runs inside tighten) is the pivot stage's time; the
+			// rest of the tier-0 loop belongs to the bound stage.
+			t0 := time.Now()
+			ec.tighten(&bounds[i], name)
+			pivotDur += time.Since(t0)
+			tightened++
+		} else {
+			ec.tighten(&bounds[i], name)
+		}
 		lo, hi := bounds[i].IntervalGCS(opts.Basis)
 		ipts[i] = skyline.IntervalPoint{ID: name, Lo: lo, Hi: hi}
 	}
+	pivotPruned0 := 0
 	if attribute {
 		// Attribution without a second full quadratic pass: a tightened
 		// interval is a subset of its signature interval (optimistic
@@ -93,27 +112,58 @@ func evalPruned(ctx context.Context, sn snap, q *graph.Graph, qsig *measure.Sign
 		for i := range ipts {
 			if ipts[i].Pruned && !sigIpts[i].Pruned {
 				ec.pivotPruned.Add(1)
+				pivotPruned0++
 			}
 		}
 	} else {
 		skyline.IntervalPrune(ipts)
+	}
+	tier0Pruned := 0
+	if trace != nil {
+		for i := range ipts {
+			if ipts[i].Pruned {
+				tier0Pruned++
+			}
+		}
+		trace.Observe(StageBound, time.Since(tierStart)-pivotDur, n, tier0Pruned-pivotPruned0)
+		if attribute {
+			trace.Observe(StagePivot, pivotDur, tightened, pivotPruned0)
+		}
 	}
 
 	// Tier 1: tighten the survivors with the polynomial engines, then
 	// prune again. Already-pruned points keep their tier-0 corners —
 	// they stay excluded and still act as filters. Memo-scored points
 	// are already exact and skip refinement.
+	var refineStart time.Time
+	if trace != nil {
+		refineStart = time.Now()
+	}
 	wits := make([]*measure.Witness, n)
-	if err := refineSurvivors(ctx, sn.graphs, q, bounds, wits, memoRes, ipts, opts); err != nil {
+	refined, err := refineSurvivors(ctx, sn.graphs, q, bounds, wits, memoRes, ipts, opts)
+	if err != nil {
 		return nil, 0, 0, err
 	}
 	skyline.IntervalPrune(ipts)
+	if trace != nil {
+		prunedNow := 0
+		for i := range ipts {
+			if ipts[i].Pruned {
+				prunedNow++
+			}
+		}
+		trace.Observe(StageRefine, time.Since(refineStart), refined, prunedNow-tier0Pruned)
+	}
 
 	// Tier 2: exact evaluation of whatever the bounds could not settle,
 	// handing each survivor its signatures and tier-1 witness so the
 	// engines reuse the histograms and bipartite/greedy results instead
 	// of recomputing them. Memo-scored survivors contribute their
 	// replayed stats directly — no engine runs at all.
+	var exactStart time.Time
+	if trace != nil {
+		exactStart = time.Now()
+	}
 	type slot struct {
 		i  int
 		at int // index into the points slice
@@ -161,6 +211,9 @@ func evalPruned(ctx context.Context, sn snap, q *graph.Graph, qsig *measure.Sign
 			pts[s.at] = engPts[j]
 		}
 	}
+	// Pairs the exact stage settled == the evaluated count (memo replays
+	// included); nothing is pruned at tier 2 on the skyline path.
+	trace.Observe(StageExact, time.Since(exactStart), survivors, 0)
 	return pts, n - survivors, inexact, nil
 }
 
@@ -170,8 +223,9 @@ func evalPruned(ctx context.Context, sn snap, q *graph.Graph, qsig *measure.Sign
 // optimistic corners are untouched: refinement only lowers the GED
 // upper bound and raises the MCS lower bound.) Memo-scored candidates
 // (memoRes[i] != nil) already sit on their exact point and are
-// skipped. Honors ctx between candidates.
-func refineSurvivors(ctx context.Context, graphs []*graph.Graph, q *graph.Graph, bounds []measure.BoundStats, wits []*measure.Witness, memoRes []*measure.PairStats, ipts []skyline.IntervalPoint, opts QueryOptions) error {
+// skipped. Honors ctx between candidates. Returns the number of
+// candidates refined (the refine stage's pair count).
+func refineSurvivors(ctx context.Context, graphs []*graph.Graph, q *graph.Graph, bounds []measure.BoundStats, wits []*measure.Witness, memoRes []*measure.PairStats, ipts []skyline.IntervalPoint, opts QueryOptions) (int, error) {
 	var todo []int
 	for i := range ipts {
 		if !ipts[i].Pruned && memoRes[i] == nil {
@@ -179,7 +233,7 @@ func refineSurvivors(ctx context.Context, graphs []*graph.Graph, q *graph.Graph,
 		}
 	}
 	if len(todo) == 0 {
-		return nil
+		return 0, nil
 	}
 	workers := opts.Workers
 	if workers > len(todo) {
@@ -211,5 +265,5 @@ func refineSurvivors(ctx context.Context, graphs []*graph.Graph, q *graph.Graph,
 		}()
 	}
 	wg.Wait()
-	return ctx.Err()
+	return len(todo), ctx.Err()
 }

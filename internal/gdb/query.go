@@ -44,6 +44,12 @@ type QueryOptions struct {
 	// is identical to an unpruned run. Diversity queries ignore Prune.
 	// Ignored for measures outside this package's built-ins.
 	Prune bool
+	// Trace, when non-nil, accumulates per-cascade-stage work counters
+	// and durations for this query (see trace.go). The same trace may be
+	// shared by every shard of a sharded query; recording is
+	// concurrency-safe. Nil (the default) records nothing and costs
+	// nothing.
+	Trace *QueryTrace
 }
 
 func (o QueryOptions) withDefaults() QueryOptions {
@@ -163,6 +169,9 @@ func (db *DB) TopKQueryContext(ctx context.Context, q *graph.Graph, m measure.Me
 		}
 		stats.Evaluated, stats.Inexact = len(all), inexact
 		stats.PivotDists, stats.MemoHits, stats.MemoMisses = ec.counters()
+		// The whole unpruned scan is exact-stage work: every pair runs
+		// the engines (or replays the memo), nothing is bounded away.
+		opts.Trace.Observe(StageExact, time.Since(start), len(all), 0)
 		// One bounded-heap pass, extracted once at the end — not a
 		// re-selection per improving item.
 		items = topk.Select(all, k)
@@ -213,6 +222,7 @@ func (db *DB) RangeQueryContext(ctx context.Context, q *graph.Graph, m measure.M
 		}
 		stats.Evaluated, stats.Inexact = len(all), inexact
 		stats.PivotDists, stats.MemoHits, stats.MemoMisses = ec.counters()
+		opts.Trace.Observe(StageExact, time.Since(start), len(all), 0)
 		for _, it := range all {
 			if it.Score <= radius {
 				items = append(items, it)

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"skygraph/internal/graph"
 	"skygraph/internal/measure"
@@ -264,6 +265,12 @@ func evalRanked(ctx context.Context, sn snap, qsig *measure.Signature, q *graph.
 	// tightened by the pivot tier, and order by the optimistic end
 	// (ties by snapshot position, for a deterministic claim order).
 	// sigLos keeps the signature-only optimistic bound for attribution.
+	trace := opts.Trace
+	var tierStart time.Time
+	var pivotDur time.Duration
+	if trace != nil {
+		tierStart = time.Now()
+	}
 	bounds := make([]measure.BoundStats, n)
 	los := make([]float64, n)
 	sigLos := los
@@ -277,7 +284,15 @@ func evalRanked(ctx context.Context, sn snap, qsig *measure.Signature, q *graph.
 		bounds[i] = measure.BoundPair(sig, qsig)
 		if attribute {
 			sigLos[i], _ = bounds[i].Interval(m)
-			ec.tighten(&bounds[i], sn.graphs[i].Name())
+			if trace != nil {
+				// tighten may run query-to-pivot engines lazily; that
+				// time belongs to the pivot stage, not the bound stage.
+				t0 := time.Now()
+				ec.tighten(&bounds[i], sn.graphs[i].Name())
+				pivotDur += time.Since(t0)
+			} else {
+				ec.tighten(&bounds[i], sn.graphs[i].Name())
+			}
 		}
 		los[i], his[i] = bounds[i].Interval(m)
 		order[i] = i
@@ -305,6 +320,12 @@ func evalRanked(ctx context.Context, sn snap, qsig *measure.Signature, q *graph.
 	// engine is uncapped), so the scan starts against a real bar instead
 	// of +Inf.
 	coll.seedUppers(his)
+	if trace != nil {
+		// Bounding, ordering and threshold seeding are bound-stage work;
+		// the stage's pruned count (threshold cutoff plus candidates the
+		// signature bound condemns) is derived after the scan.
+		trace.Observe(StageBound, time.Since(tierStart)-pivotDur, n, 0)
+	}
 
 	needGED, needMCS := measure.EngineNeeds(m)
 	useMemo := ec != nil && ec.memo != nil && (needGED || needMCS)
@@ -318,12 +339,13 @@ func evalRanked(ctx context.Context, sn snap, qsig *measure.Signature, q *graph.
 		workers = n
 	}
 	var (
-		wg       sync.WaitGroup
-		cursor   atomic.Int64
-		stopped  atomic.Bool
-		canceled atomic.Bool
-		statsMu  sync.Mutex
-		stats    RankedStats
+		wg          sync.WaitGroup
+		cursor      atomic.Int64
+		stopped     atomic.Bool
+		canceled    atomic.Bool
+		statsMu     sync.Mutex
+		stats       RankedStats
+		exactPruned atomic.Int64 // decision-run exclusions, for stage attribution
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -353,8 +375,13 @@ func evalRanked(ctx context.Context, sn snap, qsig *measure.Signature, q *graph.
 					stopped.Store(true)
 					return
 				}
+				var t0 time.Time
+				if trace != nil {
+					t0 = time.Now()
+				}
 				// Memo replay: a recorded pair score skips refinement and
-				// the engines entirely.
+				// the engines entirely. The replayed score is exact, so
+				// the replay counts as exact-stage work.
 				if useMemo {
 					if r, ok := ec.memoGet(name, sn.seqs[i], needGED, needMCS); ok {
 						ps := measure.PairStatsFrom(sn.sigs[i], qsig, r)
@@ -364,6 +391,9 @@ func evalRanked(ctx context.Context, sn snap, qsig *measure.Signature, q *graph.
 						}
 						scored[i].Store(true)
 						coll.offer(topk.Item{ID: name, Score: m.FromStats(ps)})
+						if trace != nil {
+							trace.Observe(StageExact, time.Since(t0), 1, 0)
+						}
 						continue
 					}
 				}
@@ -371,11 +401,19 @@ func evalRanked(ctx context.Context, sn snap, qsig *measure.Signature, q *graph.
 				// engines.
 				var wit *measure.Witness
 				bounds[i], wit = measure.RefineWitness(sn.graphs[i], q, bounds[i])
+				if trace != nil {
+					trace.Observe(StageRefine, time.Since(t0), 1, 0)
+					t0 = time.Now()
+				}
 				hints := measure.PairHints{Sig1: sn.sigs[i], Sig2: qsig, Witness: wit}
 				// Tier 2: threshold-fed evaluation — an engine decision
 				// run excludes, or a plain exact run scores.
 				score, got, excluded, inexact := measure.ComputeRankResults(sn.graphs[i], q, m, coll.threshold(), bounds[i], opts.Eval, hints)
 				if excluded {
+					if trace != nil {
+						exactPruned.Add(1)
+						trace.Observe(StageExact, time.Since(t0), 1, 1)
+					}
 					continue
 				}
 				ec.memoPublish(name, sn.seqs[i], got)
@@ -385,6 +423,9 @@ func evalRanked(ctx context.Context, sn snap, qsig *measure.Signature, q *graph.
 				}
 				scored[i].Store(true)
 				coll.offer(topk.Item{ID: name, Score: score})
+				if trace != nil {
+					trace.Observe(StageExact, time.Since(t0), 1, 0)
+				}
 			}
 		}()
 	}
@@ -405,5 +446,14 @@ func evalRanked(ctx context.Context, sn snap, qsig *measure.Signature, q *graph.
 		}
 	}
 	stats.PivotDists, stats.MemoHits, stats.MemoMisses = ec.counters()
+	if trace != nil {
+		if attribute {
+			trace.Observe(StagePivot, pivotDur, n, stats.PivotPruned)
+		}
+		// Whatever was excluded without reaching the engines — the
+		// best-first cutoff or a signature-bound condemnation — is the
+		// bound stage's doing, minus the pivot tier's attributed share.
+		trace.Observe(StageBound, 0, 0, stats.Pruned-int(exactPruned.Load())-stats.PivotPruned)
+	}
 	return stats, nil
 }

@@ -455,6 +455,16 @@ func (sh *Sharded) MergeRange(tables []*VectorTable, m measure.Measure, radius f
 	return all, nil
 }
 
+// tableRows counts the rows entering a table merge (the merge stage's
+// pair count).
+func tableRows(tables []*VectorTable) int {
+	n := 0
+	for _, t := range tables {
+		n += len(t.Points)
+	}
+	return n
+}
+
 // mergedStats folds per-shard table stats into query stats.
 func mergedStats(tables []*VectorTable, start time.Time) QueryStats {
 	s := QueryStats{Duration: time.Since(start)}
@@ -478,11 +488,19 @@ func (sh *Sharded) SkylineQueryContext(ctx context.Context, q *graph.Graph, opts
 	if err != nil {
 		return SkylineResult{}, err
 	}
-	return SkylineResult{
+	var mstart time.Time
+	if opts.Trace != nil {
+		mstart = time.Now()
+	}
+	res := SkylineResult{
 		Skyline: sh.MergeSkyline(tables, opts.Algorithm),
 		All:     sh.MergeTables(tables),
 		Stats:   mergedStats(tables, start),
-	}, nil
+	}
+	if opts.Trace != nil {
+		opts.Trace.Observe(StageMerge, time.Since(mstart), len(res.All), 0)
+	}
+	return res, nil
 }
 
 // withMeasure ensures m is one of the basis columns so table-derived
@@ -528,9 +546,16 @@ func (sh *Sharded) TopKQueryContext(ctx context.Context, q *graph.Graph, m measu
 	if err != nil {
 		return TopKResult{}, err
 	}
+	var mstart time.Time
+	if opts.Trace != nil {
+		mstart = time.Now()
+	}
 	items, err := sh.MergeTopK(tables, m, k)
 	if err != nil {
 		return TopKResult{}, err
+	}
+	if opts.Trace != nil {
+		opts.Trace.Observe(StageMerge, time.Since(mstart), tableRows(tables), 0)
 	}
 	return TopKResult{Items: items, Stats: mergedStats(tables, start)}, nil
 }
@@ -557,9 +582,16 @@ func (sh *Sharded) RangeQueryContext(ctx context.Context, q *graph.Graph, m meas
 	if err != nil {
 		return RangeResult{}, err
 	}
+	var mstart time.Time
+	if opts.Trace != nil {
+		mstart = time.Now()
+	}
 	items, err := sh.MergeRange(tables, m, radius)
 	if err != nil {
 		return RangeResult{}, err
+	}
+	if opts.Trace != nil {
+		opts.Trace.Observe(StageMerge, time.Since(mstart), tableRows(tables), 0)
 	}
 	return RangeResult{Items: items, Stats: mergedStats(tables, start)}, nil
 }

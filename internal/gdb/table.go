@@ -121,6 +121,9 @@ func (db *DB) VectorTable(ctx context.Context, q *graph.Graph, opts QueryOptions
 			return nil, err
 		}
 		t.Points, t.Inexact = pts, inexact
+		// The whole unpruned scan is tier-2 work: every pair runs the
+		// engines (or replays the memo), nothing is bounded away.
+		opts.Trace.Observe(StageExact, time.Since(start), len(sn.graphs), 0)
 	}
 	t.PivotDists, t.MemoHits, t.MemoMisses = ec.counters()
 	if ec != nil {

@@ -1,0 +1,152 @@
+package gdb_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"skygraph/internal/gdb"
+	"skygraph/internal/measure"
+	"skygraph/internal/pivot"
+	"skygraph/internal/testutil"
+)
+
+// stageSums folds a trace's wire form into totals for assertions.
+func stageSums(stages []gdb.TraceStage) (pruned, exactPairs, exactPruned int, byName map[string]gdb.TraceStage) {
+	byName = make(map[string]gdb.TraceStage, len(stages))
+	for _, s := range stages {
+		byName[s.Stage] = s
+		pruned += s.Pruned
+		if s.Stage == "exact" {
+			exactPairs, exactPruned = s.Pairs, s.Pruned
+		}
+	}
+	return pruned, exactPairs, exactPruned, byName
+}
+
+// requireTraceConsistent asserts the documented trace/stats invariants:
+// per-stage pruned counts sum to Stats.Pruned, and the exact stage's
+// pairs minus its pruned equal Stats.Evaluated.
+func requireTraceConsistent(t *testing.T, label string, tr *gdb.QueryTrace, stats gdb.QueryStats, dbLen int) {
+	t.Helper()
+	stages := tr.Stages()
+	if len(stages) == 0 {
+		t.Fatalf("%s: empty trace", label)
+	}
+	pruned, exactPairs, exactPruned, byName := stageSums(stages)
+	if pruned != stats.Pruned {
+		t.Fatalf("%s: stage pruned sum %d != stats.Pruned %d (stages %+v)", label, pruned, stats.Pruned, stages)
+	}
+	if exactPairs-exactPruned != stats.Evaluated {
+		t.Fatalf("%s: exact pairs %d - pruned %d != stats.Evaluated %d (stages %+v)",
+			label, exactPairs, exactPruned, stats.Evaluated, stages)
+	}
+	if stats.Evaluated+stats.Pruned != dbLen {
+		t.Fatalf("%s: evaluated %d + pruned %d != %d graphs", label, stats.Evaluated, stats.Pruned, dbLen)
+	}
+	if stats.PivotPruned > 0 {
+		if p, ok := byName["pivot"]; !ok || p.Pruned != stats.PivotPruned {
+			t.Fatalf("%s: pivot stage %+v disagrees with stats.PivotPruned %d", label, byName["pivot"], stats.PivotPruned)
+		}
+	}
+	for _, s := range stages {
+		if s.Pairs < 0 || s.Pruned < 0 || s.DurationMS < 0 {
+			t.Fatalf("%s: negative stage counters: %+v", label, s)
+		}
+	}
+}
+
+// TestTraceSkylineConsistent: on pruned sharded skyline queries the
+// per-stage attribution must reconcile exactly with the query's
+// evaluated/pruned stats — the acceptance invariant of the trace layer.
+func TestTraceSkylineConsistent(t *testing.T) {
+	gs := testutil.SeededGraphs(7, 30)
+	queries := testutil.SeededQueries(107, gs, 3)
+	for _, shards := range []int{1, 3} {
+		sh := testutil.NewSharded(t, shards, gs)
+		sh.EnablePivots(pivot.Config{Pivots: 3})
+		sh.WaitPivots()
+		for qi, q := range queries {
+			tr := gdb.NewQueryTrace()
+			opts := prunedOpts(true)
+			opts.Trace = tr
+			res, err := sh.SkylineQueryContext(context.Background(), q, opts)
+			if err != nil {
+				t.Fatalf("shards=%d q=%d: %v", shards, qi, err)
+			}
+			label := fmt.Sprintf("skyline shards=%d q=%d", shards, qi)
+			requireTraceConsistent(t, label, tr, res.Stats, len(gs))
+			if _, _, _, byName := stageSums(tr.Stages()); byName["merge"].Pairs == 0 {
+				t.Fatalf("%s: sharded query recorded no merge stage", label)
+			}
+		}
+	}
+}
+
+// TestTraceRankedConsistent: the same invariant on best-first top-k and
+// range scans, where the exact stage also excludes candidates via
+// threshold-fed decision runs.
+func TestTraceRankedConsistent(t *testing.T) {
+	gs := testutil.SeededGraphs(9, 30)
+	queries := testutil.SeededQueries(109, gs, 3)
+	m := measure.DistEd{}
+	for _, shards := range []int{1, 3} {
+		sh := testutil.NewSharded(t, shards, gs)
+		sh.EnablePivots(pivot.Config{Pivots: 3})
+		sh.WaitPivots()
+		for qi, q := range queries {
+			tr := gdb.NewQueryTrace()
+			opts := prunedOpts(true)
+			opts.Trace = tr
+			res, err := sh.TopKQueryContext(context.Background(), q, m, 5, opts)
+			if err != nil {
+				t.Fatalf("topk shards=%d q=%d: %v", shards, qi, err)
+			}
+			requireTraceConsistent(t, fmt.Sprintf("topk shards=%d q=%d", shards, qi), tr, res.Stats, len(gs))
+
+			tr = gdb.NewQueryTrace()
+			opts.Trace = tr
+			rres, err := sh.RangeQueryContext(context.Background(), q, m, 6, opts)
+			if err != nil {
+				t.Fatalf("range shards=%d q=%d: %v", shards, qi, err)
+			}
+			requireTraceConsistent(t, fmt.Sprintf("range shards=%d q=%d", shards, qi), tr, rres.Stats, len(gs))
+		}
+	}
+}
+
+// TestTraceUnprunedExactOnly: without pruning every pair is exact-stage
+// work; the trace must say so and nothing else (no bound/pivot/refine
+// stages ran).
+func TestTraceUnprunedExactOnly(t *testing.T) {
+	gs := testutil.SeededGraphs(13, 16)
+	sh := testutil.NewSharded(t, 2, gs)
+	q := testutil.SeededQueries(113, gs, 1)[0]
+
+	tr := gdb.NewQueryTrace()
+	opts := prunedOpts(false)
+	opts.Trace = tr
+	res, err := sh.SkylineQueryContext(context.Background(), q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, exactPairs, _, byName := stageSums(tr.Stages())
+	if exactPairs != res.Stats.Evaluated || exactPairs != len(gs) {
+		t.Fatalf("unpruned skyline: exact pairs %d, want evaluated %d == %d", exactPairs, res.Stats.Evaluated, len(gs))
+	}
+	for _, st := range []string{"bound", "pivot", "refine"} {
+		if _, ok := byName[st]; ok {
+			t.Fatalf("unpruned skyline recorded %s stage: %+v", st, byName[st])
+		}
+	}
+}
+
+// TestTraceNilIsFree: a nil trace must not change results and must stay
+// empty (the Observe no-op contract).
+func TestTraceNilIsFree(t *testing.T) {
+	var tr *gdb.QueryTrace
+	if got := tr.Stages(); got != nil {
+		t.Fatalf("nil trace Stages() = %+v, want nil", got)
+	}
+	tr.Observe(gdb.StageExact, 0, 1, 1) // must not panic
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// histogram is the storage behind a Histogram child: per-bucket atomic
+// counts (the last slot is the implicit +Inf bucket), plus the running
+// sum and count. Observations are lock-free; renders read whatever is
+// there — each atomic is individually consistent, which is all the
+// Prometheus scrape model asks for.
+type histogram struct {
+	bounds []float64       // strictly increasing upper bounds, +Inf excluded
+	counts []atomic.Uint64 // len(bounds)+1; counts[len(bounds)] is +Inf
+	sum    atomic.Uint64   // float64 bits, CAS-updated
+	count  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	// Bucket le=b counts observations v <= b: the first bound >= v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Histogram is a cumulative histogram of observations.
+type Histogram struct{ h *histogram }
+
+// Observe records one observation.
+func (h Histogram) Observe(v float64) { h.h.observe(v) }
+
+// Sum returns the running sum of observed values.
+func (h Histogram) Sum() float64 { return math.Float64frombits(h.h.sum.Load()) }
+
+// Count returns the number of observations.
+func (h Histogram) Count() uint64 { return h.h.count.Load() }
+
+// Buckets returns the bucket upper bounds (excluding the implicit +Inf
+// bucket) and the per-bucket (non-cumulative) counts, the last entry
+// being the +Inf bucket's.
+func (h Histogram) Buckets() (bounds []float64, counts []uint64) {
+	bounds = append([]float64(nil), h.h.bounds...)
+	counts = make([]uint64, len(h.h.counts))
+	for i := range h.h.counts {
+		counts[i] = h.h.counts[i].Load()
+	}
+	return bounds, counts
+}
+
+// ExpBuckets returns n strictly increasing bucket bounds starting at
+// start and multiplying by factor: start, start*factor, ... — the
+// standard shape for latency histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DefLatencyBuckets is the default request-latency bucket layout:
+// 0.5ms to ~8.2s in powers of two (seconds).
+func DefLatencyBuckets() []float64 { return ExpBuckets(0.0005, 2, 15) }

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the le semantics: an observation
+// equal to a bucket's upper bound lands in that bucket (le is <=), one
+// just above it lands in the next, and anything past the last bound
+// lands in the implicit +Inf bucket only.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("b", "x", []float64{1, 2, 4})
+	cases := []struct {
+		v    float64
+		want int // bucket index; 3 = +Inf
+	}{
+		{0, 0}, {1, 0}, {1.0000001, 1}, {2, 1}, {3, 2}, {4, 2}, {4.5, 3}, {math.Inf(1), 3},
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	_, counts := h.Buckets()
+	wantCounts := make([]uint64, 4)
+	for _, c := range cases {
+		wantCounts[c.want]++
+	}
+	for i := range counts {
+		if counts[i] != wantCounts[i] {
+			t.Errorf("bucket %d: got %d observations, want %d (counts %v)", i, counts[i], wantCounts[i], counts)
+		}
+	}
+	if h.Count() != uint64(len(cases)) {
+		t.Errorf("Count() = %d, want %d", h.Count(), len(cases))
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.001, 2, 4)
+	want := []float64{0.001, 0.002, 0.004, 0.008}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("bucket %d: got %g, want %g", i, got[i], want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ExpBuckets(0, ...) should panic")
+		}
+	}()
+	ExpBuckets(0, 2, 4)
+}
+
+// TestExplicitInfBucketDropped checks an explicit trailing +Inf bound
+// is folded into the implicit one instead of duplicating it.
+func TestExplicitInfBucketDropped(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("inf", "x", []float64{1, math.Inf(1)})
+	h.Observe(5)
+	bounds, counts := h.Buckets()
+	if len(bounds) != 1 || len(counts) != 2 {
+		t.Fatalf("bounds %v counts %v: want one finite bound and an implicit +Inf", bounds, counts)
+	}
+	if counts[1] != 1 {
+		t.Errorf("observation above the finite bound should land in +Inf, got counts %v", counts)
+	}
+}
+
+func TestDefLatencyBucketsShape(t *testing.T) {
+	b := DefLatencyBuckets()
+	if len(b) == 0 || b[0] != 0.0005 {
+		t.Fatalf("unexpected default buckets %v", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("default buckets not increasing at %d: %v", i, b)
+		}
+	}
+	if last := b[len(b)-1]; last < 5 || last > 20 {
+		t.Errorf("default buckets should top out at a few seconds, got %g", last)
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders every registered family in the Prometheus text
+// exposition format (version 0.0.4), families in registration order,
+// children in sorted label-value order.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.RLock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.RUnlock()
+	for _, f := range fams {
+		children := f.sortedChildren()
+		if len(children) == 0 {
+			continue
+		}
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, c := range children {
+			if f.kind == KindHistogram {
+				writeHistogram(bw, f, c)
+				continue
+			}
+			bw.WriteString(f.name)
+			writeLabels(bw, f.labels, c.labelValues, "", "")
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(c.value()))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram child: cumulative _bucket series
+// with an le label, then _sum and _count.
+func writeHistogram(bw *bufio.Writer, f *family, c *child) {
+	h := c.hist
+	cum := uint64(0)
+	for i := 0; i <= len(h.bounds); i++ {
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatValue(h.bounds[i])
+		}
+		cum += h.counts[i].Load()
+		bw.WriteString(f.name)
+		bw.WriteString("_bucket")
+		writeLabels(bw, f.labels, c.labelValues, "le", le)
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatUint(cum, 10))
+		bw.WriteByte('\n')
+	}
+	bw.WriteString(f.name)
+	bw.WriteString("_sum")
+	writeLabels(bw, f.labels, c.labelValues, "", "")
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(Histogram{h}.Sum()))
+	bw.WriteByte('\n')
+	bw.WriteString(f.name)
+	bw.WriteString("_count")
+	writeLabels(bw, f.labels, c.labelValues, "", "")
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(h.count.Load(), 10))
+	bw.WriteByte('\n')
+}
+
+// writeLabels renders {a="x",b="y"} (nothing when there are no labels),
+// appending the extra pair — the histogram le — when extraName != "".
+func writeLabels(bw *bufio.Writer, names, values []string, extraName, extraValue string) {
+	if len(names) == 0 && extraName == "" {
+		return
+	}
+	bw.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(n)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabel(values[i]))
+		bw.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(extraName)
+		bw.WriteString(`="`)
+		bw.WriteString(extraValue)
+		bw.WriteByte('"')
+	}
+	bw.WriteByte('}')
+}
+
+func formatValue(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+// Handler returns an http.Handler serving the registry in the text
+// exposition format — mount it at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentObserveRender hammers every metric kind from many
+// goroutines while other goroutines render and register, so the race
+// detector (the CI race job runs this package) gets a chance to object
+// to any unsynchronized access, and the final counts prove no update
+// was lost.
+func TestConcurrentObserveRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits_total", "x")
+	cv := r.CounterVec("kinds_total", "x", "kind")
+	g := r.Gauge("depth", "x")
+	h := r.Histogram("lat", "x", ExpBuckets(1, 2, 10))
+	hv := r.HistogramVec("latv", "x", ExpBuckets(1, 2, 10), "kind")
+
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			kind := strconv.Itoa(w % 3)
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				cv.With(kind).Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i % 700))
+				hv.With(kind).Observe(float64(i % 700))
+			}
+		}(w)
+	}
+	// Renderers and late registrations run concurrently with the writers.
+	for rdr := 0; rdr < 4; rdr++ {
+		wg.Add(1)
+		go func(rdr int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := r.WriteText(io.Discard); err != nil {
+					t.Errorf("render: %v", err)
+					return
+				}
+			}
+			r.Gauge("late_"+strconv.Itoa(rdr), "registered mid-flight").Set(1)
+		}(rdr)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter lost updates: got %g, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram lost updates: got %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge should balance to 0, got %g", got)
+	}
+	var total float64
+	for k := 0; k < 3; k++ {
+		total += cv.With(strconv.Itoa(k)).Value()
+	}
+	if total != workers*perWorker {
+		t.Errorf("vec counter lost updates: got %g, want %d", total, workers*perWorker)
+	}
+}

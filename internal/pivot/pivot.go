@@ -29,6 +29,8 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"skygraph/internal/ged"
 	"skygraph/internal/graph"
@@ -126,6 +128,36 @@ type Index struct {
 	selectedAt int // member count at the last pivot selection
 	queue      []job
 	running    int
+
+	// Monotone work counters (atomics: column work is recorded outside
+	// the mutex), exposed via Counters for metrics exporters.
+	rebuilds     atomic.Int64
+	rebuildNanos atomic.Int64
+	columns      atomic.Int64
+	columnNanos  atomic.Int64
+}
+
+// Counters is a monotone snapshot of the index's background work.
+type Counters struct {
+	// Rebuilds counts pivot re-selections; RebuildNanos is their total
+	// inline selection time.
+	Rebuilds     int64
+	RebuildNanos int64
+	// Columns counts distance columns computed, including recomputations
+	// that a newer epoch later discarded; ColumnNanos is their total
+	// engine time.
+	Columns     int64
+	ColumnNanos int64
+}
+
+// Counters returns the index's cumulative work counters.
+func (ix *Index) Counters() Counters {
+	return Counters{
+		Rebuilds:     ix.rebuilds.Load(),
+		RebuildNanos: ix.rebuildNanos.Load(),
+		Columns:      ix.columns.Load(),
+		ColumnNanos:  ix.columnNanos.Load(),
+	}
 }
 
 // New returns an empty index.
@@ -197,6 +229,11 @@ func (ix *Index) Remove(name string) {
 // (stale queued or in-flight jobs publish nothing). Selection itself is
 // cheap — O(members × pivots) histogram bounds — so it runs inline.
 func (ix *Index) rebuildLocked() {
+	start := time.Now()
+	defer func() {
+		ix.rebuilds.Add(1)
+		ix.rebuildNanos.Add(int64(time.Since(start)))
+	}()
 	ix.epoch++
 	ix.entries = make(map[string][]Entry)
 	ix.snapDirty = true
@@ -280,10 +317,13 @@ func (ix *Index) drain() {
 		if !live {
 			continue
 		}
+		colStart := time.Now()
 		col := make([]Entry, len(pivots))
 		for i, p := range pivots {
 			col[i] = distance(m.g, m.sig, p, ix.cfg.MaxNodes)
 		}
+		ix.columns.Add(1)
+		ix.columnNanos.Add(int64(time.Since(colStart)))
 		ix.mu.Lock()
 		if j.epoch == ix.epoch {
 			if _, stillLive := ix.members[j.name]; stillLive {

@@ -60,6 +60,12 @@ type QueryRequest struct {
 	// e.g. to warm per-shard tables that later queries of any kind on
 	// the same graph are served from.
 	Prune *bool `json:"prune,omitempty"`
+	// Trace requests the per-stage cascade trace in the response: one
+	// entry per stage the query touched (bound, pivot, refine, exact,
+	// merge) with wall time, pair count and pruned count. The trace is
+	// always recorded server-side (it feeds the stage metrics and the
+	// slow-query log); this flag only controls whether it is returned.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // QueryStats reports the work a request caused.
@@ -114,6 +120,10 @@ type SkylineResponse struct {
 	// All holds the full vector table when requested.
 	All   []PointJSON `json:"all,omitempty"`
 	Stats QueryStats  `json:"stats"`
+	// Trace is the per-stage cascade breakdown (present when the request
+	// set "trace": true). Stage durations are summed across shards and
+	// workers, so they can exceed the request's wall-clock duration.
+	Trace []gdb.TraceStage `json:"trace,omitempty"`
 }
 
 // ItemJSON is one (graph, scalar distance) row.
@@ -124,18 +134,20 @@ type ItemJSON struct {
 
 // TopKResponse answers /query/topk.
 type TopKResponse struct {
-	Measure string     `json:"measure"`
-	K       int        `json:"k"`
-	Items   []ItemJSON `json:"items"`
-	Stats   QueryStats `json:"stats"`
+	Measure string           `json:"measure"`
+	K       int              `json:"k"`
+	Items   []ItemJSON       `json:"items"`
+	Stats   QueryStats       `json:"stats"`
+	Trace   []gdb.TraceStage `json:"trace,omitempty"`
 }
 
 // RangeResponse answers /query/range.
 type RangeResponse struct {
-	Measure string     `json:"measure"`
-	Radius  float64    `json:"radius"`
-	Items   []ItemJSON `json:"items"`
-	Stats   QueryStats `json:"stats"`
+	Measure string           `json:"measure"`
+	Radius  float64          `json:"radius"`
+	Items   []ItemJSON       `json:"items"`
+	Stats   QueryStats       `json:"stats"`
+	Trace   []gdb.TraceStage `json:"trace,omitempty"`
 }
 
 // BatchRequest is the body of POST /query/batch: many queries answered
@@ -251,6 +263,37 @@ type StatsResponse struct {
 	// hit/miss counters (absent without -memo).
 	Memo     *gdb.MemoStats `json:"memo,omitempty"`
 	Requests ReqStats       `json:"requests"`
+	Runtime  RuntimeStats   `json:"runtime"`
+	Build    BuildInfo      `json:"build"`
+}
+
+// RuntimeStats is a Go runtime snapshot taken when /stats is served.
+type RuntimeStats struct {
+	Goroutines    int     `json:"goroutines"`
+	HeapAllocByte uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes  uint64  `json:"heap_sys_bytes"`
+	GCCycles      uint32  `json:"gc_cycles"`
+	GCPauseMS     float64 `json:"gc_pause_total_ms"`
+}
+
+// BuildInfo identifies the running binary.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module,omitempty"`
+	// Revision is the VCS commit the binary was built from, or "unknown"
+	// when the build carried no VCS stamp.
+	Revision string `json:"revision"`
+}
+
+// SlowQueryRecord is one line of the slow-query log (JSON, one object
+// per line), emitted for any query whose server-side duration reaches
+// the -slow-query-ms threshold.
+type SlowQueryRecord struct {
+	Time       string           `json:"time"`
+	Kind       string           `json:"kind"`
+	DurationMS float64          `json:"duration_ms"`
+	Stats      QueryStats       `json:"stats"`
+	Trace      []gdb.TraceStage `json:"trace,omitempty"`
 }
 
 // ShardInfo is one shard's occupancy and generation, plus its pivot

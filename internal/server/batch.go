@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"skygraph/internal/gdb"
 )
 
 // DefaultMaxBatch is the /query/batch size limit when Config.MaxBatch
@@ -206,11 +208,13 @@ func (s *Server) runBatchQuery(ctx context.Context, it batchItem, bq *BatchQuery
 	if it.errMsg != "" {
 		return fail(it.errMsg)
 	}
+	it.res.opts.Trace = gdb.NewQueryTrace()
 	ans, err := s.execQuery(ctx, it.kind, &bq.QueryRequest, it.res, start)
 	if err != nil {
 		_, msg := s.classifyQueryErr(err)
 		return fail(msg)
 	}
+	s.finishQuery(it.kind, &bq.QueryRequest, it.res, ans, start)
 	out.Skyline, out.TopK, out.Range = ans.sky, ans.tk, ans.rng
 	return out
 }

@@ -1,0 +1,249 @@
+package server
+
+import (
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"skygraph/internal/gdb"
+	"skygraph/internal/obs"
+)
+
+// metrics is the server's obs registry plus the handles the hot paths
+// write to. Request-scoped series (per-endpoint latency, per-kind
+// cascade counters) are fed by the handlers; occupancy numbers another
+// subsystem already maintains (cache, shards, pivot indexes, memo, Go
+// runtime) are registered as render-time callbacks so /metrics always
+// reports the live value without a second set of counters to keep in
+// sync.
+type metrics struct {
+	reg *obs.Registry
+
+	// HTTP layer, labelled by route pattern.
+	httpRequests obs.CounterVec // endpoint, code
+	httpLatency  obs.HistogramVec
+	httpInflight obs.GaugeVec
+
+	// Query cascade, labelled by query kind (skyline/topk/range).
+	queryLatency  obs.HistogramVec
+	pairsEval     obs.CounterVec
+	pairsPruned   obs.CounterVec
+	pivotPruned   obs.CounterVec
+	memoHits      obs.CounterVec
+	memoMisses    obs.CounterVec
+	queryCacheHit obs.CounterVec
+
+	// Cascade stages, labelled by trace stage name.
+	stageSeconds obs.CounterVec
+	stagePairs   obs.CounterVec
+	stagePruned  obs.CounterVec
+
+	slowQueries obs.Counter
+}
+
+// newMetrics builds the registry for one Server. Call once, after the
+// database (shards, pivot indexes, memo) is fully assembled — the
+// callback metrics bind to what exists now.
+func newMetrics(s *Server) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{reg: reg}
+
+	m.httpRequests = reg.CounterVec("skygraph_http_requests_total",
+		"HTTP requests served, by route and status code.", "endpoint", "code")
+	m.httpLatency = reg.HistogramVec("skygraph_http_request_duration_seconds",
+		"HTTP request latency by route.", nil, "endpoint")
+	m.httpInflight = reg.GaugeVec("skygraph_http_inflight_requests",
+		"HTTP requests currently being served, by route.", "endpoint")
+
+	m.queryLatency = reg.HistogramVec("skygraph_query_duration_seconds",
+		"Server-side query latency by query kind (batch items counted individually).", nil, "kind")
+	m.pairsEval = reg.CounterVec("skygraph_query_pairs_evaluated_total",
+		"Exact pair evaluations caused by queries, by query kind.", "kind")
+	m.pairsPruned = reg.CounterVec("skygraph_query_pairs_pruned_total",
+		"Pairs excluded without exact evaluation, by query kind.", "kind")
+	m.pivotPruned = reg.CounterVec("skygraph_query_pivot_pruned_total",
+		"Pairs (within pruned) excluded only thanks to the pivot tier, by query kind.", "kind")
+	m.memoHits = reg.CounterVec("skygraph_query_memo_hits_total",
+		"Score-memo lookups that replayed a recorded result, by query kind.", "kind")
+	m.memoMisses = reg.CounterVec("skygraph_query_memo_misses_total",
+		"Score-memo lookups that missed, by query kind.", "kind")
+	m.queryCacheHit = reg.CounterVec("skygraph_query_cache_hits_total",
+		"Queries answered entirely from the table or ranked cache, by query kind.", "kind")
+
+	m.stageSeconds = reg.CounterVec("skygraph_stage_seconds_total",
+		"Cascade-stage work time summed across shards and workers, by stage.", "stage")
+	m.stagePairs = reg.CounterVec("skygraph_stage_pairs_total",
+		"Candidate pairs processed per cascade stage.", "stage")
+	m.stagePruned = reg.CounterVec("skygraph_stage_pruned_total",
+		"Candidate pairs excluded per cascade stage.", "stage")
+
+	m.slowQueries = reg.Counter("skygraph_slow_queries_total",
+		"Queries at or above the slow-query threshold.")
+
+	// Lifetime request counters the handlers already maintain.
+	reg.CounterFunc("skygraph_queries_total", "Query requests received (batch items included).",
+		func() float64 { return float64(s.queries.Load()) })
+	reg.CounterFunc("skygraph_batches_total", "Batch requests received.",
+		func() float64 { return float64(s.batches.Load()) })
+	reg.CounterFunc("skygraph_inserts_total", "Insert requests received.",
+		func() float64 { return float64(s.inserts.Load()) })
+	reg.CounterFunc("skygraph_deletes_total", "Delete requests received.",
+		func() float64 { return float64(s.deletes.Load()) })
+	reg.CounterFunc("skygraph_request_errors_total", "Requests answered with an error.",
+		func() float64 { return float64(s.errors.Load()) })
+	reg.CounterFunc("skygraph_query_timeouts_total", "Queries that hit their deadline.",
+		func() float64 { return float64(s.timeouts.Load()) })
+	reg.CounterFunc("skygraph_inflight_rejected_total", "Evaluations rejected at the inflight limit.",
+		func() float64 { return float64(s.rejected.Load()) })
+
+	// Vector-table / ranked-answer cache.
+	reg.CounterFunc("skygraph_cache_hits_total", "Table and ranked cache hits.",
+		func() float64 { return float64(s.cache.Stats().Hits) })
+	reg.CounterFunc("skygraph_cache_misses_total", "Table and ranked cache misses.",
+		func() float64 { return float64(s.cache.Stats().Misses) })
+	reg.CounterFunc("skygraph_cache_evictions_total", "Cache entries evicted by LRU pressure.",
+		func() float64 { return float64(s.cache.Stats().Evictions) })
+	reg.CounterFunc("skygraph_cache_invalidations_total", "Cache entries dropped by mutations.",
+		func() float64 { return float64(s.cache.Stats().Invalidations) })
+	reg.GaugeFunc("skygraph_cache_entries", "Cached tables and ranked answers.",
+		func() float64 { return float64(s.cache.Len()) })
+
+	// Cross-query score memo (absent without -memo).
+	if memo := s.db.Memo(); memo != nil {
+		reg.CounterFunc("skygraph_memo_hits_total", "Score-memo hits since startup.",
+			func() float64 { return float64(memo.Stats().Hits) })
+		reg.CounterFunc("skygraph_memo_misses_total", "Score-memo misses since startup.",
+			func() float64 { return float64(memo.Stats().Misses) })
+		reg.GaugeFunc("skygraph_memo_entries", "Memoized pair scores held.",
+			func() float64 { return float64(memo.Stats().Entries) })
+	}
+
+	// Per-shard occupancy, and the pivot index's background work where
+	// one is attached.
+	shardGraphs := reg.GaugeVec("skygraph_shard_graphs", "Graphs stored per shard.", "shard")
+	shardGen := reg.GaugeVec("skygraph_shard_generation", "Mutation generation per shard.", "shard")
+	var pivotReady, pivotPending obs.GaugeVec
+	var pivotRebuilds, pivotRebuildSecs, pivotColumns, pivotColumnSecs obs.CounterVec
+	pivotRegistered := false
+	for i := 0; i < s.db.NumShards(); i++ {
+		shard := s.db.Shard(i)
+		label := strconv.Itoa(i)
+		shardGraphs.WithFunc(func() float64 { return float64(shard.Len()) }, label)
+		shardGen.WithFunc(func() float64 { return float64(shard.Generation()) }, label)
+		ix := shard.PivotIndex()
+		if ix == nil {
+			continue
+		}
+		if !pivotRegistered {
+			pivotRegistered = true
+			pivotReady = reg.GaugeVec("skygraph_pivot_ready_columns", "Stored graphs with a computed pivot column, per shard.", "shard")
+			pivotPending = reg.GaugeVec("skygraph_pivot_pending_columns", "Pivot columns still queued behind the background workers, per shard.", "shard")
+			pivotRebuilds = reg.CounterVec("skygraph_pivot_rebuilds_total", "Pivot re-selections, per shard.", "shard")
+			pivotRebuildSecs = reg.CounterVec("skygraph_pivot_rebuild_seconds_total", "Time spent re-selecting pivots, per shard.", "shard")
+			pivotColumns = reg.CounterVec("skygraph_pivot_columns_total", "Pivot distance columns computed, per shard.", "shard")
+			pivotColumnSecs = reg.CounterVec("skygraph_pivot_column_seconds_total", "Engine time spent computing pivot columns, per shard.", "shard")
+		}
+		pivotReady.WithFunc(func() float64 { _, ready, _ := ix.Ready(); return float64(ready) }, label)
+		pivotPending.WithFunc(func() float64 { _, _, pending := ix.Ready(); return float64(pending) }, label)
+		pivotRebuilds.WithFunc(func() float64 { return float64(ix.Counters().Rebuilds) }, label)
+		pivotRebuildSecs.WithFunc(func() float64 { return float64(ix.Counters().RebuildNanos) / 1e9 }, label)
+		pivotColumns.WithFunc(func() float64 { return float64(ix.Counters().Columns) }, label)
+		pivotColumnSecs.WithFunc(func() float64 { return float64(ix.Counters().ColumnNanos) / 1e9 }, label)
+	}
+
+	// Process-level runtime stats and build identity.
+	reg.GaugeFunc("skygraph_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("go_goroutines", "Live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_memstats_heap_alloc_bytes", "Heap bytes allocated and in use.",
+		func() float64 { return float64(readMemStats().HeapAlloc) })
+	reg.GaugeFunc("go_memstats_heap_sys_bytes", "Heap bytes obtained from the OS.",
+		func() float64 { return float64(readMemStats().HeapSys) })
+	reg.CounterFunc("go_gc_cycles_total", "Completed GC cycles.",
+		func() float64 { return float64(readMemStats().NumGC) })
+	reg.CounterFunc("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.",
+		func() float64 { return float64(readMemStats().PauseTotalNs) / 1e9 })
+	bi := buildInfo()
+	buildGauge := reg.GaugeVec("skygraph_build_info",
+		"Constant 1, labelled with the build's Go version and VCS revision.", "go_version", "revision")
+	buildGauge.With(bi.GoVersion, bi.Revision).Set(1)
+
+	return m
+}
+
+// readMemStats snapshots runtime.MemStats. Each callback reads its own
+// snapshot; scrapes are rare enough that coherence across gauges is not
+// worth a cache.
+func readMemStats() runtime.MemStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms
+}
+
+// buildInfo extracts the wire build identity from the binary's embedded
+// build information.
+func buildInfo() BuildInfo {
+	out := BuildInfo{GoVersion: runtime.Version(), Revision: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out.Module = bi.Main.Path
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			out.Revision = s.Value
+		}
+	}
+	return out
+}
+
+// observeQuery feeds one answered query's stats and trace into the
+// per-kind and per-stage families. Called for dedicated-endpoint
+// queries and each batch item alike.
+func (m *metrics) observeQuery(kind string, qs QueryStats, stages []gdb.TraceStage) {
+	m.queryLatency.With(kind).Observe(qs.DurationMS / 1e3)
+	m.pairsEval.With(kind).Add(float64(qs.Evaluated))
+	m.pairsPruned.With(kind).Add(float64(qs.Pruned))
+	m.pivotPruned.With(kind).Add(float64(qs.PivotPruned))
+	m.memoHits.With(kind).Add(float64(qs.MemoHits))
+	m.memoMisses.With(kind).Add(float64(qs.MemoMisses))
+	if qs.CacheHit {
+		m.queryCacheHit.With(kind).Inc()
+	}
+	for _, st := range stages {
+		m.stageSeconds.With(st.Stage).Add(st.DurationMS / 1e3)
+		m.stagePairs.With(st.Stage).Add(float64(st.Pairs))
+		m.stagePruned.With(st.Stage).Add(float64(st.Pruned))
+	}
+}
+
+// statusWriter captures the response status for the request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// route registers pattern on mux wrapped with per-endpoint
+// instrumentation: request count by status code, latency histogram and
+// inflight gauge, all labelled with the route pattern.
+func (s *Server) route(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
+	inflight := s.met.httpInflight.With(pattern)
+	hist := s.met.httpLatency.With(pattern)
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		inflight.Inc()
+		defer inflight.Dec()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		hist.Observe(time.Since(start).Seconds())
+		s.met.httpRequests.With(pattern, strconv.Itoa(sw.code)).Inc()
+	})
+}

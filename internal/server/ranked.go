@@ -169,7 +169,7 @@ func (s *Server) leadRanked(ctx context.Context, kind string, res resolved, k in
 		for j, shard := range cold {
 			go func(j, shard int) {
 				defer func() { done <- j }()
-				opts := gdb.QueryOptions{Eval: res.opts.Eval, Workers: workers}
+				opts := gdb.QueryOptions{Eval: res.opts.Eval, Workers: workers, Trace: res.opts.Trace}
 				stats[j], errs[j] = run.EvalDB(ctx, s.db.Shard(shard), res.q, opts)
 			}(j, shard)
 		}
@@ -192,10 +192,15 @@ func (s *Server) leadRanked(ctx context.Context, kind string, res resolved, k in
 		}
 	}
 
+	var mstart time.Time
+	if res.opts.Trace != nil {
+		mstart = time.Now()
+	}
 	ra.items = run.Items()
 	if kind == "range" {
 		s.db.SortItemsByRank(ra.items)
 	}
+	res.opts.Trace.Observe(gdb.StageMerge, time.Since(mstart), len(ra.items), 0)
 	s.pairEvals.Add(uint64(ra.evaluated))
 	s.pairsPruned.Add(uint64(ra.pruned))
 	s.pivotPruned.Add(uint64(ra.pivotPruned))

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -14,6 +16,7 @@ import (
 	"skygraph/internal/gdb"
 	"skygraph/internal/graph"
 	"skygraph/internal/measure"
+	"skygraph/internal/obs"
 	"skygraph/internal/skyline"
 	"skygraph/internal/topk"
 )
@@ -45,6 +48,13 @@ type Config struct {
 	// BatchWorkers caps how many batch queries execute concurrently
 	// (0 = GOMAXPROCS).
 	BatchWorkers int
+	// SlowQueryThreshold emits a structured log line for every query
+	// whose server-side wall time reaches it (0 = disabled). Batch items
+	// are judged individually.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives one JSON-encoded SlowQueryRecord per line
+	// (nil = os.Stderr). Writes are serialized by the server.
+	SlowQueryLog io.Writer
 }
 
 // Server serves similarity queries over a sharded graph database with a
@@ -56,6 +66,10 @@ type Server struct {
 	cfg   Config
 	start time.Time
 	sem   chan struct{}
+	met   *metrics
+
+	slowMu sync.Mutex
+	slowW  io.Writer
 
 	flightMu sync.Mutex
 	flight   map[string]*flightCall
@@ -87,12 +101,37 @@ func New(db *gdb.Sharded, cfg Config) *Server {
 		cache:  NewCache(cfg.CacheSize),
 		cfg:    cfg,
 		start:  time.Now(),
+		slowW:  cfg.SlowQueryLog,
 		flight: make(map[string]*flightCall),
+	}
+	if s.slowW == nil {
+		s.slowW = os.Stderr
 	}
 	if cfg.MaxInflight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInflight)
 	}
+	s.met = newMetrics(s)
 	return s
+}
+
+// Metrics exposes the server's metric registry (mounted at GET /metrics
+// by Handler; for tests and for embedding extra collectors).
+func (s *Server) Metrics() *obs.Registry { return s.met.reg }
+
+// Ready reports whether the server is ready to serve at full fidelity:
+// the database was loaded before construction, so readiness is about
+// the background pivot-index build — every shard with a pivot index
+// must have drained its column backlog. Servers without -pivots are
+// ready immediately.
+func (s *Server) Ready() bool {
+	for i := 0; i < s.db.NumShards(); i++ {
+		if ix := s.db.Shard(i).PivotIndex(); ix != nil {
+			if _, _, pending := ix.Ready(); pending > 0 {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Cache exposes the server's vector-table cache (read-mostly; for tests
@@ -102,23 +141,50 @@ func (s *Server) Cache() *Cache { return s.cache }
 // DB exposes the server's sharded database.
 func (s *Server) DB() *gdb.Sharded { return s.db }
 
-// Handler returns the HTTP routing for the API.
+// Handler returns the HTTP routing for the API. Serving routes are
+// wrapped with per-endpoint request/latency/inflight metrics; the
+// health probes and the metrics scrape itself stay uninstrumented (they
+// are polled constantly and must never count as, or contend with,
+// traffic).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /query/skyline", s.handleSkyline)
-	mux.HandleFunc("POST /query/topk", s.handleTopK)
-	mux.HandleFunc("POST /query/range", s.handleRange)
-	mux.HandleFunc("POST /query/batch", s.handleBatch)
-	mux.HandleFunc("POST /cache/warm", s.handleWarm)
-	mux.HandleFunc("GET /graphs", s.handleList)
-	mux.HandleFunc("POST /graphs", s.handleInsert)
-	mux.HandleFunc("GET /graphs/{name}", s.handleGet)
-	mux.HandleFunc("DELETE /graphs/{name}", s.handleDelete)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	s.route(mux, "POST /query/skyline", s.handleSkyline)
+	s.route(mux, "POST /query/topk", s.handleTopK)
+	s.route(mux, "POST /query/range", s.handleRange)
+	s.route(mux, "POST /query/batch", s.handleBatch)
+	s.route(mux, "POST /cache/warm", s.handleWarm)
+	s.route(mux, "GET /graphs", s.handleList)
+	s.route(mux, "POST /graphs", s.handleInsert)
+	s.route(mux, "GET /graphs/{name}", s.handleGet)
+	s.route(mux, "DELETE /graphs/{name}", s.handleDelete)
+	s.route(mux, "GET /stats", s.handleStats)
+	mux.Handle("GET /metrics", s.met.reg.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	return mux
+}
+
+// handleReady answers GET /readyz: 200 once every shard's pivot-index
+// backlog has drained, 503 while columns are still being computed (the
+// bounds still work, but queries prune less until the index is warm).
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.Ready() {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		return
+	}
+	pending := 0
+	for i := 0; i < s.db.NumShards(); i++ {
+		if ix := s.db.Shard(i).PivotIndex(); ix != nil {
+			_, _, p := ix.Ready()
+			pending += p
+		}
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"status":                "not_ready",
+		"pivot_columns_pending": pending,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -638,6 +704,70 @@ func (a answer) body() any {
 	}
 }
 
+// stats returns whichever response's stats are set.
+func (a answer) stats() QueryStats {
+	switch {
+	case a.sky != nil:
+		return a.sky.Stats
+	case a.tk != nil:
+		return a.tk.Stats
+	case a.rng != nil:
+		return a.rng.Stats
+	}
+	return QueryStats{}
+}
+
+// setTrace attaches the per-stage trace to whichever response is set.
+func (a answer) setTrace(stages []gdb.TraceStage) {
+	switch {
+	case a.sky != nil:
+		a.sky.Trace = stages
+	case a.tk != nil:
+		a.tk.Trace = stages
+	case a.rng != nil:
+		a.rng.Trace = stages
+	}
+}
+
+// finishQuery is the post-answer bookkeeping shared by the dedicated
+// endpoints and each batch item: feed the per-kind and per-stage
+// metrics, attach the trace to the response when the client asked for
+// it, and emit the slow-query log line when the query crossed the
+// threshold.
+func (s *Server) finishQuery(kind string, req *QueryRequest, res resolved, ans answer, start time.Time) {
+	stages := res.opts.Trace.Stages()
+	qs := ans.stats()
+	s.met.observeQuery(kind, qs, stages)
+	if req.Trace {
+		ans.setTrace(stages)
+	}
+	s.logSlow(kind, qs, stages, time.Since(start))
+}
+
+// logSlow writes one SlowQueryRecord line when elapsed reaches the
+// configured threshold.
+func (s *Server) logSlow(kind string, qs QueryStats, stages []gdb.TraceStage, elapsed time.Duration) {
+	if s.cfg.SlowQueryThreshold <= 0 || elapsed < s.cfg.SlowQueryThreshold {
+		return
+	}
+	s.met.slowQueries.Inc()
+	rec := SlowQueryRecord{
+		Time:       time.Now().UTC().Format(time.RFC3339Nano),
+		Kind:       kind,
+		DurationMS: float64(elapsed.Microseconds()) / 1000,
+		Stats:      qs,
+		Trace:      stages,
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	s.slowMu.Lock()
+	_, _ = s.slowW.Write(b)
+	s.slowMu.Unlock()
+}
+
 // execQuery executes one resolved query of the given kind end to end —
 // pruned ranked evaluation for topk/range when the request allows it,
 // the per-shard table path otherwise. Shared by the dedicated endpoints
@@ -659,14 +789,29 @@ func (s *Server) execQuery(ctx context.Context, kind string, req *QueryRequest, 
 		return answer{}, err
 	}
 	stats := s.queryStats(ts, start)
+	// Answer shaping from the per-shard tables is the merge stage:
+	// skyline cross-filtering, top-k heap merging, range concatenation.
+	var mstart time.Time
+	if res.opts.Trace != nil {
+		mstart = time.Now()
+	}
+	var ans answer
 	switch kind {
 	case "topk":
-		return answer{tk: s.topkAnswer(req, res, ts, stats)}, nil
+		ans = answer{tk: s.topkAnswer(req, res, ts, stats)}
 	case "range":
-		return answer{rng: s.rangeAnswer(req, res, ts, stats)}, nil
+		ans = answer{rng: s.rangeAnswer(req, res, ts, stats)}
 	default:
-		return answer{sky: s.skylineAnswer(req, res, ts, stats)}, nil
+		ans = answer{sky: s.skylineAnswer(req, res, ts, stats)}
 	}
+	if res.opts.Trace != nil {
+		rows := 0
+		for _, t := range ts.tables {
+			rows += len(t.Points)
+		}
+		res.opts.Trace.Observe(gdb.StageMerge, time.Since(mstart), rows, 0)
+	}
+	return ans, nil
 }
 
 func derefRadius(r *float64) float64 {
@@ -698,6 +843,10 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, kind string,
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Every query is traced — the per-pair bookkeeping is noise next to
+	// engine work, and the cascade-stage metrics want the numbers whether
+	// or not the client asked to see them.
+	res.opts.Trace = gdb.NewQueryTrace()
 	ctx := r.Context()
 	if d := s.timeout(&req); d > 0 {
 		var cancel context.CancelFunc
@@ -710,6 +859,7 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, kind string,
 		s.writeError(w, code, "%s", msg)
 		return
 	}
+	s.finishQuery(kind, &req, res, ans, start)
 	writeJSON(w, http.StatusOK, ans.body())
 }
 
@@ -877,7 +1027,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			QueryTimeouts:    s.timeouts.Load(),
 			InflightRejected: s.rejected.Load(),
 		},
+		Runtime: runtimeStats(),
+		Build:   buildInfo(),
 	})
+}
+
+// runtimeStats snapshots the Go runtime for /stats.
+func runtimeStats() RuntimeStats {
+	ms := readMemStats()
+	return RuntimeStats{
+		Goroutines:    runtime.NumGoroutine(),
+		HeapAllocByte: ms.HeapAlloc,
+		HeapSysBytes:  ms.HeapSys,
+		GCCycles:      ms.NumGC,
+		GCPauseMS:     float64(ms.PauseTotalNs) / 1e6,
+	}
 }
 
 // handleWarm answers POST /cache/warm: build (and cache) the complete
