@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-skyline bench-topk bench-pivot bench-compare run-server smoke vet
+.PHONY: build test race fuzz bench bench-skyline bench-topk bench-pivot bench-compare run-server smoke smoke-restart vet
 
 build:
 	$(GO) build ./...
@@ -68,3 +68,10 @@ run-server:
 # SMOKE_DURATION/SMOKE_ADDR override the defaults (5s, 127.0.0.1:8191).
 smoke:
 	bash ./scripts/smoke.sh
+
+# smoke-restart is the durability smoke test: insert-heavy loadgen
+# burst against a -data-dir daemon, SIGTERM, restart on the same
+# directory, and assert the graph count and a fixed skyline answer
+# survived (plus live WAL/recovery metrics).
+smoke-restart:
+	bash ./scripts/smoke_restart.sh

@@ -33,6 +33,14 @@
 // -slow-query-ms logs any query at or above the threshold as one JSON
 // line (with its per-stage trace) to stderr; -pprof-addr serves
 // net/http/pprof on a separate listener, kept off the query port.
+//
+// -data-dir makes the database durable: every acked mutation is
+// write-ahead logged there (fsynced per -fsync), -snapshot-every cuts
+// periodic atomic snapshots that let the log be reclaimed, and a
+// restart with the same directory replays snapshot + log back into the
+// exact pre-crash database. The listener answers 503 (and /readyz
+// "recovering") until the replay completes. On SIGTERM the daemon
+// drains HTTP, cuts a final snapshot and closes the log.
 package main
 
 import (
@@ -45,6 +53,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -52,7 +61,41 @@ import (
 	"skygraph/internal/measure"
 	"skygraph/internal/pivot"
 	"skygraph/internal/server"
+	"skygraph/internal/wal"
 )
+
+// parseFsync resolves the -fsync flag: "always", "never", or a
+// duration ("100ms") selecting interval flushing with that period.
+func parseFsync(v string) (wal.SyncPolicy, time.Duration, error) {
+	switch v {
+	case "always":
+		return wal.SyncAlways, 0, nil
+	case "never":
+		return wal.SyncNever, 0, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d <= 0 {
+		return 0, 0, fmt.Errorf("-fsync must be always, never or a positive duration, got %q", v)
+	}
+	return wal.SyncInterval, d, nil
+}
+
+// warmingHandler answers while recovery replays the data directory:
+// liveness is fine, everything else (readiness included) is 503 so
+// load balancers keep traffic away until the swap to the real handler.
+func warmingHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"recovering"}`)
+	})
+	return mux
+}
 
 func main() {
 	addr := flag.String("addr", ":8091", "listen address")
@@ -72,15 +115,66 @@ func main() {
 	memoSize := flag.Int("memo", 0, "cross-query exact-score memo capacity (pair entries, 0 = disabled)")
 	slowQueryMS := flag.Int("slow-query-ms", 0, "log queries at or above this server-side duration as JSON lines to stderr (0 = disabled)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled; keep it private)")
+	dataDir := flag.String("data-dir", "", "durable data directory: WAL + snapshots; a restart with the same directory recovers the database (empty = in-memory only)")
+	fsync := flag.String("fsync", "always", "WAL fsync policy: always, never, or a flush interval like 100ms")
+	snapshotEvery := flag.Duration("snapshot-every", 5*time.Minute, "cut a snapshot (and reclaim covered WAL segments) this often; 0 disables periodic snapshots (needs -data-dir)")
 	flag.Parse()
 
-	db := gdb.NewSharded(*shards)
-	if *dbPath != "" {
-		loaded, err := gdb.LoadSharded(*dbPath, *shards)
+	syncPolicy, syncEvery, err := parseFsync(*fsync)
+	if err != nil {
+		log.Fatalf("skygraphd: %v", err)
+	}
+
+	// The listener comes up before recovery so orchestrators can probe
+	// /healthz from the start; every other route answers 503 until the
+	// real handler is swapped in below.
+	var handler atomic.Value // http.Handler
+	handler.Store(warmingHandler())
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { handler.Load().(http.Handler).ServeHTTP(w, r) }),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	var db *gdb.Sharded
+	var durable *gdb.Durable
+	if *dataDir != "" {
+		durable, err = gdb.OpenDurable(gdb.DurableOptions{
+			Dir:       *dataDir,
+			Shards:    *shards,
+			Sync:      syncPolicy,
+			SyncEvery: syncEvery,
+		})
 		if err != nil {
-			log.Fatalf("skygraphd: loading %s: %v", *dbPath, err)
+			log.Fatalf("skygraphd: opening %s: %v", *dataDir, err)
 		}
-		db = loaded
+		db = durable.DB
+		rec := durable.Recovery()
+		log.Printf("skygraphd: recovered %s in %s: %d graphs from snapshot, %d WAL records replayed (repaired %d bytes, dropped %d segments)",
+			*dataDir, rec.Duration.Round(time.Millisecond), rec.SnapshotGraphs, rec.ReplayedRecords, rec.RepairedBytes, rec.DroppedSegments)
+		if *dbPath != "" && db.Len() == 0 {
+			// Bootstrap an empty data directory from the LGF file; the
+			// inserts flow through the WAL like any mutation.
+			loaded, err := gdb.Load(*dbPath)
+			if err != nil {
+				log.Fatalf("skygraphd: loading %s: %v", *dbPath, err)
+			}
+			if err := db.InsertAll(loaded.Graphs()); err != nil {
+				log.Fatalf("skygraphd: importing %s: %v", *dbPath, err)
+			}
+			log.Printf("skygraphd: imported %d graphs from %s into %s", db.Len(), *dbPath, *dataDir)
+		}
+	} else {
+		db = gdb.NewSharded(*shards)
+		if *dbPath != "" {
+			loaded, err := gdb.LoadSharded(*dbPath, *shards)
+			if err != nil {
+				log.Fatalf("skygraphd: loading %s: %v", *dbPath, err)
+			}
+			db = loaded
+		}
 	}
 	if *pivots > 0 {
 		db.EnablePivots(pivot.Config{Pivots: *pivots, MaxNodes: *pivotBudget, QueryMaxNodes: *pivotQueryBudget})
@@ -101,12 +195,30 @@ func main() {
 		MaxBatch:           *maxBatch,
 		DefaultEval:        measure.Options{GEDMaxNodes: *gedBudget, MCSMaxNodes: *mcsBudget},
 		SlowQueryThreshold: time.Duration(*slowQueryMS) * time.Millisecond,
+		Durable:            durable,
 	})
+	handler.Store(srv.Handler()) // recovery done: start serving for real
 
-	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
+	snapStop := make(chan struct{})
+	snapDone := make(chan struct{})
+	if durable != nil && *snapshotEvery > 0 {
+		go func() {
+			defer close(snapDone)
+			t := time.NewTicker(*snapshotEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := durable.Snapshot(); err != nil {
+						log.Printf("skygraphd: snapshot: %v", err)
+					}
+				case <-snapStop:
+					return
+				}
+			}
+		}()
+	} else {
+		close(snapDone)
 	}
 
 	if *pprofAddr != "" {
@@ -127,9 +239,6 @@ func main() {
 		}()
 	}
 
-	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
-
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -139,10 +248,24 @@ func main() {
 		log.Printf("skygraphd: received %v, draining", sig)
 	}
 
+	// Shutdown order matters for durability: drain HTTP first so no new
+	// mutations arrive, then cut a final snapshot (making the next
+	// restart replay-free), and only then flush and close the WAL — a
+	// mutation acked before the drain finished is on disk either way.
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("skygraphd: shutdown: %v", err)
+	}
+	close(snapStop)
+	<-snapDone
+	if durable != nil {
+		if err := durable.Snapshot(); err != nil {
+			log.Printf("skygraphd: final snapshot: %v", err)
+		}
+		if err := durable.Close(); err != nil {
+			log.Printf("skygraphd: closing wal: %v", err)
+		}
 	}
 	fmt.Println("skygraphd: stopped")
 }

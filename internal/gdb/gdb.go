@@ -5,6 +5,7 @@
 package gdb
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -15,6 +16,7 @@ import (
 	"skygraph/internal/graph"
 	"skygraph/internal/measure"
 	"skygraph/internal/pivot"
+	"skygraph/internal/wal"
 )
 
 // DB is a concurrency-safe collection of uniquely named graphs with a
@@ -34,6 +36,11 @@ type DB struct {
 	// memo, when set, is the cross-query exact-score memo consulted and
 	// fed by every evaluation path (see SetScoreMemo).
 	memo *ScoreMemo
+	// store, when set, receives every mutation BEFORE it is applied
+	// (and before the caller is told it succeeded): the write-ahead
+	// discipline. A store error fails the mutation with the database
+	// unchanged. See SetStore / OpenDurable.
+	store Store
 }
 
 type entry struct {
@@ -50,7 +57,34 @@ type entry struct {
 // per DB) so one score memo can be shared across shards — and across a
 // Reshard, which re-inserts every graph into fresh DBs — without two
 // different graphs ever colliding on (name, seq).
+//
+// Once mutations persist, "process-unique" must extend across process
+// restarts: a replayed graph keeps its recorded sequence, so recovery
+// seeds this counter above every sequence ever persisted
+// (SeedInsertSeq) before minting new ones — otherwise a freshly
+// inserted graph could collide with a replayed one on (name, seq) and
+// the score memo's delete+reinsert safety argument would break.
 var insertSeq atomic.Uint64
+
+// ErrNotPersisted marks mutation failures caused by the write-ahead
+// store rather than the request itself (duplicate name, bad graph):
+// the append failed, the database is unchanged, and the caller must
+// not report success. Callers distinguish it with errors.Is.
+var ErrNotPersisted = errors.New("mutation not persisted")
+
+// SeedInsertSeq raises the insert-sequence counter to at least min:
+// sequences minted afterwards are strictly greater. Recovery calls it
+// with the largest sequence found in the snapshot manifest and the
+// replayed WAL records; raising is monotone, so concurrent callers
+// (multiple durable databases in one process) compose safely.
+func SeedInsertSeq(min uint64) {
+	for {
+		cur := insertSeq.Load()
+		if cur >= min || insertSeq.CompareAndSwap(cur, min) {
+			return
+		}
+	}
+}
 
 // New returns an empty database.
 func New() *DB {
@@ -80,6 +114,16 @@ func (db *DB) insertWithSeq(g *graph.Graph, seq uint64) error {
 	defer db.mu.Unlock()
 	if _, dup := db.graphs[g.Name()]; dup {
 		return fmt.Errorf("gdb: duplicate graph name %q", g.Name())
+	}
+	// Write-ahead: with every failure mode that is checkable up front
+	// already rejected, log the mutation before applying it. If the
+	// append fails the database is unchanged; if the process dies after
+	// the append, replay applies a mutation that was never acked —
+	// harmless, the client saw no success.
+	if db.store != nil {
+		if err := db.store.LogInsert(g, seq); err != nil {
+			return fmt.Errorf("gdb: %w: wal append: %w", ErrNotPersisted, err)
+		}
 	}
 	e := &entry{g: g, sig: measure.NewSignature(g), seq: seq}
 	db.graphs[g.Name()] = e
@@ -123,12 +167,27 @@ func (db *DB) Get(name string) (*graph.Graph, bool) {
 	return e.g, true
 }
 
-// Delete removes the named graph, reporting whether it existed.
+// Delete removes the named graph, reporting whether it existed. With a
+// Store attached, a failed write-ahead append also reports false (the
+// database is unchanged); use DeleteErr to see the error itself.
 func (db *DB) Delete(name string) bool {
+	ok, err := db.DeleteErr(name)
+	return ok && err == nil
+}
+
+// DeleteErr removes the named graph. existed reports whether the name
+// was present; err is non-nil only when the write-ahead append failed
+// (in which case the graph remains).
+func (db *DB) DeleteErr(name string) (existed bool, err error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, ok := db.graphs[name]; !ok {
-		return false
+		return false, nil
+	}
+	if db.store != nil {
+		if err := db.store.LogDelete(name); err != nil {
+			return true, fmt.Errorf("gdb: %w: wal append: %w", ErrNotPersisted, err)
+		}
 	}
 	delete(db.graphs, name)
 	for i, n := range db.names {
@@ -141,7 +200,7 @@ func (db *DB) Delete(name string) bool {
 	if db.pidx != nil {
 		db.pidx.Remove(name)
 	}
-	return true
+	return true, nil
 }
 
 // EnablePivots attaches a metric pivot index (see internal/pivot) to
@@ -178,6 +237,16 @@ func (db *DB) SetScoreMemo(m *ScoreMemo) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.memo = m
+}
+
+// SetStore attaches a write-ahead store: from now on every mutation is
+// logged to st before it is applied, and a store error fails the
+// mutation with the database unchanged. Attach AFTER recovery replay so
+// replayed mutations are not re-logged. Pass nil to detach.
+func (db *DB) SetStore(st Store) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.store = st
 }
 
 // Memo returns the attached score memo (nil when disabled).
@@ -320,17 +389,16 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// Save writes the database to path as LGF.
+// Save writes the database to path as LGF. The write is atomic and
+// durable: the content lands in a temp file that is fsynced and then
+// renamed over path (with the directory entry fsynced too), so a crash
+// mid-save leaves the previous file intact rather than a truncated or
+// torn one.
 func (db *DB) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	return wal.AtomicWrite(path, func(w io.Writer) error {
+		_, err := db.WriteTo(w)
 		return err
-	}
-	if _, err := db.WriteTo(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	})
 }
 
 // Load reads an LGF file into a fresh database.

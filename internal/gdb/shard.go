@@ -107,12 +107,22 @@ func (sh *Sharded) Get(name string) (*graph.Graph, bool) {
 
 // Delete removes the named graph, reporting whether it existed. Only
 // the owning shard's generation bumps. Like Insert, the shard mutation
-// and the order update happen under one sh.mu critical section.
+// and the order update happen under one sh.mu critical section. With a
+// Store attached, a failed write-ahead append also reports false (the
+// database is unchanged); use DeleteErr to see the error itself.
 func (sh *Sharded) Delete(name string) bool {
+	ok, err := sh.DeleteErr(name)
+	return ok && err == nil
+}
+
+// DeleteErr removes the named graph, surfacing write-ahead append
+// errors (see DB.DeleteErr).
+func (sh *Sharded) DeleteErr(name string) (existed bool, err error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if !sh.shards[sh.ShardFor(name)].Delete(name) {
-		return false
+	existed, err = sh.shards[sh.ShardFor(name)].DeleteErr(name)
+	if !existed || err != nil {
+		return existed, err
 	}
 	if p, ok := sh.pos[name]; ok {
 		sh.order = append(sh.order[:p], sh.order[p+1:]...)
@@ -121,7 +131,36 @@ func (sh *Sharded) Delete(name string) bool {
 			sh.pos[sh.order[j]] = j
 		}
 	}
-	return true
+	return true, nil
+}
+
+// SetStore attaches one write-ahead store to every shard. One SHARED
+// store, not one per shard: the shard routing is a pure function of
+// the graph name, so a single untagged log replays correctly under any
+// shard count. sh.mu is held across every logged mutation, so append
+// order in the store equals the global mutation order. Attach AFTER
+// recovery replay; pass nil to detach.
+func (sh *Sharded) SetStore(st Store) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, db := range sh.shards {
+		db.SetStore(st)
+	}
+}
+
+// insertPreservingSeq inserts g into its shard keeping a previously
+// minted insert sequence — the shared primitive of Reshard (moving
+// graphs between shard sets) and recovery replay (rebuilding state from
+// snapshot and WAL records that carry the persisted sequences).
+func (sh *Sharded) insertPreservingSeq(g *graph.Graph, seq uint64) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.shards[sh.ShardFor(g.Name())].insertWithSeq(g, seq); err != nil {
+		return err
+	}
+	sh.pos[g.Name()] = len(sh.order)
+	sh.order = append(sh.order, g.Name())
+	return nil
 }
 
 // Len returns the total number of stored graphs.
@@ -229,14 +268,7 @@ func (sh *Sharded) Reshard(n int) (*Sharded, error) {
 			continue // deleted mid-reshard; the caller broke quiescence
 		}
 		seq, _ := src.seqOf(name)
-		out.mu.Lock()
-		err := out.shards[out.ShardFor(name)].insertWithSeq(g, seq)
-		if err == nil {
-			out.pos[name] = len(out.order)
-			out.order = append(out.order, name)
-		}
-		out.mu.Unlock()
-		if err != nil {
+		if err := out.insertPreservingSeq(g, seq); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,318 @@
+package gdb
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"skygraph/internal/graph"
+	"skygraph/internal/wal"
+)
+
+// Store receives every database mutation BEFORE it is applied (and
+// before the caller is told it succeeded) — the write-ahead contract.
+// An error from either method fails the mutation with the database
+// unchanged. Implementations are called under the database's mutation
+// locks, so calls arrive in exactly the global mutation order and need
+// no ordering logic of their own.
+type Store interface {
+	// LogInsert records that g is about to be inserted with the given
+	// insert sequence.
+	LogInsert(g *graph.Graph, seq uint64) error
+	// LogDelete records that the named graph is about to be removed.
+	LogDelete(name string) error
+}
+
+// walStore adapts a wal.Log to the Store interface: inserts carry the
+// LGF-encoded graph as their payload, deletes just the name.
+type walStore struct {
+	log *wal.Log
+}
+
+func (s *walStore) LogInsert(g *graph.Graph, seq uint64) error {
+	_, err := s.log.Append(wal.Record{
+		Op:   wal.OpInsert,
+		Seq:  seq,
+		Name: g.Name(),
+		Data: []byte(graph.MarshalLGF(g)),
+	})
+	return err
+}
+
+func (s *walStore) LogDelete(name string) error {
+	_, err := s.log.Append(wal.Record{Op: wal.OpDelete, Name: name})
+	return err
+}
+
+// DurableOptions configures OpenDurable.
+type DurableOptions struct {
+	// Dir is the data directory (created if missing). It holds the WAL
+	// segments, the snapshot files and the MANIFEST.
+	Dir string
+	// Shards is the shard count of the in-memory database. It is a
+	// runtime choice, not a storage property: the log carries no shard
+	// information (routing is a pure function of the graph name), so the
+	// same directory recovers correctly under any value.
+	Shards int
+	// Sync is the WAL fsync policy (default wal.SyncAlways).
+	Sync wal.SyncPolicy
+	// SyncEvery is the wal.SyncInterval flush period (default 100ms).
+	SyncEvery time.Duration
+	// SegmentBytes overrides the WAL segment rotation size.
+	SegmentBytes int64
+}
+
+// RecoveryInfo reports what OpenDurable rebuilt from disk.
+type RecoveryInfo struct {
+	// ManifestLSN is the snapshot coverage point replay started above
+	// (0 when no manifest existed).
+	ManifestLSN uint64
+	// SnapshotGraphs is the number of graphs loaded from the snapshot.
+	SnapshotGraphs int
+	// ReplayedRecords is the number of WAL records applied on top.
+	ReplayedRecords uint64
+	// RepairedBytes and DroppedSegments report torn-tail repair work the
+	// WAL open performed (0 after a clean shutdown).
+	RepairedBytes   int64
+	DroppedSegments int
+	// MaxSeq is the insert-sequence high-water mark the process counter
+	// was seeded with.
+	MaxSeq uint64
+	// Duration is the wall time of the whole recovery.
+	Duration time.Duration
+}
+
+// Durable binds a sharded in-memory database to a data directory:
+// every mutation is write-ahead logged, Snapshot cuts an atomic
+// point-in-time copy that lets the log be reclaimed, and OpenDurable
+// rebuilds the exact database (same graphs, same global insertion
+// order, same insert sequences) from whatever the directory holds.
+type Durable struct {
+	// DB is the recovered database. Mutate it only through Sharded's
+	// methods — Durable's snapshot consistency relies on Sharded's
+	// mutation lock covering both the WAL append and the in-memory
+	// apply.
+	DB *Sharded
+
+	dir      string
+	log      *wal.Log
+	opts     DurableOptions
+	recovery RecoveryInfo
+
+	mu            sync.Mutex // serializes Snapshot against Close
+	closed        bool
+	snapshots     uint64
+	lastSnapLSN   uint64
+	lastSnapCount int
+}
+
+// OpenDurable opens (or initializes) the data directory and returns
+// the recovered database bound to it. Recovery loads the manifest's
+// snapshot, replays every WAL record above the manifest LSN, seeds the
+// process insert-sequence counter above every persisted sequence, and
+// only then attaches the write-ahead store — so replay never re-logs.
+func OpenDurable(opts DurableOptions) (*Durable, error) {
+	start := time.Now()
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("gdb: durable: empty data directory")
+	}
+	d := &Durable{dir: opts.Dir, opts: opts, DB: NewSharded(opts.Shards)}
+
+	m, err := wal.LoadManifest(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var afterLSN, maxSeq uint64
+	if m != nil {
+		afterLSN, maxSeq = m.LSN, m.MaxSeq
+		d.recovery.ManifestLSN = m.LSN
+		d.lastSnapLSN = m.LSN
+		d.lastSnapCount = m.Graphs
+		if m.Snapshot != "" {
+			err := wal.ReadSnapshot(filepath.Join(opts.Dir, m.Snapshot), func(rec wal.Record) error {
+				return d.applyRecord(rec, &maxSeq)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("gdb: durable: loading snapshot: %w", err)
+			}
+			d.recovery.SnapshotGraphs = d.DB.Len()
+		}
+	}
+
+	log, err := wal.Open(opts.Dir, wal.Options{
+		Sync:         opts.Sync,
+		SyncEvery:    opts.SyncEvery,
+		SegmentBytes: opts.SegmentBytes,
+		StartLSN:     afterLSN + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = log.Replay(afterLSN, func(lsn uint64, rec wal.Record) error {
+		d.recovery.ReplayedRecords++
+		return d.applyRecord(rec, &maxSeq)
+	})
+	if err != nil {
+		log.Close()
+		return nil, fmt.Errorf("gdb: durable: replay: %w", err)
+	}
+
+	SeedInsertSeq(maxSeq)
+	ws := log.Stats()
+	d.recovery.RepairedBytes = ws.RepairedBytes
+	d.recovery.DroppedSegments = ws.DroppedSegments
+	d.recovery.MaxSeq = maxSeq
+	d.recovery.Duration = time.Since(start)
+	d.log = log
+	d.DB.SetStore(&walStore{log: log}) // from here on, mutations are logged
+	return d, nil
+}
+
+// applyRecord applies one recovered record (snapshot entry or replayed
+// WAL record) to the in-memory database, tracking the largest insert
+// sequence seen. No store is attached yet, so nothing is re-logged.
+func (d *Durable) applyRecord(rec wal.Record, maxSeq *uint64) error {
+	switch rec.Op {
+	case wal.OpInsert:
+		g, err := graph.ParseLGF(string(rec.Data))
+		if err != nil {
+			return fmt.Errorf("decoding graph %q: %w", rec.Name, err)
+		}
+		if rec.Seq > *maxSeq {
+			*maxSeq = rec.Seq
+		}
+		return d.DB.insertPreservingSeq(g, rec.Seq)
+	case wal.OpDelete:
+		// A delete of an absent name is possible only for a mutation that
+		// was logged but never acked (crash in between); dropping it is
+		// exactly right.
+		d.DB.Delete(rec.Name)
+		return nil
+	default:
+		return fmt.Errorf("unknown opcode %d", rec.Op)
+	}
+}
+
+// Snapshot cuts a point-in-time copy of the database, commits it with
+// an atomic manifest replace, prunes superseded snapshot files and
+// reclaims fully covered WAL segments. A snapshot that would cover no
+// new records is a no-op. Safe to call concurrently with queries and
+// mutations: the cut itself briefly excludes mutations, everything
+// after works from the copy.
+func (d *Durable) Snapshot() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("gdb: durable: closed")
+	}
+
+	// Cut under the mutation lock: every mutation appends to the WAL and
+	// applies in memory under sh.mu, so state and LastLSN agree here.
+	type snapEntry struct {
+		name string
+		seq  uint64
+		data []byte
+	}
+	d.DB.mu.RLock()
+	lsn := d.log.LastLSN()
+	maxSeq := insertSeq.Load()
+	cut := make([]snapEntry, 0, len(d.DB.order))
+	for _, name := range d.DB.order {
+		src := d.DB.shards[d.DB.ShardFor(name)]
+		g, ok := src.Get(name)
+		if !ok {
+			continue
+		}
+		seq, _ := src.seqOf(name)
+		cut = append(cut, snapEntry{name: name, seq: seq, data: []byte(graph.MarshalLGF(g))})
+	}
+	d.DB.mu.RUnlock()
+
+	if lsn == d.lastSnapLSN {
+		return nil // nothing new since the last snapshot
+	}
+
+	name := ""
+	if len(cut) > 0 {
+		var err error
+		name, err = wal.WriteSnapshot(d.dir, lsn, func(sink func(wal.Record) error) error {
+			for _, e := range cut {
+				rec := wal.Record{Op: wal.OpInsert, Seq: e.seq, Name: e.name, Data: e.data}
+				if err := sink(rec); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	err := wal.WriteManifest(d.dir, wal.Manifest{
+		LSN:      lsn,
+		MaxSeq:   maxSeq,
+		Snapshot: name,
+		Graphs:   len(cut),
+	})
+	if err != nil {
+		return err
+	}
+	d.snapshots++
+	d.lastSnapLSN = lsn
+	d.lastSnapCount = len(cut)
+	// Best-effort housekeeping: the state is already committed, and a
+	// failure here only leaves extra files the next snapshot retries.
+	_ = wal.PruneSnapshots(d.dir, name)
+	_ = d.log.Reclaim(lsn)
+	return nil
+}
+
+// Close flushes the WAL and closes it. Mutations after Close fail (the
+// attached store refuses appends); the database stays queryable.
+func (d *Durable) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.log.Close()
+}
+
+// Sync flushes appended WAL records to stable storage regardless of
+// the fsync policy.
+func (d *Durable) Sync() error { return d.log.Sync() }
+
+// Dir returns the data directory.
+func (d *Durable) Dir() string { return d.dir }
+
+// Recovery returns what OpenDurable rebuilt from disk.
+func (d *Durable) Recovery() RecoveryInfo { return d.recovery }
+
+// DurabilityStats is a point-in-time view of the persistence layer for
+// the serving layer's stats and metrics endpoints.
+type DurabilityStats struct {
+	Dir            string
+	Sync           string
+	WAL            wal.Stats
+	Recovery       RecoveryInfo
+	Snapshots      uint64
+	LastSnapLSN    uint64
+	LastSnapGraphs int
+}
+
+// Stats returns the persistence layer's counters.
+func (d *Durable) Stats() DurabilityStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DurabilityStats{
+		Dir:            d.dir,
+		Sync:           d.opts.Sync.String(),
+		WAL:            d.log.Stats(),
+		Recovery:       d.recovery,
+		Snapshots:      d.snapshots,
+		LastSnapLSN:    d.lastSnapLSN,
+		LastSnapGraphs: d.lastSnapCount,
+	}
+}

@@ -261,10 +261,39 @@ type StatsResponse struct {
 	Cache         CacheStats  `json:"cache"`
 	// Memo is the cross-query score memo's occupancy and lifetime
 	// hit/miss counters (absent without -memo).
-	Memo     *gdb.MemoStats `json:"memo,omitempty"`
-	Requests ReqStats       `json:"requests"`
-	Runtime  RuntimeStats   `json:"runtime"`
-	Build    BuildInfo      `json:"build"`
+	Memo *gdb.MemoStats `json:"memo,omitempty"`
+	// Durability reports the persistence layer — WAL occupancy, fsync
+	// policy, snapshot progress and what the last recovery rebuilt
+	// (absent without -data-dir).
+	Durability *DurabilityInfo `json:"durability,omitempty"`
+	Requests   ReqStats        `json:"requests"`
+	Runtime    RuntimeStats    `json:"runtime"`
+	Build      BuildInfo       `json:"build"`
+}
+
+// DurabilityInfo is the wire form of the persistence layer's state.
+type DurabilityInfo struct {
+	// Dir is the data directory; Sync the WAL fsync policy in effect.
+	Dir  string `json:"dir"`
+	Sync string `json:"sync"`
+	// WAL occupancy and lifetime append counters.
+	WALSegments    int    `json:"wal_segments"`
+	WALSizeBytes   int64  `json:"wal_size_bytes"`
+	WALLastLSN     uint64 `json:"wal_last_lsn"`
+	WALAppends     uint64 `json:"wal_appends"`
+	WALFsyncs      uint64 `json:"wal_fsyncs"`
+	Snapshots      uint64 `json:"snapshots"`
+	LastSnapLSN    uint64 `json:"last_snapshot_lsn"`
+	LastSnapGraphs int    `json:"last_snapshot_graphs"`
+	// Recovery reports what the startup rebuild found: graphs loaded
+	// from the snapshot, WAL records replayed on top, bytes truncated
+	// off a torn tail and whole segments dropped (both 0 after a clean
+	// shutdown), and the rebuild's wall time.
+	RecoverySnapshotGraphs  int     `json:"recovery_snapshot_graphs"`
+	RecoveryReplayedRecords uint64  `json:"recovery_replayed_records"`
+	RecoveryRepairedBytes   int64   `json:"recovery_repaired_bytes"`
+	RecoveryDroppedSegments int     `json:"recovery_dropped_segments"`
+	RecoverySeconds         float64 `json:"recovery_seconds"`
 }
 
 // RuntimeStats is a Go runtime snapshot taken when /stats is served.

@@ -120,6 +120,43 @@ func newMetrics(s *Server) *metrics {
 			func() float64 { return float64(memo.Stats().Entries) })
 	}
 
+	// Persistence layer (absent without -data-dir): WAL occupancy and
+	// append/fsync counters, snapshot progress, and what the startup
+	// recovery rebuilt (the recovery numbers are constants for the
+	// process lifetime — gauges so a scrape right after a restart shows
+	// whether the WAL tail needed repair).
+	if d := s.cfg.Durable; d != nil {
+		reg.CounterFunc("skygraph_wal_appends_total", "Records appended to the write-ahead log.",
+			func() float64 { return float64(d.Stats().WAL.Appends) })
+		reg.CounterFunc("skygraph_wal_appended_bytes_total", "Bytes appended to the write-ahead log.",
+			func() float64 { return float64(d.Stats().WAL.AppendedBytes) })
+		reg.CounterFunc("skygraph_wal_fsyncs_total", "WAL fsync calls.",
+			func() float64 { return float64(d.Stats().WAL.Fsyncs) })
+		reg.GaugeFunc("skygraph_wal_segments", "Live WAL segment files.",
+			func() float64 { return float64(d.Stats().WAL.Segments) })
+		reg.GaugeFunc("skygraph_wal_size_bytes", "Total bytes held in WAL segments.",
+			func() float64 { return float64(d.Stats().WAL.SizeBytes) })
+		reg.GaugeFunc("skygraph_wal_last_lsn", "LSN of the most recently appended record.",
+			func() float64 { return float64(d.Stats().WAL.LastLSN) })
+		reg.CounterFunc("skygraph_snapshots_total", "Snapshots cut since startup.",
+			func() float64 { return float64(d.Stats().Snapshots) })
+		reg.GaugeFunc("skygraph_snapshot_last_lsn", "WAL coverage point of the current snapshot.",
+			func() float64 { return float64(d.Stats().LastSnapLSN) })
+		reg.GaugeFunc("skygraph_snapshot_graphs", "Graphs in the current snapshot.",
+			func() float64 { return float64(d.Stats().LastSnapGraphs) })
+		rec := d.Recovery()
+		reg.GaugeFunc("skygraph_recovery_snapshot_graphs", "Graphs the startup recovery loaded from the snapshot.",
+			func() float64 { return float64(rec.SnapshotGraphs) })
+		reg.GaugeFunc("skygraph_recovery_replayed_records", "WAL records the startup recovery replayed.",
+			func() float64 { return float64(rec.ReplayedRecords) })
+		reg.GaugeFunc("skygraph_recovery_repaired_bytes", "Bytes truncated off a torn WAL tail at startup.",
+			func() float64 { return float64(rec.RepairedBytes) })
+		reg.GaugeFunc("skygraph_recovery_dropped_segments", "WAL segments dropped as unrecoverable at startup.",
+			func() float64 { return float64(rec.DroppedSegments) })
+		reg.GaugeFunc("skygraph_recovery_seconds", "Wall time of the startup recovery.",
+			func() float64 { return rec.Duration.Seconds() })
+	}
+
 	// Per-shard occupancy, and the pivot index's background work where
 	// one is attached.
 	shardGraphs := reg.GaugeVec("skygraph_shard_graphs", "Graphs stored per shard.", "shard")

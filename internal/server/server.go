@@ -55,6 +55,13 @@ type Config struct {
 	// SlowQueryLog receives one JSON-encoded SlowQueryRecord per line
 	// (nil = os.Stderr). Writes are serialized by the server.
 	SlowQueryLog io.Writer
+	// Durable is the persistence engine backing db, when the daemon runs
+	// with -data-dir (nil = in-memory only). The server does not drive
+	// it — mutations are write-ahead logged by the database itself, and
+	// snapshots/shutdown are the daemon's job — it only surfaces the
+	// layer's counters in /stats and /metrics and fails mutations whose
+	// WAL append fails.
+	Durable *gdb.Durable
 }
 
 // Server serves similarity queries over a sharded graph database with a
@@ -936,9 +943,14 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	touched := make(map[int]bool)
 	for _, g := range gs {
 		if err := s.db.Insert(g); err != nil {
-			// Partial inserts stand (each bumped its shard's generation);
-			// report the duplicate with what landed.
-			writeJSON(w, http.StatusConflict, map[string]any{
+			// A write-ahead append failure is a server-side fault, not a
+			// request conflict; either way partial inserts stand (each
+			// bumped its shard's generation) and are reported.
+			code := http.StatusConflict
+			if errors.Is(err, gdb.ErrNotPersisted) {
+				code = http.StatusInternalServerError
+			}
+			writeJSON(w, code, map[string]any{
 				"error":      err.Error(),
 				"inserted":   inserted,
 				"generation": s.db.Generation(),
@@ -957,7 +969,14 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	s.deletes.Add(1)
 	name := r.PathValue("name")
-	if !s.db.Delete(name) {
+	existed, err := s.db.DeleteErr(name)
+	if err != nil {
+		// The write-ahead append failed: the graph is still there and the
+		// mutation must not be acked.
+		s.writeError(w, http.StatusInternalServerError, "delete not persisted: %v", err)
+		return
+	}
+	if !existed {
 		s.writeError(w, http.StatusNotFound, "no graph named %q", name)
 		return
 	}
@@ -997,6 +1016,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ms := m.Stats()
 		memo = &ms
 	}
+	var durability *DurabilityInfo
+	if d := s.cfg.Durable; d != nil {
+		ds := d.Stats()
+		durability = &DurabilityInfo{
+			Dir:                     ds.Dir,
+			Sync:                    ds.Sync,
+			WALSegments:             ds.WAL.Segments,
+			WALSizeBytes:            ds.WAL.SizeBytes,
+			WALLastLSN:              ds.WAL.LastLSN,
+			WALAppends:              ds.WAL.Appends,
+			WALFsyncs:               ds.WAL.Fsyncs,
+			Snapshots:               ds.Snapshots,
+			LastSnapLSN:             ds.LastSnapLSN,
+			LastSnapGraphs:          ds.LastSnapGraphs,
+			RecoverySnapshotGraphs:  ds.Recovery.SnapshotGraphs,
+			RecoveryReplayedRecords: ds.Recovery.ReplayedRecords,
+			RecoveryRepairedBytes:   ds.Recovery.RepairedBytes,
+			RecoveryDroppedSegments: ds.Recovery.DroppedSegments,
+			RecoverySeconds:         ds.Recovery.Duration.Seconds(),
+		}
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Generation:    s.db.Generation(),
@@ -1009,9 +1049,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			MinSize:      dbs.MinSize,
 			MaxSize:      dbs.MaxSize,
 		},
-		Shards: shards,
-		Cache:  s.cache.Stats(),
-		Memo:   memo,
+		Shards:     shards,
+		Cache:      s.cache.Stats(),
+		Memo:       memo,
+		Durability: durability,
 		Requests: ReqStats{
 			Queries:          s.queries.Load(),
 			Batches:          s.batches.Load(),

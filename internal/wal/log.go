@@ -1,0 +1,511 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Log is a segmented append-only record log in one directory. All
+// methods are safe for concurrent use; appends are serialized
+// internally, so record order equals call order only when callers
+// serialize themselves (the database layer appends under its mutation
+// lock, which does exactly that).
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File      // active segment (nil after Close)
+	size     int64         // bytes written to the active segment
+	buf      []byte        // reusable append frame buffer
+	segments []segmentInfo // closed + active segments, ascending firstLSN
+	nextLSN  uint64
+	appended bool // Replay may only run before the first Append
+	closed   bool
+	dirty    atomic.Bool // unsynced appends (SyncInterval)
+	stop     chan struct{}
+	done     chan struct{}
+
+	appends       atomic.Uint64
+	appendedBytes atomic.Uint64
+	fsyncs        atomic.Uint64
+
+	repairedBytes   int64
+	droppedSegments int
+}
+
+// segmentInfo describes one segment file as scanned at Open (count and
+// size of the active segment grow with appends).
+type segmentInfo struct {
+	path     string
+	firstLSN uint64
+	count    uint64
+	size     int64
+}
+
+func (s segmentInfo) lastLSN() uint64 { return s.firstLSN + s.count - 1 }
+
+const segmentPrefix = "wal-"
+const segmentSuffix = ".log"
+
+func segmentPath(dir string, firstLSN uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016x%s", segmentPrefix, firstLSN, segmentSuffix))
+}
+
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segmentPrefix) || !strings.HasSuffix(name, segmentSuffix) {
+		return 0, false
+	}
+	hexpart := strings.TrimSuffix(strings.TrimPrefix(name, segmentPrefix), segmentSuffix)
+	if len(hexpart) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hexpart, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// RepairInfo reports what Open had to discard to make the log
+// consistent: bytes truncated off a torn or corrupt tail, and whole
+// segments dropped because they followed the truncation point.
+type RepairInfo struct {
+	TruncatedBytes  int64
+	DroppedSegments int
+}
+
+// Open scans (and, if needed, repairs) the log in dir and positions it
+// for appending. The scan validates every record frame; the first
+// incomplete or checksum-failing record truncates the log there — the
+// surviving prefix is exactly the appends that completed. Appends go
+// to a fresh segment, never to a scanned one.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts}
+	if err := l.scan(); err != nil {
+		return nil, err
+	}
+	if l.nextLSN == 0 {
+		l.nextLSN = 1
+	}
+	if opts.StartLSN > l.nextLSN {
+		l.nextLSN = opts.StartLSN
+	}
+	if opts.Sync == SyncInterval {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+// scan validates existing segments in LSN order, repairing the tail:
+// the segment holding the first invalid record is truncated to its
+// last valid offset (removed entirely when nothing valid remains) and
+// every later segment is deleted.
+func (l *Log) scan() error {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return err
+	}
+	var segs []segmentInfo
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		first, ok := parseSegmentName(e.Name())
+		if !ok {
+			continue
+		}
+		segs = append(segs, segmentInfo{path: filepath.Join(l.dir, e.Name()), firstLSN: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstLSN < segs[j].firstLSN })
+	for i := range segs {
+		if i > 0 && segs[i].firstLSN != segs[i-1].firstLSN+segs[i-1].count {
+			// A hole in the LSN space cannot be replayed in order. Treat
+			// everything from the hole on as unrecoverable tail.
+			return l.dropFrom(segs, i, segs[:i])
+		}
+		count, valid, total, scanErr := scanSegment(segs[i].path, nil)
+		if scanErr != nil {
+			return scanErr
+		}
+		segs[i].count = count
+		segs[i].size = valid
+		if valid < total {
+			// Torn or corrupt tail: truncate this segment and drop the rest.
+			l.repairedBytes += total - valid
+			if err := truncateSegment(segs[i].path, valid); err != nil {
+				return err
+			}
+			if valid == 0 {
+				return l.dropFrom(segs, i, segs[:i])
+			}
+			return l.dropFrom(segs, i+1, segs[:i+1])
+		}
+		if count == 0 {
+			// An empty segment (created by an Open that never appended)
+			// carries no records; remove it so the namespace stays clean.
+			if err := os.Remove(segs[i].path); err != nil {
+				return err
+			}
+			segs[i].count = 0
+		}
+	}
+	kept := segs[:0]
+	for _, s := range segs {
+		if s.count > 0 {
+			kept = append(kept, s)
+		}
+	}
+	l.finishScan(kept)
+	return nil
+}
+
+// dropFrom deletes segs[from:] (unrecoverable after a truncation
+// point) and finishes the scan with keep as the surviving set.
+func (l *Log) dropFrom(segs []segmentInfo, from int, keep []segmentInfo) error {
+	for _, s := range segs[from:] {
+		st, err := os.Stat(s.path)
+		if err == nil {
+			l.repairedBytes += st.Size()
+		}
+		if err := os.Remove(s.path); err != nil {
+			return err
+		}
+		l.droppedSegments++
+	}
+	kept := make([]segmentInfo, 0, len(keep))
+	for _, s := range keep {
+		if s.count > 0 {
+			kept = append(kept, s)
+		}
+	}
+	l.finishScan(kept)
+	if l.repairedBytes > 0 || l.droppedSegments > 0 {
+		return SyncDir(l.dir)
+	}
+	return nil
+}
+
+func (l *Log) finishScan(segs []segmentInfo) {
+	l.segments = append([]segmentInfo(nil), segs...)
+	if n := len(segs); n > 0 {
+		l.nextLSN = segs[n-1].firstLSN + segs[n-1].count
+	}
+}
+
+// truncateSegment cuts a segment file to size and fsyncs it.
+func truncateSegment(path string, size int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Truncate(size); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// scanSegment reads every valid record of one segment, invoking fn (if
+// non-nil) per record. It returns the record count, the byte offset of
+// the end of the last valid record, and the file size. A torn or
+// corrupt tail is NOT an error — it shows up as valid < total; real
+// I/O failures are.
+func scanSegment(path string, fn func(Record) error) (count uint64, valid int64, total int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	total = st.Size()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	off := int64(0)
+	for {
+		rec, n, ok := nextRecord(data[off:])
+		if !ok {
+			return count, off, total, nil
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return count, off, total, err
+			}
+		}
+		off += n
+		count++
+	}
+}
+
+// nextRecord decodes the frame at the head of data. ok is false when
+// the bytes do not form a complete, checksum-valid record — the torn
+// tail signal.
+func nextRecord(data []byte) (Record, int64, bool) {
+	if len(data) < frameHeaderLen {
+		return Record{}, 0, false
+	}
+	plen := binary.LittleEndian.Uint32(data[0:4])
+	if plen > maxRecordBytes || int64(len(data)-frameHeaderLen) < int64(plen) {
+		return Record{}, 0, false
+	}
+	payload := data[frameHeaderLen : frameHeaderLen+int(plen)]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[4:8]) {
+		return Record{}, 0, false
+	}
+	rec, err := decodePayload(payload)
+	if err != nil {
+		return Record{}, 0, false
+	}
+	return rec, frameHeaderLen + int64(plen), true
+}
+
+// Replay streams every record with LSN > afterLSN, in LSN order, to fn.
+// It must be called before the first Append (recovery happens before
+// serving); fn errors abort the replay.
+func (l *Log) Replay(afterLSN uint64, fn func(lsn uint64, rec Record) error) error {
+	l.mu.Lock()
+	if l.appended {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: Replay after Append")
+	}
+	segs := append([]segmentInfo(nil), l.segments...)
+	l.mu.Unlock()
+	for _, s := range segs {
+		if s.lastLSN() <= afterLSN {
+			continue
+		}
+		lsn := s.firstLSN
+		_, _, _, err := scanSegment(s.path, func(rec Record) error {
+			defer func() { lsn++ }()
+			if lsn <= afterLSN {
+				return nil
+			}
+			return fn(lsn, rec)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Append writes rec, assigns it the next LSN and (under SyncAlways)
+// fsyncs before returning: when Append returns nil under SyncAlways,
+// the record survives any crash.
+func (l *Log) Append(rec Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: log is closed")
+	}
+	if l.f == nil {
+		if err := l.openSegmentLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if l.size > 0 && l.size >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	l.buf = encodeRecord(l.buf[:0], rec)
+	n, err := l.f.Write(l.buf)
+	if err != nil {
+		// A partial frame on disk is exactly the torn tail recovery
+		// repairs; surface the error and stop trusting the segment.
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.size += int64(n)
+	l.segments[len(l.segments)-1].count++
+	l.segments[len(l.segments)-1].size = l.size
+	lsn := l.nextLSN
+	l.nextLSN++
+	l.appended = true
+	l.appends.Add(1)
+	l.appendedBytes.Add(uint64(n))
+	if l.opts.Sync == SyncAlways {
+		if err := l.f.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: fsync: %w", err)
+		}
+		l.fsyncs.Add(1)
+	} else {
+		l.dirty.Store(true)
+	}
+	return lsn, nil
+}
+
+// openSegmentLocked starts the fresh segment appends go to (the first
+// Append after Open or rotation creates it; Open itself stays
+// read-only so a recover-inspect cycle leaves no trace).
+func (l *Log) openSegmentLocked() error {
+	path := segmentPath(l.dir, l.nextLSN)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := SyncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.size = 0
+	l.segments = append(l.segments, segmentInfo{path: path, firstLSN: l.nextLSN})
+	return nil
+}
+
+// rotateLocked seals the active segment (fsync + close) and opens the
+// next one.
+func (l *Log) rotateLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.fsyncs.Add(1)
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.f = nil
+	return l.openSegmentLocked()
+}
+
+// Sync flushes appended records to stable storage regardless of
+// policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.f == nil || !l.dirty.Swap(false) {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.fsyncs.Add(1)
+	return nil
+}
+
+// syncLoop is the SyncInterval flusher.
+func (l *Log) syncLoop() {
+	defer close(l.done)
+	t := time.NewTicker(l.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = l.Sync()
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+// Close flushes and closes the log. Further Appends fail.
+func (l *Log) Close() error {
+	if l.stop != nil {
+		close(l.stop)
+		<-l.done
+		l.stop, l.done = nil, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	if l.f == nil {
+		return nil
+	}
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// Reclaim removes sealed segments whose every record is covered by a
+// snapshot at uptoLSN. The active segment is never removed.
+func (l *Log) Reclaim(uptoLSN uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	kept := l.segments[:0]
+	removed := false
+	for i, s := range l.segments {
+		active := l.f != nil && i == len(l.segments)-1
+		if !active && s.count > 0 && s.lastLSN() <= uptoLSN {
+			if err := os.Remove(s.path); err != nil {
+				return err
+			}
+			removed = true
+			continue
+		}
+		kept = append(kept, s)
+	}
+	l.segments = append([]segmentInfo(nil), kept...)
+	if removed {
+		return SyncDir(l.dir)
+	}
+	return nil
+}
+
+// LastLSN returns the LSN of the most recently appended record (0 when
+// the log is empty).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// Stats is a point-in-time snapshot of the log's counters.
+type Stats struct {
+	Segments        int
+	SizeBytes       int64
+	LastLSN         uint64
+	Appends         uint64
+	AppendedBytes   uint64
+	Fsyncs          uint64
+	RepairedBytes   int64
+	DroppedSegments int
+}
+
+// Stats returns the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Stats{
+		Segments:        len(l.segments),
+		LastLSN:         l.nextLSN - 1,
+		Appends:         l.appends.Load(),
+		AppendedBytes:   l.appendedBytes.Load(),
+		Fsyncs:          l.fsyncs.Load(),
+		RepairedBytes:   l.repairedBytes,
+		DroppedSegments: l.droppedSegments,
+	}
+	for _, s := range l.segments {
+		st.SizeBytes += s.size
+	}
+	return st
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }

@@ -1,0 +1,160 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Manifest is the durable root of a data directory: it names the
+// snapshot holding the state up to LSN and records the insert-sequence
+// high-water mark, so recovery can rebuild the database (snapshot +
+// WAL records above LSN) and mint fresh sequences above every one ever
+// persisted. The manifest file is replaced atomically — recovery sees
+// either the old root or the new one, never a torn write.
+type Manifest struct {
+	Version int `json:"version"`
+	// LSN is the last WAL record reflected in the snapshot; replay
+	// starts just above it.
+	LSN uint64 `json:"lsn"`
+	// MaxSeq is the largest insert sequence ever minted when the
+	// snapshot was cut; recovery seeds the sequence counter above it.
+	MaxSeq uint64 `json:"max_seq"`
+	// Snapshot is the snapshot file name inside the directory (empty
+	// when the database was empty at the cut).
+	Snapshot string `json:"snapshot,omitempty"`
+	// Graphs is the number of records in the snapshot.
+	Graphs int `json:"graphs"`
+	// UnixNano timestamps the cut (informational).
+	UnixNano int64 `json:"unix_nano"`
+}
+
+const manifestVersion = 1
+const manifestName = "MANIFEST"
+
+// manifestPath returns dir's manifest file path.
+func manifestPath(dir string) string { return filepath.Join(dir, manifestName) }
+
+// WriteManifest atomically replaces dir's manifest.
+func WriteManifest(dir string, m Manifest) error {
+	m.Version = manifestVersion
+	if m.UnixNano == 0 {
+		m.UnixNano = time.Now().UnixNano()
+	}
+	return AtomicWrite(manifestPath(dir), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		return enc.Encode(m)
+	})
+}
+
+// LoadManifest reads dir's manifest; (nil, nil) when none exists (a
+// fresh data directory, or one that never snapshotted).
+func LoadManifest(dir string) (*Manifest, error) {
+	b, err := os.ReadFile(manifestPath(dir))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("wal: corrupt manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("wal: manifest version %d not supported", m.Version)
+	}
+	return &m, nil
+}
+
+// snapshotName returns the snapshot file name for a cut at lsn.
+func snapshotName(lsn uint64) string { return fmt.Sprintf("snap-%016x.snap", lsn) }
+
+const snapshotPrefix = "snap-"
+const snapshotSuffix = ".snap"
+
+// WriteSnapshot durably writes a snapshot file for a cut at lsn and
+// returns its name. emit is called with a sink that frames each record
+// exactly like a WAL segment (a snapshot IS a compacted log of
+// inserts). The file lands atomically; the caller then commits it by
+// writing a manifest referencing it — a crash in between leaves an
+// orphan file the next snapshot prunes, never a broken root.
+func WriteSnapshot(dir string, lsn uint64, emit func(sink func(Record) error) error) (string, error) {
+	name := snapshotName(lsn)
+	var buf []byte
+	err := AtomicWrite(filepath.Join(dir, name), func(w io.Writer) error {
+		return emit(func(rec Record) error {
+			buf = encodeRecord(buf[:0], rec)
+			_, err := w.Write(buf)
+			return err
+		})
+	})
+	if err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// ReadSnapshot streams every record of a snapshot file to fn. Unlike
+// WAL replay, corruption here is a hard error: the snapshot is the
+// base state, written atomically — a damaged one cannot be partially
+// trusted.
+func ReadSnapshot(path string, fn func(Record) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(bufio.NewReader(f))
+	if err != nil {
+		return err
+	}
+	off := int64(0)
+	for off < st.Size() {
+		rec, n, ok := nextRecord(data[off:])
+		if !ok {
+			return fmt.Errorf("wal: corrupt snapshot %s at byte %d", path, off)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}
+
+// PruneSnapshots removes every snapshot file in dir except keep (the
+// one the current manifest references). Orphans arise only from a
+// crash between snapshot write and manifest commit.
+func PruneSnapshots(dir, keep string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	removed := false
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || name == keep ||
+			!strings.HasPrefix(name, snapshotPrefix) || !strings.HasSuffix(name, snapshotSuffix) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return err
+		}
+		removed = true
+	}
+	if removed {
+		return SyncDir(dir)
+	}
+	return nil
+}

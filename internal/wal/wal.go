@@ -1,0 +1,177 @@
+// Package wal implements the durable storage primitives under the
+// graph database: a segmented append-only write-ahead log of mutation
+// records, atomic point-in-time snapshots, and the manifest binding
+// the two together.
+//
+// The log knows nothing about graphs. A Record is an opcode, an
+// insert-sequence number, a name and an opaque payload; the database
+// layer (internal/gdb) decides what the payload means. Records are
+// framed as
+//
+//	uint32 payload length (little endian)
+//	uint32 IEEE CRC32 of the payload (little endian)
+//	payload
+//
+// and live in segment files named wal-<first LSN, 16 hex digits>.log.
+// Every record has a log sequence number (LSN), assigned densely in
+// append order across segments; the snapshot manifest records the LSN
+// its snapshot covers, and recovery replays only records above it.
+//
+// Recovery tolerates a torn tail: Open scans every segment and
+// truncates the log at the first record that is incomplete or fails
+// its checksum — the surviving prefix is exactly the mutations whose
+// appends completed, which is the strongest guarantee a crash leaves
+// available. Segments after a truncation point are dropped (their
+// records would be discontiguous), and the repair is counted so the
+// serving layer can surface it.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"time"
+)
+
+// Op is a record opcode.
+type Op uint8
+
+const (
+	// OpInsert records a graph insertion; Data carries the encoded graph
+	// and Seq its process-unique insert sequence.
+	OpInsert Op = 1
+	// OpDelete records a deletion by name; Seq and Data are unused.
+	OpDelete Op = 2
+)
+
+// Record is one logged mutation (or one snapshot entry — snapshots
+// reuse the record codec, so a snapshot file is simply a compacted log
+// of inserts).
+type Record struct {
+	Op   Op
+	Seq  uint64 // insert-sequence high-water information (inserts only)
+	Name string
+	Data []byte // opaque payload (the LGF-encoded graph for inserts)
+}
+
+// SyncPolicy selects when appended records are fsynced to stable
+// storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acked mutation is never
+	// lost, at one fsync of latency per mutation.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background ticker (Options.SyncEvery):
+	// a crash loses at most the last interval of acked mutations.
+	SyncInterval
+	// SyncNever leaves flushing to the OS (and to rotation/Close): the
+	// fastest policy, with crash-loss bounded only by the page cache.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return "unknown"
+}
+
+// Options tunes a Log.
+type Options struct {
+	// Sync is the fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval flush period (default 100ms).
+	SyncEvery time.Duration
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 64 MiB).
+	SegmentBytes int64
+	// StartLSN floors the next assigned LSN. Recovery passes the
+	// manifest's LSN+1 so a log whose segments were all reclaimed by a
+	// snapshot keeps counting from where it left off instead of reusing
+	// LSNs the manifest already covers.
+	StartLSN uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	return o
+}
+
+// frameHeaderLen is the fixed per-record framing overhead.
+const frameHeaderLen = 8
+
+// maxRecordBytes bounds a single record payload; a declared length
+// beyond it is treated as corruption rather than attempted.
+const maxRecordBytes = 256 << 20
+
+// encodeRecord appends the framed wire form of rec to buf and returns
+// the extended slice.
+func encodeRecord(buf []byte, rec Record) []byte {
+	payload := encodePayload(nil, rec)
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// payloadVersion is bumped if the payload layout ever changes; decode
+// rejects versions it does not know.
+const payloadVersion = 1
+
+func encodePayload(buf []byte, rec Record) []byte {
+	buf = append(buf, payloadVersion, byte(rec.Op))
+	buf = binary.AppendUvarint(buf, rec.Seq)
+	buf = binary.AppendUvarint(buf, uint64(len(rec.Name)))
+	buf = append(buf, rec.Name...)
+	buf = binary.AppendUvarint(buf, uint64(len(rec.Data)))
+	return append(buf, rec.Data...)
+}
+
+// decodePayload parses one record payload (the frame's checksum has
+// already been verified).
+func decodePayload(payload []byte) (Record, error) {
+	if len(payload) < 2 {
+		return Record{}, fmt.Errorf("wal: payload of %d bytes is too short", len(payload))
+	}
+	if payload[0] != payloadVersion {
+		return Record{}, fmt.Errorf("wal: unknown payload version %d", payload[0])
+	}
+	rec := Record{Op: Op(payload[1])}
+	if rec.Op != OpInsert && rec.Op != OpDelete {
+		return Record{}, fmt.Errorf("wal: unknown opcode %d", payload[1])
+	}
+	rest := payload[2:]
+	var n int
+	rec.Seq, n = binary.Uvarint(rest)
+	if n <= 0 {
+		return Record{}, fmt.Errorf("wal: bad seq varint")
+	}
+	rest = rest[n:]
+	nameLen, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest)-n) < nameLen {
+		return Record{}, fmt.Errorf("wal: bad name length")
+	}
+	rest = rest[n:]
+	rec.Name = string(rest[:nameLen])
+	rest = rest[nameLen:]
+	dataLen, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest)-n) != dataLen {
+		return Record{}, fmt.Errorf("wal: bad data length")
+	}
+	if dataLen > 0 {
+		rec.Data = append([]byte(nil), rest[n:]...)
+	}
+	return rec, nil
+}

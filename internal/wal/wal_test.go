@@ -1,0 +1,374 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// testRecords builds n distinguishable records (inserts with payloads,
+// an occasional delete).
+func testRecords(n int) []Record {
+	out := make([]Record, n)
+	for i := range out {
+		if i%5 == 4 {
+			out[i] = Record{Op: OpDelete, Name: fmt.Sprintf("g%03d", i-1)}
+			continue
+		}
+		out[i] = Record{
+			Op:   OpInsert,
+			Seq:  uint64(100 + i),
+			Name: fmt.Sprintf("g%03d", i),
+			Data: []byte(fmt.Sprintf("graph g%03d\nv 0 C\nv 1 O\ne 0 1 -\n", i)),
+		}
+	}
+	return out
+}
+
+func appendAll(t *testing.T, l *Log, recs []Record) []uint64 {
+	t.Helper()
+	lsns := make([]uint64, len(recs))
+	for i, rec := range recs {
+		lsn, err := l.Append(rec)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		lsns[i] = lsn
+	}
+	return lsns
+}
+
+func replayAll(t *testing.T, l *Log, afterLSN uint64) []Record {
+	t.Helper()
+	var out []Record
+	if err := l.Replay(afterLSN, func(lsn uint64, rec Record) error {
+		out = append(out, rec)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	recs := testRecords(23)
+	l, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsns := appendAll(t, l, recs)
+	for i := 1; i < len(lsns); i++ {
+		if lsns[i] != lsns[i-1]+1 {
+			t.Fatalf("LSNs not dense: %v", lsns)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(recs[0]); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := replayAll(t, l2, 0)
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("replayed records differ:\n got %v\nwant %v", got, recs)
+	}
+	// Replay above an LSN skips the prefix.
+	tail := replayAll(t, l2, lsns[9])
+	if !reflect.DeepEqual(tail, recs[10:]) {
+		t.Fatalf("partial replay differs: got %d records, want %d", len(tail), len(recs)-10)
+	}
+}
+
+func TestLogRotationAndReclaim(t *testing.T) {
+	dir := t.TempDir()
+	recs := testRecords(40)
+	l, err := Open(dir, Options{Sync: SyncNever, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsns := appendAll(t, l, recs)
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("tiny SegmentBytes produced only %d segments", st.Segments)
+	}
+	// Reclaim everything below the 30th record: sealed segments whose
+	// last LSN is covered disappear, and replay still yields the rest.
+	if err := l.Reclaim(lsns[29]); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().Segments; got >= st.Segments {
+		t.Fatalf("reclaim removed nothing (%d -> %d segments)", st.Segments, got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := replayAll(t, l2, lsns[29])
+	if !reflect.DeepEqual(got, recs[30:]) {
+		t.Fatalf("replay after reclaim differs: got %d records, want %d", len(got), 10)
+	}
+	if l2.LastLSN() != lsns[39] {
+		t.Fatalf("LastLSN = %d; want %d", l2.LastLSN(), lsns[39])
+	}
+}
+
+// segmentFiles returns the log's segment paths in LSN order.
+func segmentFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, segmentPrefix+"*"+segmentSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paths
+}
+
+func TestLogTruncatedTailRepair(t *testing.T) {
+	dir := t.TempDir()
+	recs := testRecords(12)
+	l, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, recs)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs := segmentFiles(t, dir)
+	if len(segs) != 1 {
+		t.Fatalf("want 1 segment, got %v", segs)
+	}
+	// Tear off the last 5 bytes: the final record becomes partial.
+	st, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segs[0], st.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Stats().RepairedBytes == 0 {
+		t.Fatal("repair not reported")
+	}
+	got := replayAll(t, l2, 0)
+	if !reflect.DeepEqual(got, recs[:11]) {
+		t.Fatalf("surviving prefix is %d records; want 11", len(got))
+	}
+	// The log keeps working: new appends land after the survivors and a
+	// third open sees prefix + new.
+	extra := Record{Op: OpInsert, Seq: 999, Name: "fresh", Data: []byte("x")}
+	if _, err := l2.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	want := append(append([]Record(nil), recs[:11]...), extra)
+	if got := replayAll(t, l3, 0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-repair log differs: got %d records, want %d", len(got), len(want))
+	}
+}
+
+func TestLogCorruptMiddleSegmentDropsTail(t *testing.T) {
+	dir := t.TempDir()
+	recs := testRecords(30)
+	l, err := Open(dir, Options{Sync: SyncAlways, SegmentBytes: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, recs)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs := segmentFiles(t, dir)
+	if len(segs) < 3 {
+		t.Fatalf("want >= 3 segments, got %d", len(segs))
+	}
+	// Flip a byte in the FIRST record of the second segment: recovery
+	// must keep segment 1 whole and drop segments 2..N entirely.
+	f, err := os.OpenFile(segs[1], os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := f.ReadAt(buf, frameHeaderLen); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] ^= 0xFF
+	if _, err := f.WriteAt(buf, frameHeaderLen); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Count segment 1's records so we know the expected prefix.
+	n1, _, _, err := scanSegment(segs[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Stats().DroppedSegments == 0 {
+		t.Fatal("dropped segments not reported")
+	}
+	got := replayAll(t, l2, 0)
+	if !reflect.DeepEqual(got, recs[:n1]) {
+		t.Fatalf("surviving prefix is %d records; want %d", len(got), n1)
+	}
+}
+
+func TestLogStartLSNFloor(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{StartLSN: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l.Append(Record{Op: OpDelete, Name: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 41 {
+		t.Fatalf("first LSN = %d; want 41 (the StartLSN floor)", lsn)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// With live segments above the floor, the floor is ignored.
+	l2, err := Open(dir, Options{StartLSN: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if lsn, err = l2.Append(Record{Op: OpDelete, Name: "y"}); err != nil || lsn != 42 {
+		t.Fatalf("append after reopen: lsn=%d err=%v; want 42", lsn, err)
+	}
+}
+
+func TestSnapshotManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if m, err := LoadManifest(dir); err != nil || m != nil {
+		t.Fatalf("fresh dir manifest = %v, %v; want nil, nil", m, err)
+	}
+	recs := testRecords(8)
+	name, err := WriteSnapshot(dir, 17, func(sink func(Record) error) error {
+		for _, r := range recs {
+			if err := sink(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteManifest(dir, Manifest{LSN: 17, MaxSeq: 123, Snapshot: name, Graphs: len(recs)}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LSN != 17 || m.MaxSeq != 123 || m.Snapshot != name || m.Graphs != len(recs) {
+		t.Fatalf("manifest round trip: %+v", m)
+	}
+	var got []Record
+	if err := ReadSnapshot(filepath.Join(dir, name), func(r Record) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("snapshot records differ")
+	}
+
+	// A corrupt snapshot is a hard error, not a silent prefix.
+	path := filepath.Join(dir, name)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadSnapshot(path, func(Record) error { return nil }); err == nil {
+		t.Fatal("corrupt snapshot read succeeded")
+	}
+}
+
+func TestPruneSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	emit := func(sink func(Record) error) error { return sink(Record{Op: OpDelete, Name: "x"}) }
+	old, err := WriteSnapshot(dir, 1, emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep, err := WriteSnapshot(dir, 2, emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := PruneSnapshots(dir, keep); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, old)); !os.IsNotExist(err) {
+		t.Fatalf("old snapshot survived pruning: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, keep)); err != nil {
+		t.Fatalf("kept snapshot missing: %v", err)
+	}
+}
+
+func TestRecordCodecEdgeCases(t *testing.T) {
+	cases := []Record{
+		{Op: OpInsert, Seq: 0, Name: "", Data: nil},
+		{Op: OpInsert, Seq: 1<<64 - 1, Name: "n", Data: []byte{0}},
+		{Op: OpDelete, Name: "weird \xff\x00 name"},
+	}
+	for i, rec := range cases {
+		frame := encodeRecord(nil, rec)
+		got, n, ok := nextRecord(frame)
+		if !ok || n != int64(len(frame)) {
+			t.Fatalf("case %d: decode failed", i)
+		}
+		if got.Op != rec.Op || got.Seq != rec.Seq || got.Name != rec.Name || !reflect.DeepEqual(got.Data, rec.Data) {
+			t.Fatalf("case %d: round trip %+v -> %+v", i, rec, got)
+		}
+	}
+	// Truncated frames and bad checksums are rejected, never panic.
+	frame := encodeRecord(nil, cases[0])
+	for cut := 0; cut < len(frame); cut++ {
+		if _, _, ok := nextRecord(frame[:cut]); ok {
+			t.Fatalf("truncated frame at %d accepted", cut)
+		}
+	}
+	bad := append([]byte(nil), frame...)
+	bad[len(bad)-1] ^= 1
+	if _, _, ok := nextRecord(bad); ok {
+		t.Fatal("checksum-violating frame accepted")
+	}
+}
