@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-skyline bench-topk bench-pivot bench-compare run-server smoke smoke-restart vet
+.PHONY: build test race fuzz bench bench-skyline bench-topk bench-pivot bench-compare run-server smoke smoke-restart smoke-chaos bench-fault vet
 
 build:
 	$(GO) build ./...
@@ -75,3 +75,19 @@ smoke:
 # survived (plus live WAL/recovery metrics).
 smoke-restart:
 	bash ./scripts/smoke_restart.sh
+
+# smoke-chaos is the resilience soak: the in-process chaos test under
+# -race (failpoint storms + restarts, acked-mutation survival, answers
+# byte-identical to a fault-free run), then the end-to-end script —
+# live daemon, loadgen through the retrying client, HTTP-armed faults,
+# SIGTERM mid-traffic, and an ack-log audit after the final restart.
+smoke-chaos:
+	$(GO) test -race -run TestChaosSoak ./pkg/client/ -v
+	bash ./scripts/smoke_chaos.sh
+
+# bench-fault measures the disarmed-failpoint fast path: Hit() on a
+# disarmed point must stay a single atomic load (sub-ns/op, zero
+# allocs), so leaving failpoints compiled into production paths is
+# free. Compare BenchmarkHitDisarmed against any regression.
+bench-fault:
+	$(GO) test -bench='BenchmarkHit' -benchmem -run=^$$ ./internal/fault/

@@ -25,6 +25,16 @@
 //	loadgen -addr :8091 -duration 30s -out new.json
 //	benchjson -compare old.json new.json
 //
+// Requests go through pkg/client, so failures come back typed and the
+// report breaks errors out by class (429 / 503 / timeout / 5xx / 4xx /
+// transport) instead of lumping every non-2xx together — essential for
+// reading a chaos run, where "the server shed load" and "the server
+// lost the disk" are different findings. -retries > 1 turns on the
+// client's retry loop (mutations stay safe: inserts and deletes carry
+// idempotency keys), and -ack-log records one line per acknowledged
+// mutation ("insert NAME" / "delete NAME" as JSON) so an external
+// checker can hold the daemon to its acks across crashes and restarts.
+//
 // Usage:
 //
 //	loadgen -addr :8091 -duration 10s -concurrency 8 \
@@ -32,12 +42,14 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"sort"
@@ -48,7 +60,39 @@ import (
 
 	"skygraph/internal/graph"
 	"skygraph/internal/server"
+	"skygraph/pkg/client"
 )
+
+// errClasses is the fixed error-class vocabulary, in report order.
+var errClasses = []string{"429", "503", "timeout", "5xx", "4xx", "transport"}
+
+// classify buckets a request error for the report. Budget-exhausted
+// errors wrap the underlying failure, so they classify as that failure.
+func classify(err error) string {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		switch {
+		case apiErr.Status == http.StatusTooManyRequests:
+			return "429"
+		case apiErr.Status == http.StatusServiceUnavailable:
+			return "503"
+		case apiErr.Status == http.StatusGatewayTimeout:
+			return "timeout"
+		case apiErr.Status >= 500:
+			return "5xx"
+		default:
+			return "4xx"
+		}
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "timeout"
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return "timeout"
+	}
+	return "transport"
+}
 
 // opKinds is the fixed op vocabulary, in report order.
 var opKinds = []string{"skyline", "topk", "range", "batch", "insert", "delete"}
@@ -64,7 +108,9 @@ func main() {
 	k := flag.Int("k", 5, "k for top-k requests")
 	radius := flag.Float64("radius", 6, "radius for range requests")
 	batchSize := flag.Int("batch-size", 4, "queries per batch request")
-	timeout := flag.Duration("timeout", 30*time.Second, "client-side per-request timeout")
+	timeout := flag.Duration("timeout", 30*time.Second, "client-side per-attempt timeout (propagated to the server as its deadline)")
+	retries := flag.Int("retries", 1, "client attempts per request, first included (1 = no retries; >1 retries transient failures with backoff, mutations under idempotency keys)")
+	ackLogPath := flag.String("ack-log", "", "append one JSON line per acknowledged mutation here, for post-run durability auditing (empty = disabled)")
 	waitReady := flag.Duration("wait-ready", 30*time.Second, "wait up to this long for /readyz before starting (0 = skip the check)")
 	out := flag.String("out", "", "write the benchjson-compatible JSON report here (empty = stdout)")
 	failOnError := flag.Bool("fail-on-error", false, "exit nonzero when any request failed")
@@ -84,20 +130,33 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	client := &http.Client{Timeout: *timeout}
 	if *waitReady > 0 {
-		if err := awaitReady(client, base, *waitReady); err != nil {
+		if err := awaitReady(&http.Client{Timeout: 5 * time.Second}, base, *waitReady); err != nil {
 			fatalf("%v", err)
 		}
+	}
+
+	cl := client.New(base, client.Options{
+		AttemptTimeout: *timeout,
+		MaxAttempts:    *retries,
+	})
+	var acks *ackLog
+	if *ackLogPath != "" {
+		f, err := os.Create(*ackLogPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		acks = &ackLog{f: f}
+		defer f.Close()
 	}
 
 	gen := newWorkload(*seed, *corpus, *k, *radius, *batchSize)
 	rec := newRecorder()
 	start := time.Now()
 	if *qps > 0 {
-		runOpenLoop(client, base, gen, mix, rec, *duration, *qps, *concurrency)
+		runOpenLoop(cl, gen, mix, rec, acks, *duration, *qps, *concurrency)
 	} else {
-		runClosedLoop(client, base, gen, mix, rec, *duration, *concurrency)
+		runClosedLoop(cl, gen, mix, rec, acks, *duration, *concurrency)
 	}
 	elapsed := time.Since(start)
 
@@ -263,17 +322,57 @@ func pickKind(rng *rand.Rand, mix map[string]int) string {
 	return "skyline"
 }
 
+// ackLog appends one JSON line per acknowledged mutation. Lines are
+// written with a single Write under a mutex, so they never interleave;
+// an external checker replays the file to hold the daemon to its acks
+// (last line per name wins: insert → must exist, delete → must not).
+type ackLog struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func (a *ackLog) note(op, name string) {
+	if a == nil {
+		return
+	}
+	line := fmt.Sprintf("{\"op\":%q,\"name\":%q}\n", op, name)
+	a.mu.Lock()
+	a.f.WriteString(line)
+	a.mu.Unlock()
+}
+
+// doInsert issues one keyed insert, recording the name for future
+// deletes (and in the ack log) only once the daemon acknowledged it.
+// The attempt line written up front lets the checker mark names whose
+// final op never got an ack as ambiguous — an unacknowledged mutation
+// may legitimately have landed (e.g. the fault hit after the WAL
+// record was written), so nothing can be asserted about it.
+func doInsert(cl *client.Client, wl *workload, rng *rand.Rand, acks *ackLog) error {
+	g := wl.insertGraph(rng)
+	acks.note("insert-attempt", g.Name())
+	_, err := cl.Insert(context.Background(), server.InsertRequest{Graph: g})
+	if err == nil {
+		wl.noteInserted(g.Name())
+		acks.note("insert", g.Name())
+	}
+	return err
+}
+
 // doOp issues one request of the given kind and reports whether it
 // succeeded.
-func doOp(client *http.Client, base string, wl *workload, rng *rand.Rand, kind string) error {
+func doOp(cl *client.Client, wl *workload, rng *rand.Rand, kind string, acks *ackLog) error {
+	ctx := context.Background()
 	switch kind {
 	case "skyline":
-		return postJSON(client, base+"/query/skyline", server.QueryRequest{Graph: wl.queryGraph(rng)})
+		_, err := cl.Skyline(ctx, server.QueryRequest{Graph: wl.queryGraph(rng)})
+		return err
 	case "topk":
-		return postJSON(client, base+"/query/topk", server.QueryRequest{Graph: wl.queryGraph(rng), K: wl.k})
+		_, err := cl.TopK(ctx, server.QueryRequest{Graph: wl.queryGraph(rng), K: wl.k})
+		return err
 	case "range":
 		r := wl.radius
-		return postJSON(client, base+"/query/range", server.QueryRequest{Graph: wl.queryGraph(rng), Radius: &r})
+		_, err := cl.Range(ctx, server.QueryRequest{Graph: wl.queryGraph(rng), Radius: &r})
+		return err
 	case "batch":
 		qs := make([]server.BatchQuery, wl.batchSize)
 		for i := range qs {
@@ -287,59 +386,34 @@ func doOp(client *http.Client, base string, wl *workload, rng *rand.Rand, kind s
 				qs[i] = server.BatchQuery{Kind: "range", QueryRequest: server.QueryRequest{Graph: wl.queryGraph(rng), Radius: &r}}
 			}
 		}
-		return postJSON(client, base+"/query/batch", server.BatchRequest{Queries: qs})
-	case "insert":
-		g := wl.insertGraph(rng)
-		err := postJSON(client, base+"/graphs", server.InsertRequest{Graph: g})
-		if err == nil {
-			wl.noteInserted(g.Name())
-		}
+		_, err := cl.Batch(ctx, server.BatchRequest{Queries: qs})
 		return err
+	case "insert":
+		return doInsert(cl, wl, rng, acks)
 	case "delete":
 		name := wl.popInserted()
 		if name == "" {
 			// Nothing of ours to delete yet; insert instead so the op
 			// still exercises the mutation path.
-			g := wl.insertGraph(rng)
-			err := postJSON(client, base+"/graphs", server.InsertRequest{Graph: g})
-			if err == nil {
-				wl.noteInserted(g.Name())
-			}
-			return err
+			return doInsert(cl, wl, rng, acks)
 		}
-		req, err := http.NewRequest(http.MethodDelete, base+"/graphs/"+name, nil)
-		if err != nil {
-			return err
+		acks.note("delete-attempt", name)
+		_, err := cl.Delete(ctx, name, "")
+		if err == nil {
+			acks.note("delete", name)
+		} else {
+			// The delete may or may not have landed; put the name back so
+			// a later delete settles it rather than leaking the slot.
+			wl.noteInserted(name)
 		}
-		return checkResp(client.Do(req))
+		return err
 	}
 	return fmt.Errorf("unknown op kind %q", kind)
 }
 
-func postJSON(client *http.Client, url string, body any) error {
-	b, err := json.Marshal(body)
-	if err != nil {
-		return err
-	}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
-	return checkResp(resp, err)
-}
-
-func checkResp(resp *http.Response, err error) error {
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
-	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("HTTP %d", resp.StatusCode)
-	}
-	return nil
-}
-
 // runClosedLoop runs workers that each issue requests back to back
 // until the deadline.
-func runClosedLoop(client *http.Client, base string, wl *workload, mix map[string]int, rec *recorder, d time.Duration, workers int) {
+func runClosedLoop(cl *client.Client, wl *workload, mix map[string]int, rec *recorder, acks *ackLog, d time.Duration, workers int) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -353,7 +427,7 @@ func runClosedLoop(client *http.Client, base string, wl *workload, mix map[strin
 			for time.Now().Before(deadline) {
 				kind := pickKind(rng, mix)
 				t0 := time.Now()
-				err := doOp(client, base, wl, rng, kind)
+				err := doOp(cl, wl, rng, kind, acks)
 				rec.record(kind, time.Since(t0), err)
 			}
 		}(w)
@@ -364,7 +438,7 @@ func runClosedLoop(client *http.Client, base string, wl *workload, mix map[strin
 // runOpenLoop starts requests on a fixed schedule. Arrivals that would
 // exceed the in-flight cap are counted as dropped rather than queued,
 // so the offered rate stays honest when the server falls behind.
-func runOpenLoop(client *http.Client, base string, wl *workload, mix map[string]int, rec *recorder, d time.Duration, qps float64, cap int) {
+func runOpenLoop(cl *client.Client, wl *workload, mix map[string]int, rec *recorder, acks *ackLog, d time.Duration, qps float64, cap int) {
 	if cap < 1 {
 		cap = 1
 	}
@@ -397,23 +471,30 @@ func runOpenLoop(client *http.Client, base string, wl *workload, mix map[string]
 			defer wg.Done()
 			defer func() { <-sem }()
 			t0 := time.Now()
-			err := doOp(client, base, wl, opRng, kind)
+			err := doOp(cl, wl, opRng, kind, acks)
 			rec.record(kind, time.Since(t0), err)
 		}(kind)
 	}
 	wg.Wait()
 }
 
-// recorder accumulates per-kind client-side latencies and error counts.
+// recorder accumulates per-kind client-side latencies and error counts,
+// the latter broken out by class (429 / 503 / timeout / 5xx / 4xx /
+// transport) so a chaos run's failure mix is interpretable.
 type recorder struct {
 	mu      sync.Mutex
-	lat     map[string][]float64 // milliseconds
-	errs    map[string]int
+	lat     map[string][]float64      // milliseconds
+	errs    map[string]int            // kind → total errors
+	classes map[string]map[string]int // kind → class → errors
 	dropped int
 }
 
 func newRecorder() *recorder {
-	return &recorder{lat: map[string][]float64{}, errs: map[string]int{}}
+	return &recorder{
+		lat:     map[string][]float64{},
+		errs:    map[string]int{},
+		classes: map[string]map[string]int{},
+	}
 }
 
 func (r *recorder) record(kind string, d time.Duration, err error) {
@@ -422,6 +503,12 @@ func (r *recorder) record(kind string, d time.Duration, err error) {
 	defer r.mu.Unlock()
 	if err != nil {
 		r.errs[kind]++
+		byClass := r.classes[kind]
+		if byClass == nil {
+			byClass = map[string]int{}
+			r.classes[kind] = byClass
+		}
+		byClass[classify(err)]++
 		return
 	}
 	r.lat[kind] = append(r.lat[kind], ms)
@@ -462,6 +549,7 @@ func percentile(sorted []float64, q float64) float64 {
 type kindStats struct {
 	count                     int
 	errors                    int
+	classes                   map[string]int
 	meanMS, p50, p95, p99, mx float64
 }
 
@@ -469,9 +557,13 @@ func (r *recorder) stats(kind string) kindStats {
 	r.mu.Lock()
 	lat := append([]float64(nil), r.lat[kind]...)
 	errs := r.errs[kind]
+	classes := map[string]int{}
+	for c, n := range r.classes[kind] {
+		classes[c] = n
+	}
 	r.mu.Unlock()
 	sort.Float64s(lat)
-	st := kindStats{count: len(lat), errors: errs}
+	st := kindStats{count: len(lat), errors: errs, classes: classes}
 	if len(lat) == 0 {
 		return st
 	}
@@ -513,6 +605,11 @@ func bench(name string, st kindStats, qps float64) Bench {
 		"qps":    qps,
 		"errors": float64(st.errors),
 	}
+	for _, c := range errClasses {
+		if n := st.classes[c]; n > 0 {
+			m["errors-"+c] = float64(n)
+		}
+	}
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)
@@ -541,6 +638,7 @@ func (r *recorder) report(base string, elapsed time.Duration, concurrency int, t
 		doc.Context["dropped"] = fmt.Sprintf("%d", r.dropped)
 	}
 	var all kindStats
+	all.classes = map[string]int{}
 	allLat := []float64{}
 	r.mu.Lock()
 	for _, lat := range r.lat {
@@ -548,6 +646,11 @@ func (r *recorder) report(base string, elapsed time.Duration, concurrency int, t
 	}
 	for _, e := range r.errs {
 		all.errors += e
+	}
+	for _, byClass := range r.classes {
+		for c, n := range byClass {
+			all.classes[c] += n
+		}
 	}
 	r.mu.Unlock()
 	sort.Float64s(allLat)
@@ -575,18 +678,37 @@ func (r *recorder) report(base string, elapsed time.Duration, concurrency int, t
 	return doc
 }
 
+// classBreakdown renders "429=2 503=5" from a class→count map, in the
+// fixed errClasses order; empty when there were no errors.
+func classBreakdown(classes map[string]int) string {
+	parts := []string{}
+	for _, c := range errClasses {
+		if n := classes[c]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", c, n))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
 // printSummary writes the human-readable digest.
 func (r *recorder) printSummary(w io.Writer, elapsed time.Duration) {
 	fmt.Fprintf(w, "loadgen: %s elapsed\n", elapsed.Round(time.Millisecond))
-	fmt.Fprintf(w, "%-10s %8s %7s %10s %10s %10s %10s %10s\n",
-		"kind", "count", "errors", "mean-ms", "p50-ms", "p95-ms", "p99-ms", "max-ms")
+	fmt.Fprintf(w, "%-10s %8s %7s %10s %10s %10s %10s %10s  %s\n",
+		"kind", "count", "errors", "mean-ms", "p50-ms", "p95-ms", "p99-ms", "max-ms", "error-classes")
+	total := map[string]int{}
 	for _, kind := range opKinds {
 		st := r.stats(kind)
 		if st.count == 0 && st.errors == 0 {
 			continue
 		}
-		fmt.Fprintf(w, "%-10s %8d %7d %10.2f %10.2f %10.2f %10.2f %10.2f\n",
-			kind, st.count, st.errors, st.meanMS, st.p50, st.p95, st.p99, st.mx)
+		fmt.Fprintf(w, "%-10s %8d %7d %10.2f %10.2f %10.2f %10.2f %10.2f  %s\n",
+			kind, st.count, st.errors, st.meanMS, st.p50, st.p95, st.p99, st.mx, classBreakdown(st.classes))
+		for c, n := range st.classes {
+			total[c] += n
+		}
+	}
+	if len(total) > 0 {
+		fmt.Fprintf(w, "errors by class: %s\n", classBreakdown(total))
 	}
 	if r.dropped > 0 {
 		fmt.Fprintf(w, "dropped (open-loop in-flight cap): %d\n", r.dropped)

@@ -41,6 +41,16 @@
 // exact pre-crash database. The listener answers 503 (and /readyz
 // "recovering") until the replay completes. On SIGTERM the daemon
 // drains HTTP, cuts a final snapshot and closes the log.
+//
+// Resilience knobs: -degrade-after K trips the daemon into
+// degraded-readonly after K consecutive transient persist failures
+// (mutations 503 with Retry-After, queries keep serving from memory)
+// with a background probe every -probe-every re-arming writes;
+// -max-inflight-queries sheds excess query load with 429;
+// -retry-after sets the hint clients see on 503/429. -fault arms
+// failpoints at startup (e.g. "wal/fsync=error:err=EIO,p=0.1") and
+// -fault-admin exposes GET/POST /admin/fault for runtime control —
+// both are for testing and chaos drills, never production.
 package main
 
 import (
@@ -57,6 +67,7 @@ import (
 	"syscall"
 	"time"
 
+	"skygraph/internal/fault"
 	"skygraph/internal/gdb"
 	"skygraph/internal/measure"
 	"skygraph/internal/pivot"
@@ -118,11 +129,23 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable data directory: WAL + snapshots; a restart with the same directory recovers the database (empty = in-memory only)")
 	fsync := flag.String("fsync", "always", "WAL fsync policy: always, never, or a flush interval like 100ms")
 	snapshotEvery := flag.Duration("snapshot-every", 5*time.Minute, "cut a snapshot (and reclaim covered WAL segments) this often; 0 disables periodic snapshots (needs -data-dir)")
+	degradeAfter := flag.Int("degrade-after", 0, "consecutive transient persist failures before entering degraded-readonly (0 = package default of 3; needs -data-dir)")
+	probeEvery := flag.Duration("probe-every", 0, "how often the degraded daemon probes the persistence path to re-arm writes (0 = package default of 500ms)")
+	maxInflightQueries := flag.Int("max-inflight-queries", 0, "shed query requests beyond this many in flight with 429 (0 = unlimited; mutations are never shed)")
+	retryAfter := flag.Duration("retry-after", 0, "Retry-After hint on 503/429 responses (0 = 1s default)")
+	faultSpec := flag.String("fault", "", "arm failpoints at startup, e.g. \"wal/fsync=error:err=EIO,p=0.1\" (testing only)")
+	faultAdmin := flag.Bool("fault-admin", false, "expose GET/POST /admin/fault for runtime failpoint control (testing only; keep off in production)")
 	flag.Parse()
 
 	syncPolicy, syncEvery, err := parseFsync(*fsync)
 	if err != nil {
 		log.Fatalf("skygraphd: %v", err)
+	}
+	if *faultSpec != "" {
+		if err := fault.Configure(*faultSpec); err != nil {
+			log.Fatalf("skygraphd: -fault: %v", err)
+		}
+		log.Printf("skygraphd: armed %d failpoint(s) from -fault (testing mode)", fault.Armed())
 	}
 
 	// The listener comes up before recovery so orchestrators can probe
@@ -196,6 +219,11 @@ func main() {
 		DefaultEval:        measure.Options{GEDMaxNodes: *gedBudget, MCSMaxNodes: *mcsBudget},
 		SlowQueryThreshold: time.Duration(*slowQueryMS) * time.Millisecond,
 		Durable:            durable,
+		DegradeAfter:       *degradeAfter,
+		ProbeEvery:         *probeEvery,
+		MaxInflightQueries: *maxInflightQueries,
+		RetryAfter:         *retryAfter,
+		FaultAdmin:         *faultAdmin,
 	})
 	handler.Store(srv.Handler()) // recovery done: start serving for real
 
@@ -257,6 +285,7 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("skygraphd: shutdown: %v", err)
 	}
+	srv.Close() // stop the health probe before the WAL goes away
 	close(snapStop)
 	<-snapDone
 	if durable != nil {

@@ -1,0 +1,247 @@
+package fault
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestDisarmedPassesThrough(t *testing.T) {
+	defer Reset()
+	if act := Hit(WALAppend); act != nil {
+		t.Fatalf("disarmed Hit returned %+v", act)
+	}
+	if err := Hit(WALFsync).Do(); err != nil {
+		t.Fatalf("disarmed Do returned %v", err)
+	}
+	if Armed() != 0 {
+		t.Fatalf("Armed() = %d, want 0", Armed())
+	}
+}
+
+func TestErrorMode(t *testing.T) {
+	defer Reset()
+	Set(WALAppend, Config{Mode: ModeError, Err: syscall.ENOSPC})
+	act := Hit(WALAppend)
+	if act == nil {
+		t.Fatal("armed Hit returned nil")
+	}
+	if err := act.Do(); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Do() = %v, want ENOSPC", err)
+	}
+	if act.Short != -1 {
+		t.Fatalf("error mode Short = %d, want -1", act.Short)
+	}
+	// Other points stay disarmed.
+	if Hit(WALFsync) != nil {
+		t.Fatal("unrelated point fired")
+	}
+}
+
+func TestDefaultErrIsEIO(t *testing.T) {
+	defer Reset()
+	Set(WALFsync, Config{Mode: ModeError})
+	if err := Hit(WALFsync).Do(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Do() = %v, want EIO default", err)
+	}
+}
+
+func TestAfterAndLimit(t *testing.T) {
+	defer Reset()
+	Set("p", Config{Mode: ModeError, After: 2, Limit: 3})
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if Hit("p") != nil {
+			fired++
+			if i < 2 {
+				t.Fatalf("fired at hit %d despite after=2", i)
+			}
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3 (limit)", fired)
+	}
+	st := Snapshot()
+	if len(st) != 1 || st[0].Hits != 10 || st[0].Fires != 3 {
+		t.Fatalf("Snapshot() = %+v, want hits=10 fires=3", st)
+	}
+}
+
+func TestProbabilityIsSeededAndBounded(t *testing.T) {
+	defer Reset()
+	run := func() int {
+		Set("p", Config{Mode: ModeError, P: 0.5, Seed: 42})
+		fired := 0
+		for i := 0; i < 1000; i++ {
+			if Hit("p") != nil {
+				fired++
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("seeded runs differ: %d vs %d", a, b)
+	}
+	if a < 350 || a > 650 {
+		t.Fatalf("p=0.5 fired %d/1000, far from expectation", a)
+	}
+}
+
+func TestShortWriteMode(t *testing.T) {
+	defer Reset()
+	Set(WALAppend, Config{Mode: ModeShortWrite, ShortBytes: 7})
+	act := Hit(WALAppend)
+	if act == nil || act.Short != 7 {
+		t.Fatalf("short-write action = %+v, want Short=7", act)
+	}
+	if err := act.Do(); err == nil {
+		t.Fatal("short-write Do() returned nil error")
+	}
+}
+
+func TestLatencyMode(t *testing.T) {
+	defer Reset()
+	Set("p", Config{Mode: ModeLatency, Delay: 10 * time.Millisecond})
+	start := time.Now()
+	if err := Hit("p").Do(); err != nil {
+		t.Fatalf("latency Do() = %v, want nil", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("latency hit returned after %v, want >= 10ms", d)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	defer Reset()
+	Set("p", Config{Mode: ModePanic})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic mode did not panic")
+		}
+	}()
+	_ = Hit("p").Do()
+}
+
+func TestClearAndReset(t *testing.T) {
+	defer Reset()
+	Set("a", Config{Mode: ModeError})
+	Set("b", Config{Mode: ModeError})
+	if Armed() != 2 {
+		t.Fatalf("Armed() = %d, want 2", Armed())
+	}
+	Clear("a")
+	if Armed() != 1 || Hit("a") != nil {
+		t.Fatal("Clear did not disarm")
+	}
+	Reset()
+	if Armed() != 0 || Hit("b") != nil {
+		t.Fatal("Reset did not disarm")
+	}
+}
+
+func TestConfigureSpec(t *testing.T) {
+	defer Reset()
+	spec := "wal/append=error:err=ENOSPC,after=10,p=0.5,seed=7; wal/fsync=latency:delay=50ms;wal/rotate=short:bytes=3,limit=2"
+	if err := Configure(spec); err != nil {
+		t.Fatalf("Configure: %v", err)
+	}
+	st := Snapshot()
+	if len(st) != 3 {
+		t.Fatalf("Snapshot() has %d points, want 3: %+v", len(st), st)
+	}
+	byName := map[string]PointStats{}
+	for _, p := range st {
+		byName[p.Name] = p
+	}
+	if p := byName[WALAppend]; p.Mode != "error" || p.After != 10 || p.P != 0.5 {
+		t.Fatalf("wal/append = %+v", p)
+	}
+	if p := byName[WALFsync]; p.Mode != "latency" || p.DelayMS != 50 {
+		t.Fatalf("wal/fsync = %+v", p)
+	}
+	if p := byName[WALRotate]; p.Mode != "short" || p.Limit != 2 {
+		t.Fatalf("wal/rotate = %+v", p)
+	}
+	// Per-point off disarms only the named point.
+	if err := Configure("wal/fsync=off"); err != nil {
+		t.Fatalf("Configure(wal/fsync=off): %v", err)
+	}
+	if Armed() != 2 {
+		t.Fatalf("per-point off left %d points armed, want 2", Armed())
+	}
+	if err := Configure("off"); err != nil || Armed() != 0 {
+		t.Fatalf("Configure(off): err=%v armed=%d", err, Armed())
+	}
+}
+
+func TestConfigureRejectsBadSpecs(t *testing.T) {
+	defer Reset()
+	for _, spec := range []string{
+		"nomode",
+		"p=explode",
+		"p=error:after=x",
+		"p=error:p=1.5",
+		"p=latency",
+		"p=error:wat=1",
+	} {
+		if err := Configure(spec); err == nil {
+			t.Fatalf("Configure(%q) accepted", spec)
+		}
+	}
+	if Armed() != 0 {
+		t.Fatalf("failed Configure left %d points armed", Armed())
+	}
+}
+
+func TestRegisteredError(t *testing.T) {
+	defer Reset()
+	sentinel := errors.New("registered sentinel")
+	RegisterError("sentinel", sentinel)
+	if err := Configure("p=error:err=sentinel"); err != nil {
+		t.Fatalf("Configure: %v", err)
+	}
+	if err := Hit("p").Do(); !errors.Is(err, sentinel) {
+		t.Fatalf("Do() = %v, want registered sentinel", err)
+	}
+}
+
+// TestDisarmedZeroAlloc is the no-op guard: the disarmed hot path must
+// not allocate (and, per the benchmark below, must stay ~one atomic
+// load). Instrumented production code relies on this.
+func TestDisarmedZeroAlloc(t *testing.T) {
+	Reset()
+	if n := testing.AllocsPerRun(1000, func() {
+		if Hit(WALAppend) != nil {
+			t.Fatal("fired while disarmed")
+		}
+	}); n != 0 {
+		t.Fatalf("disarmed Hit allocates %.1f per run, want 0", n)
+	}
+}
+
+// BenchmarkHitDisarmed pins the cost of an instrumented call site with
+// no faults armed — the "failpoints compile to (almost) nothing" guard.
+// Compare with BenchmarkHitArmedPassThrough for the armed-but-passing
+// cost.
+func BenchmarkHitDisarmed(b *testing.B) {
+	Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Hit(WALAppend) != nil {
+			b.Fatal("fired")
+		}
+	}
+}
+
+func BenchmarkHitArmedPassThrough(b *testing.B) {
+	defer Reset()
+	Set(WALAppend, Config{Mode: ModeError, After: 1 << 62})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Hit(WALAppend) != nil {
+			b.Fatal("fired")
+		}
+	}
+}

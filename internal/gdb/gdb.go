@@ -72,6 +72,13 @@ var insertSeq atomic.Uint64
 // not report success. Callers distinguish it with errors.Is.
 var ErrNotPersisted = errors.New("mutation not persisted")
 
+// InsertSeqHighWater returns the largest insert sequence minted so far
+// (process-wide). Clients use it with idempotency keys: a mutation
+// acked at or below the high-water of a recovered server has either
+// survived or is individually checkable, so retries after an ambiguous
+// failure can be decided safely.
+func InsertSeqHighWater() uint64 { return insertSeq.Load() }
+
 // SeedInsertSeq raises the insert-sequence counter to at least min:
 // sequences minted afterwards are strictly greater. Recovery calls it
 // with the largest sequence found in the snapshot manifest and the

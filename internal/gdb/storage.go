@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"skygraph/internal/fault"
 	"skygraph/internal/graph"
 	"skygraph/internal/wal"
 )
@@ -43,6 +44,30 @@ func (s *walStore) LogInsert(g *graph.Graph, seq uint64) error {
 func (s *walStore) LogDelete(name string) error {
 	_, err := s.log.Append(wal.Record{Op: wal.OpDelete, Name: name})
 	return err
+}
+
+// FaultStore wraps a Store with the store-level failpoints: it lets
+// chaos runs fail mutations before they reach the WAL at all (the
+// "store is sick but the log is fine" shape), independently of the
+// WAL's own fs-level failpoints. It is wired in by OpenDurable, so
+// every durable database is injectable; disarmed failpoints cost one
+// atomic load per mutation.
+type FaultStore struct {
+	Inner Store
+}
+
+func (s *FaultStore) LogInsert(g *graph.Graph, seq uint64) error {
+	if err := fault.Hit(fault.StoreInsert).Do(); err != nil {
+		return err
+	}
+	return s.Inner.LogInsert(g, seq)
+}
+
+func (s *FaultStore) LogDelete(name string) error {
+	if err := fault.Hit(fault.StoreDelete).Do(); err != nil {
+		return err
+	}
+	return s.Inner.LogDelete(name)
 }
 
 // DurableOptions configures OpenDurable.
@@ -165,7 +190,9 @@ func OpenDurable(opts DurableOptions) (*Durable, error) {
 	d.recovery.MaxSeq = maxSeq
 	d.recovery.Duration = time.Since(start)
 	d.log = log
-	d.DB.SetStore(&walStore{log: log}) // from here on, mutations are logged
+	// From here on, mutations are logged (through the failpoint wrapper,
+	// so chaos tests can fail them at will; disarmed it is a no-op).
+	d.DB.SetStore(&FaultStore{Inner: &walStore{log: log}})
 	return d, nil
 }
 
@@ -188,6 +215,9 @@ func (d *Durable) applyRecord(rec wal.Record, maxSeq *uint64) error {
 		// was logged but never acked (crash in between); dropping it is
 		// exactly right.
 		d.DB.Delete(rec.Name)
+		return nil
+	case wal.OpNoop:
+		// Health-probe records carry no state.
 		return nil
 	default:
 		return fmt.Errorf("unknown opcode %d", rec.Op)
@@ -283,6 +313,22 @@ func (d *Durable) Close() error {
 // Sync flushes appended WAL records to stable storage regardless of
 // the fsync policy.
 func (d *Durable) Sync() error { return d.log.Sync() }
+
+// Probe exercises the full append+fsync path with a no-op record and
+// reports whether it worked — the health state machine's "is the disk
+// writable again?" check. A successful probe proves a real mutation
+// would have persisted; the record itself is skipped on replay.
+func (d *Durable) Probe() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("gdb: durable: closed")
+	}
+	if _, err := d.log.Append(wal.Record{Op: wal.OpNoop}); err != nil {
+		return err
+	}
+	return d.log.Sync()
+}
 
 // Dir returns the data directory.
 func (d *Durable) Dir() string { return d.dir }

@@ -1,0 +1,56 @@
+package server
+
+import (
+	"net/http"
+
+	"skygraph/internal/fault"
+)
+
+// The fault admin endpoint — mounted only with Config.FaultAdmin — lets
+// chaos tooling arm and inspect the process-wide failpoint registry
+// over HTTP:
+//
+//	GET  /admin/fault            → current registry snapshot
+//	POST /admin/fault {"spec":S} → fault.Configure(S), then snapshot
+//
+// The spec grammar is fault.Configure's: "point=mode:key=val,...;..."
+// ("off" resets everything). It is deliberately test-only: a production
+// daemon must never expose a handle that makes its own disk fail.
+
+// FaultAdminRequest is the body of POST /admin/fault.
+type FaultAdminRequest struct {
+	Spec string `json:"spec"`
+}
+
+// FaultAdminResponse answers both methods with the registry state
+// after any change.
+type FaultAdminResponse struct {
+	Armed  int                `json:"armed"`
+	Fires  uint64             `json:"fires"`
+	Points []fault.PointStats `json:"points"`
+}
+
+func faultAdminSnapshot() FaultAdminResponse {
+	return FaultAdminResponse{
+		Armed:  fault.Armed(),
+		Fires:  fault.TotalFires(),
+		Points: fault.Snapshot(),
+	}
+}
+
+func (s *Server) handleFaultGet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, faultAdminSnapshot())
+}
+
+func (s *Server) handleFaultSet(w http.ResponseWriter, r *http.Request) {
+	var req FaultAdminRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if err := fault.Configure(req.Spec); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad fault spec: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, faultAdminSnapshot())
+}

@@ -17,6 +17,7 @@
 package server
 
 import (
+	"skygraph/internal/fault"
 	"skygraph/internal/gdb"
 	"skygraph/internal/graph"
 	"skygraph/internal/measure"
@@ -232,18 +233,33 @@ type BatchResponse struct {
 type InsertRequest struct {
 	Graph  *graph.Graph   `json:"graph,omitempty"`
 	Graphs []*graph.Graph `json:"graphs,omitempty"`
+	// IdempotencyKey makes the insert safely retryable: a repeat of the
+	// same key replays the recorded success instead of re-inserting (and
+	// a keyed retry whose graphs all already exist — the server acked,
+	// the ack was lost — answers 200 with replayed=true rather than
+	// 409). Keys are client-chosen; reuse across different payloads is
+	// the client's bug.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // InsertResponse confirms an insert.
 type InsertResponse struct {
 	Inserted   []string `json:"inserted"`
 	Generation uint64   `json:"generation"`
+	// Replayed reports that this response was served from the
+	// idempotency record (or reconstructed from existing state) of an
+	// earlier attempt with the same key, not by inserting again.
+	Replayed bool `json:"replayed,omitempty"`
 }
 
 // DeleteResponse confirms a delete.
 type DeleteResponse struct {
 	Deleted    string `json:"deleted"`
 	Generation uint64 `json:"generation"`
+	// Replayed mirrors InsertResponse.Replayed for keyed deletes (the
+	// key travels in the X-Skygraph-Idempotency-Key header, DELETE
+	// having no body).
+	Replayed bool `json:"replayed,omitempty"`
 }
 
 // ListResponse answers GET /graphs.
@@ -266,9 +282,35 @@ type StatsResponse struct {
 	// policy, snapshot progress and what the last recovery rebuilt
 	// (absent without -data-dir).
 	Durability *DurabilityInfo `json:"durability,omitempty"`
-	Requests   ReqStats        `json:"requests"`
-	Runtime    RuntimeStats    `json:"runtime"`
-	Build      BuildInfo       `json:"build"`
+	// Health reports the write-path health state machine (absent
+	// without -data-dir: an in-memory daemon has no disk to break).
+	Health *HealthInfo `json:"health,omitempty"`
+	// Fault lists the armed failpoints and their hit/fire counters
+	// (absent when none are armed — the production steady state).
+	Fault     *FaultInfo   `json:"fault,omitempty"`
+	Requests  ReqStats     `json:"requests"`
+	Runtime   RuntimeStats `json:"runtime"`
+	Build     BuildInfo    `json:"build"`
+}
+
+// HealthInfo is the wire form of the health state machine.
+type HealthInfo struct {
+	// State is serving, degraded_readonly or recovering.
+	State string `json:"state"`
+	// ConsecutiveFailures counts transient persist failures since the
+	// last success; Degradations counts serving → degraded transitions.
+	ConsecutiveFailures int64  `json:"consecutive_persist_failures"`
+	Degradations        uint64 `json:"degradations"`
+	// Probes and ProbeFailures count the background WAL write probes
+	// fired while degraded.
+	Probes        uint64 `json:"probes"`
+	ProbeFailures uint64 `json:"probe_failures"`
+	// LastPersistError is the most recent transient persist or probe
+	// error (empty while everything works).
+	LastPersistError string `json:"last_persist_error,omitempty"`
+	// InsertSeqHighWater is the largest insert sequence minted so far —
+	// the client's reference point for idempotent retry decisions.
+	InsertSeqHighWater uint64 `json:"insert_seq_high_water"`
 }
 
 // DurabilityInfo is the wire form of the persistence layer's state.
@@ -372,6 +414,11 @@ type ReqStats struct {
 	MemoMisses       uint64 `json:"memo_misses"`
 	QueryTimeouts    uint64 `json:"query_timeouts"`
 	InflightRejected uint64 `json:"inflight_rejected"`
+	// LoadShed counts queries refused with 429 at the inflight-query
+	// cap; DegradedRejected counts mutations refused with 503 while the
+	// daemon was in degraded-readonly mode.
+	LoadShed         uint64 `json:"load_shed"`
+	DegradedRejected uint64 `json:"degraded_rejected"`
 }
 
 // WarmRequest is the body of POST /cache/warm: query graphs whose
@@ -408,4 +455,57 @@ type WarmResponse struct {
 // ErrorResponse is the body of every non-2xx answer.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	// Class tells the client how to react without parsing the message:
+	//
+	//	bad_request  — fix the request; retrying as-is cannot help
+	//	not_found    — the named resource does not exist
+	//	conflict     — duplicate name; retrying as-is cannot help
+	//	overloaded   — load-shed (429); retry after the Retry-After delay
+	//	unavailable  — busy or warming (503); retry after Retry-After
+	//	degraded     — read-only mode (503); mutations retry after
+	//	               Retry-After, the store is being probed
+	//	transient    — a persist failure that should heal (503); safe to
+	//	               retry with an idempotency key
+	//	corrupt      — corruption-class storage failure (500); retrying
+	//	               cannot help, the data directory needs attention
+	//	timeout      — the query deadline fired (504)
+	//	canceled     — the client went away mid-query
+	//	internal     — unclassified server-side failure (500)
+	Class string `json:"class,omitempty"`
+	// RetryAfterMS mirrors the Retry-After header (milliseconds) on
+	// retryable classes, for clients that prefer the body.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// Error classes (see ErrorResponse.Class).
+const (
+	ClassBadRequest  = "bad_request"
+	ClassNotFound    = "not_found"
+	ClassConflict    = "conflict"
+	ClassOverloaded  = "overloaded"
+	ClassUnavailable = "unavailable"
+	ClassDegraded    = "degraded"
+	ClassTransient   = "transient"
+	ClassCorrupt     = "corrupt"
+	ClassTimeout     = "timeout"
+	ClassCanceled    = "canceled"
+	ClassInternal    = "internal"
+)
+
+// TimeoutHeader propagates the client's per-attempt deadline to the
+// server (milliseconds) for requests whose body carries no timeout_ms
+// — the server evaluates under the smaller of this and its own limits,
+// so work is abandoned the moment the client stops waiting.
+const TimeoutHeader = "X-Skygraph-Timeout-Ms"
+
+// IdempotencyHeader carries the idempotency key for DELETE requests
+// (no body) and, when set, overrides the body key on POST /graphs.
+const IdempotencyHeader = "X-Skygraph-Idempotency-Key"
+
+// FaultInfo reports the failpoint registry in /stats while any point
+// is armed.
+type FaultInfo struct {
+	Armed  int               `json:"armed"`
+	Fires  uint64            `json:"fires"`
+	Points []fault.PointStats `json:"points"`
 }

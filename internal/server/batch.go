@@ -24,12 +24,19 @@ const DefaultMaxBatch = 256
 // shares one time budget; an item that fails (bad request, timeout)
 // reports its error in place without failing the rest.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.admitQuery(w) {
+		return
+	}
+	defer s.releaseQuery()
 	s.batches.Add(1)
 	start := time.Now()
 	var req BatchRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
+	}
+	if req.TimeoutMS <= 0 {
+		req.TimeoutMS = headerTimeoutMS(r)
 	}
 	if len(req.Queries) == 0 {
 		s.writeError(w, http.StatusBadRequest, "empty batch")
@@ -211,7 +218,7 @@ func (s *Server) runBatchQuery(ctx context.Context, it batchItem, bq *BatchQuery
 	it.res.opts.Trace = gdb.NewQueryTrace()
 	ans, err := s.execQuery(ctx, it.kind, &bq.QueryRequest, it.res, start)
 	if err != nil {
-		_, msg := s.classifyQueryErr(err)
+		_, _, msg := s.classifyQueryErr(err)
 		return fail(msg)
 	}
 	s.finishQuery(it.kind, &bq.QueryRequest, it.res, ans, start)

@@ -126,7 +126,9 @@ func TestServerRestartDurability(t *testing.T) {
 
 // TestServerDeleteNotPersisted verifies the handler maps a failed
 // write-ahead append to a 5xx, not a 404: the graph is still there and
-// the client must not believe the delete happened.
+// the client must not believe the delete happened. A closed WAL is a
+// transient-class failure (a restart heals it), so both mutations
+// answer 503, inviting a retry — not 500.
 func TestServerDeleteNotPersisted(t *testing.T) {
 	dir := t.TempDir()
 	d, ts := newDurableServer(t, dir, 1)
@@ -147,17 +149,20 @@ func TestServerDeleteNotPersisted(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusInternalServerError {
-		t.Fatalf("delete with closed WAL: status %d, want 500", resp.StatusCode)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("delete with closed WAL: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("transient persist failure carried no Retry-After")
 	}
 
 	// And the insert path likewise: a fresh name reaches the WAL append,
-	// fails it, and must come back 500 with nothing applied.
+	// fails it, and must come back 503 with nothing applied.
 	fresh := dataset.PaperDB()[0].Clone()
 	fresh.SetName("fresh-after-close")
 	iresp := postJSON(t, ts.URL+"/graphs", InsertRequest{Graph: fresh}, nil)
-	if iresp.StatusCode != http.StatusInternalServerError {
-		t.Fatalf("insert with closed WAL: status %d, want 500", iresp.StatusCode)
+	if iresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("insert with closed WAL: status %d, want 503", iresp.StatusCode)
 	}
 	if _, ok := d.DB.Get("fresh-after-close"); ok {
 		t.Fatal("failed insert landed in the database")

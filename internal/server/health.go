@@ -1,0 +1,190 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skygraph/internal/gdb"
+)
+
+// HealthState is the daemon's write-path health:
+//
+//	serving ──K consecutive transient persist failures──▶ degraded-readonly
+//	degraded-readonly ──background probe succeeds──▶ recovering
+//	recovering ──next mutation persists──▶ serving
+//	recovering ──next mutation fails────▶ degraded-readonly
+//
+// In degraded-readonly the daemon stops 500-ing on a disk that is
+// plainly broken: queries keep serving from memory, mutations are
+// rejected up front with 503 + Retry-After (they could only fail), and
+// a background probe exercises the WAL append path until it heals.
+// Recovering is the trust-but-verify step: mutations are admitted
+// again, but one more failure drops straight back to degraded instead
+// of re-counting to K.
+type HealthState int32
+
+const (
+	HealthServing HealthState = iota
+	HealthDegraded
+	HealthRecovering
+)
+
+func (h HealthState) String() string {
+	switch h {
+	case HealthServing:
+		return "serving"
+	case HealthDegraded:
+		return "degraded_readonly"
+	case HealthRecovering:
+		return "recovering"
+	}
+	return "unknown"
+}
+
+// health runs the state machine. All methods are safe for concurrent
+// use; a nil receiver (in-memory daemon, no persistence to break) is
+// permanently serving.
+type health struct {
+	durable      *gdb.Durable
+	degradeAfter int
+	probeEvery   time.Duration
+
+	state        atomic.Int32
+	consecFails  atomic.Int64
+	degradations atomic.Uint64
+	probes       atomic.Uint64
+	probeFails   atomic.Uint64
+
+	mu      sync.Mutex
+	lastErr string
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// newHealth starts the machine (and its probe loop) over a durable
+// store. Returns nil — permanently serving — when there is none.
+func newHealth(d *gdb.Durable, degradeAfter int, probeEvery time.Duration) *health {
+	if d == nil {
+		return nil
+	}
+	if degradeAfter <= 0 {
+		degradeAfter = 3
+	}
+	if probeEvery <= 0 {
+		probeEvery = 500 * time.Millisecond
+	}
+	h := &health{
+		durable:      d,
+		degradeAfter: degradeAfter,
+		probeEvery:   probeEvery,
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+	go h.probeLoop()
+	return h
+}
+
+// State returns the current state (serving for a nil machine).
+func (h *health) State() HealthState {
+	if h == nil {
+		return HealthServing
+	}
+	return HealthState(h.state.Load())
+}
+
+// ReadOnly reports whether mutations must be rejected up front.
+func (h *health) ReadOnly() bool { return h.State() == HealthDegraded }
+
+// NoteSuccess records a persisted mutation: the failure streak resets,
+// and a recovering daemon has verified its disk — back to serving.
+func (h *health) NoteSuccess() {
+	if h == nil {
+		return
+	}
+	h.consecFails.Store(0)
+	h.state.CompareAndSwap(int32(HealthRecovering), int32(HealthServing))
+}
+
+// NoteTransientFailure records a transient persist failure. In
+// recovering it drops straight back to degraded; in serving it counts
+// toward the K threshold. Corruption-class failures do not feed the
+// machine — probing cannot heal a corrupt store, and the 500s they
+// produce are the correct signal.
+func (h *health) NoteTransientFailure(err error) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.lastErr = err.Error()
+	h.mu.Unlock()
+	if h.state.CompareAndSwap(int32(HealthRecovering), int32(HealthDegraded)) {
+		return
+	}
+	if h.consecFails.Add(1) >= int64(h.degradeAfter) {
+		if h.state.CompareAndSwap(int32(HealthServing), int32(HealthDegraded)) {
+			h.degradations.Add(1)
+		}
+	}
+}
+
+// probeLoop re-arms the write path: while degraded, it appends a no-op
+// record through the full WAL append+fsync path; the first success
+// moves to recovering (mutations re-admitted, next real one decides).
+func (h *health) probeLoop() {
+	defer close(h.done)
+	t := time.NewTicker(h.probeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if h.State() != HealthDegraded {
+				continue
+			}
+			h.probes.Add(1)
+			if err := h.durable.Probe(); err != nil {
+				h.probeFails.Add(1)
+				h.mu.Lock()
+				h.lastErr = err.Error()
+				h.mu.Unlock()
+				continue
+			}
+			h.state.CompareAndSwap(int32(HealthDegraded), int32(HealthRecovering))
+		case <-h.stop:
+			return
+		}
+	}
+}
+
+// Close stops the probe loop (idempotent, nil-safe).
+func (h *health) Close() {
+	if h == nil {
+		return
+	}
+	select {
+	case <-h.stop:
+	default:
+		close(h.stop)
+	}
+	<-h.done
+}
+
+// Info snapshots the machine for /stats.
+func (h *health) Info() *HealthInfo {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	lastErr := h.lastErr
+	h.mu.Unlock()
+	return &HealthInfo{
+		State:               h.State().String(),
+		ConsecutiveFailures: h.consecFails.Load(),
+		Degradations:        h.degradations.Load(),
+		Probes:              h.probes.Load(),
+		ProbeFailures:       h.probeFails.Load(),
+		LastPersistError:    lastErr,
+		InsertSeqHighWater:  gdb.InsertSeqHighWater(),
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"skygraph/internal/fault"
 	"skygraph/internal/gdb"
 	"skygraph/internal/obs"
 )
@@ -97,6 +98,33 @@ func newMetrics(s *Server) *metrics {
 		func() float64 { return float64(s.timeouts.Load()) })
 	reg.CounterFunc("skygraph_inflight_rejected_total", "Evaluations rejected at the inflight limit.",
 		func() float64 { return float64(s.rejected.Load()) })
+	reg.CounterFunc("skygraph_load_shed_total", "Queries refused with 429 at the inflight-query cap.",
+		func() float64 { return float64(s.shed.Load()) })
+	reg.CounterFunc("skygraph_degraded_rejects_total", "Mutations refused with 503 in degraded-readonly mode.",
+		func() float64 { return float64(s.degradedRejects.Load()) })
+
+	// Fault injection — the registry is process-wide, so these are
+	// flat 0 on a production daemon (disarmed failpoints are no-ops).
+	reg.GaugeFunc("skygraph_fault_armed_points", "Failpoints currently armed.",
+		func() float64 { return float64(fault.Armed()) })
+	reg.CounterFunc("skygraph_fault_injected_total", "Faults fired across all failpoints since arming.",
+		func() float64 { return float64(fault.TotalFires()) })
+
+	// Write-path health (absent without -data-dir).
+	if h := s.health; h != nil {
+		reg.GaugeFunc("skygraph_health_state",
+			"Write-path health: 0 serving, 1 degraded-readonly, 2 recovering.",
+			func() float64 { return float64(h.State()) })
+		reg.GaugeFunc("skygraph_health_consecutive_persist_failures",
+			"Transient persist failures since the last success.",
+			func() float64 { return float64(h.consecFails.Load()) })
+		reg.CounterFunc("skygraph_health_degradations_total", "Transitions into degraded-readonly.",
+			func() float64 { return float64(h.degradations.Load()) })
+		reg.CounterFunc("skygraph_health_probes_total", "Background write probes fired while degraded.",
+			func() float64 { return float64(h.probes.Load()) })
+		reg.CounterFunc("skygraph_health_probe_failures_total", "Background write probes that failed.",
+			func() float64 { return float64(h.probeFails.Load()) })
+	}
 
 	// Vector-table / ranked-answer cache.
 	reg.CounterFunc("skygraph_cache_hits_total", "Table and ranked cache hits.",

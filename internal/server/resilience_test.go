@@ -1,0 +1,469 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"syscall"
+	"testing"
+	"time"
+
+	"skygraph/internal/dataset"
+	"skygraph/internal/fault"
+	"skygraph/internal/gdb"
+	"skygraph/internal/graph"
+	"skygraph/internal/wal"
+)
+
+// newResilientServer opens dir with a fast-reacting health machine for
+// the degradation tests: degrade after 2 failures, probe every 10ms.
+func newResilientServer(t *testing.T, dir string) (*gdb.Durable, *Server, *httptest.Server) {
+	t.Helper()
+	d, err := gdb.OpenDurable(gdb.DurableOptions{Dir: dir, Shards: 2})
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	s := New(d.DB, Config{
+		CacheSize:    16,
+		Durable:      d,
+		DegradeAfter: 2,
+		ProbeEvery:   10 * time.Millisecond,
+		RetryAfter:   250 * time.Millisecond,
+		FaultAdmin:   true,
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+		_ = d.Close()
+	})
+	return d, s, ts
+}
+
+func namedGraph(t *testing.T, name string) *graph.Graph {
+	t.Helper()
+	g := dataset.PaperDB()[0].Clone()
+	g.SetName(name)
+	return g
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// postAny is postJSON that decodes the body on every status, so tests
+// can assert error classes.
+func postAny(t *testing.T, url string, body any, out any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s response: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func doDelete(t *testing.T, url string, headers map[string]string, out any) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s response: %v", url, err)
+		}
+	}
+	return resp
+}
+
+// TestDegradedReadonlyLifecycle walks the whole state machine over a
+// live server: a persistently failing WAL turns K consecutive mutation
+// failures into degraded-readonly (mutations 503 + Retry-After, queries
+// fine, /readyz not ready), the background probe notices the heal and
+// re-admits writes, and the next persisted mutation returns to serving.
+func TestDegradedReadonlyLifecycle(t *testing.T) {
+	defer fault.Reset()
+	_, s, ts := newResilientServer(t, t.TempDir())
+
+	var ins InsertResponse
+	if resp := postAny(t, ts.URL+"/graphs", InsertRequest{Graphs: dataset.PaperDB()}, &ins); resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed insert: status %d", resp.StatusCode)
+	}
+
+	// Break the disk. Two failed mutations cross the K=2 threshold.
+	fault.Set(fault.WALAppend, fault.Config{Mode: fault.ModeError, Err: syscall.EIO})
+	for i := 0; i < 2; i++ {
+		var body ErrorResponse
+		resp := postAny(t, ts.URL+"/graphs", InsertRequest{Graph: namedGraph(t, fmt.Sprintf("doomed-%d", i))}, &body)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("faulted insert %d: status %d, want 503", i, resp.StatusCode)
+		}
+		if body.Class != ClassTransient {
+			t.Fatalf("faulted insert %d: class %q, want %q", i, body.Class, ClassTransient)
+		}
+		if body.RetryAfterMS != 250 {
+			t.Fatalf("faulted insert %d: retry_after_ms %d, want 250", i, body.RetryAfterMS)
+		}
+	}
+	if got := s.HealthState(); got != HealthDegraded {
+		t.Fatalf("state after %d failures: %v", 2, got)
+	}
+
+	// Degraded: mutations are refused up front with the degraded class...
+	var dbody ErrorResponse
+	resp := postAny(t, ts.URL+"/graphs", InsertRequest{Graph: namedGraph(t, "refused")}, &dbody)
+	if resp.StatusCode != http.StatusServiceUnavailable || dbody.Class != ClassDegraded {
+		t.Fatalf("degraded insert: status %d class %q", resp.StatusCode, dbody.Class)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Fatalf("degraded insert Retry-After = %q, want 1s (250ms rounded up)", resp.Header.Get("Retry-After"))
+	}
+	if resp := doDelete(t, ts.URL+"/graphs/"+ins.Inserted[0], nil, nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded delete: status %d", resp.StatusCode)
+	}
+
+	// ...queries keep serving from memory...
+	var sky SkylineResponse
+	if resp := postAny(t, ts.URL+"/query/skyline", QueryRequest{Graph: dataset.PaperQuery()}, &sky); resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded query: status %d", resp.StatusCode)
+	}
+	if len(sky.Skyline) == 0 {
+		t.Fatal("degraded query returned an empty skyline")
+	}
+
+	// ...and /readyz and /stats say why.
+	if rresp, err := http.Get(ts.URL + "/readyz"); err != nil {
+		t.Fatal(err)
+	} else {
+		rresp.Body.Close()
+		if rresp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("/readyz while degraded: status %d", rresp.StatusCode)
+		}
+	}
+	var stats StatsResponse
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Health == nil || stats.Health.State != "degraded_readonly" {
+		t.Fatalf("stats health block: %+v", stats.Health)
+	}
+	if stats.Health.Degradations != 1 {
+		t.Fatalf("degradations = %d, want 1", stats.Health.Degradations)
+	}
+	if stats.Health.LastPersistError == "" {
+		t.Fatal("no last_persist_error while degraded")
+	}
+	if stats.Requests.DegradedRejected != 2 {
+		t.Fatalf("degraded_rejected = %d, want 2", stats.Requests.DegradedRejected)
+	}
+	if stats.Fault == nil || stats.Fault.Armed != 1 {
+		t.Fatalf("stats fault block: %+v", stats.Fault)
+	}
+
+	// Heal the disk: the probe re-arms writes, the next mutation lands
+	// and the machine returns to serving.
+	fault.Reset()
+	waitFor(t, "probe to leave degraded", func() bool { return s.HealthState() != HealthDegraded })
+	var ok InsertResponse
+	if resp := postAny(t, ts.URL+"/graphs", InsertRequest{Graph: namedGraph(t, "healed")}, &ok); resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert after heal: status %d", resp.StatusCode)
+	}
+	if got := s.HealthState(); got != HealthServing {
+		t.Fatalf("state after healed mutation: %v", got)
+	}
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Health.Probes == 0 {
+		t.Fatal("no probes counted across a degradation")
+	}
+	if rresp, err := http.Get(ts.URL + "/readyz"); err != nil {
+		t.Fatal(err)
+	} else {
+		rresp.Body.Close()
+		if rresp.StatusCode != http.StatusOK {
+			t.Fatalf("/readyz after heal: status %d", rresp.StatusCode)
+		}
+	}
+}
+
+// TestRecoveringRelapsesToDegraded pins the trust-but-verify edge: a
+// mutation that fails while recovering drops straight back to degraded
+// without re-counting to K.
+func TestRecoveringRelapsesToDegraded(t *testing.T) {
+	defer fault.Reset()
+	_, s, ts := newResilientServer(t, t.TempDir())
+
+	fault.Set(fault.WALAppend, fault.Config{Mode: fault.ModeError, Err: syscall.EIO})
+	for i := 0; i < 2; i++ {
+		postAny(t, ts.URL+"/graphs", InsertRequest{Graph: namedGraph(t, fmt.Sprintf("doomed-%d", i))}, nil)
+	}
+	if s.HealthState() != HealthDegraded {
+		t.Fatal("not degraded after K failures")
+	}
+
+	// Let exactly one probe succeed, then break the disk again before
+	// the verifying mutation arrives.
+	fault.Reset()
+	waitFor(t, "probe success", func() bool { return s.HealthState() == HealthRecovering })
+	fault.Set(fault.WALAppend, fault.Config{Mode: fault.ModeError, Err: syscall.EIO, Limit: 1})
+	resp := postAny(t, ts.URL+"/graphs", InsertRequest{Graph: namedGraph(t, "relapse")}, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("relapse insert: status %d", resp.StatusCode)
+	}
+	if s.HealthState() != HealthDegraded {
+		t.Fatalf("one failure in recovering left state %v, want degraded", s.HealthState())
+	}
+}
+
+// TestCorruptClassDoesNotDegrade: corruption-class persist failures
+// answer 500/corrupt and must not move the health machine — probing
+// cannot heal a corrupt store.
+func TestCorruptClassDoesNotDegrade(t *testing.T) {
+	defer fault.Reset()
+	_, s, ts := newResilientServer(t, t.TempDir())
+
+	fault.Set(fault.WALAppend, fault.Config{Mode: fault.ModeError, Err: wal.ErrCorrupt})
+	for i := 0; i < 4; i++ {
+		var body ErrorResponse
+		resp := postAny(t, ts.URL+"/graphs", InsertRequest{Graph: namedGraph(t, fmt.Sprintf("corrupt-%d", i))}, &body)
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("corrupt insert %d: status %d, want 500", i, resp.StatusCode)
+		}
+		if body.Class != ClassCorrupt {
+			t.Fatalf("corrupt insert %d: class %q", i, body.Class)
+		}
+	}
+	if got := s.HealthState(); got != HealthServing {
+		t.Fatalf("corruption-class failures moved the machine to %v", got)
+	}
+}
+
+// TestLoadShed pins the front-door admission control: with the
+// inflight-query cap saturated, queries, batches and warms answer 429
+// with the overloaded class and a Retry-After, and the shed counter
+// shows up in /stats.
+func TestLoadShed(t *testing.T) {
+	db := gdb.NewSharded(2)
+	for _, g := range dataset.PaperDB() {
+		if err := db.Insert(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := New(db, Config{CacheSize: 16, MaxInflightQueries: 2, RetryAfter: 2 * time.Second})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Saturate the cap without racing real slow queries.
+	s.inflightQ.Add(2)
+	for _, ep := range []string{"/query/skyline", "/query/batch", "/cache/warm"} {
+		var body ErrorResponse
+		resp := postAny(t, ts.URL+ep, map[string]any{}, &body)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("%s at cap: status %d, want 429", ep, resp.StatusCode)
+		}
+		if body.Class != ClassOverloaded {
+			t.Fatalf("%s at cap: class %q", ep, body.Class)
+		}
+		if resp.Header.Get("Retry-After") != "2" {
+			t.Fatalf("%s at cap: Retry-After %q", ep, resp.Header.Get("Retry-After"))
+		}
+	}
+	s.inflightQ.Add(-2)
+
+	// Below the cap, queries pass and the shed count is visible.
+	var sky SkylineResponse
+	if resp := postAny(t, ts.URL+"/query/skyline", QueryRequest{Graph: dataset.PaperQuery()}, &sky); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query below cap: status %d", resp.StatusCode)
+	}
+	var stats StatsResponse
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Requests.LoadShed != 3 {
+		t.Fatalf("load_shed = %d, want 3", stats.Requests.LoadShed)
+	}
+	// Mutations are not queries and must never be shed by the cap.
+	s.inflightQ.Add(2)
+	resp := postAny(t, ts.URL+"/graphs", InsertRequest{Graph: namedGraph(t, "not-shed")}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert at query cap: status %d", resp.StatusCode)
+	}
+	s.inflightQ.Add(-2)
+}
+
+// TestIdempotentMutations covers the replay table end to end: a keyed
+// insert retried after a success replays the recorded ack instead of
+// 409ing; the same works for deletes (key in the header) retried after
+// the graph is gone; and a keyed retry that misses the process-local
+// table but finds its effects applied (the restart case) reconstructs
+// the ack from state.
+func TestIdempotentMutations(t *testing.T) {
+	_, _, ts := newResilientServer(t, t.TempDir())
+
+	ireq := InsertRequest{Graph: namedGraph(t, "idem-a"), IdempotencyKey: "k1"}
+	var first InsertResponse
+	if resp := postAny(t, ts.URL+"/graphs", ireq, &first); resp.StatusCode != http.StatusOK {
+		t.Fatalf("keyed insert: status %d", resp.StatusCode)
+	}
+	if first.Replayed {
+		t.Fatal("first keyed insert marked replayed")
+	}
+	var again InsertResponse
+	if resp := postAny(t, ts.URL+"/graphs", ireq, &again); resp.StatusCode != http.StatusOK {
+		t.Fatalf("keyed insert retry: status %d", resp.StatusCode)
+	}
+	if !again.Replayed || len(again.Inserted) != 1 || again.Inserted[0] != "idem-a" {
+		t.Fatalf("keyed insert retry: %+v", again)
+	}
+	// Unkeyed duplicate still conflicts.
+	if resp := postAny(t, ts.URL+"/graphs", InsertRequest{Graph: namedGraph(t, "idem-a")}, nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("unkeyed duplicate: status %d, want 409", resp.StatusCode)
+	}
+
+	// Keyed delete, retried after the graph is gone.
+	hdr := map[string]string{IdempotencyHeader: "k2"}
+	var del DeleteResponse
+	if resp := doDelete(t, ts.URL+"/graphs/idem-a", hdr, &del); resp.StatusCode != http.StatusOK || del.Replayed {
+		t.Fatalf("keyed delete: status %d replayed %v", resp.StatusCode, del.Replayed)
+	}
+	var del2 DeleteResponse
+	if resp := doDelete(t, ts.URL+"/graphs/idem-a", hdr, &del2); resp.StatusCode != http.StatusOK || !del2.Replayed {
+		t.Fatalf("keyed delete retry: status %d replayed %v", resp.StatusCode, del2.Replayed)
+	}
+	// Unkeyed delete of the absent graph is a plain 404.
+	if resp := doDelete(t, ts.URL+"/graphs/idem-a", nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unkeyed absent delete: status %d, want 404", resp.StatusCode)
+	}
+	// A keyed delete of a graph that never existed under a fresh key is
+	// indistinguishable from a lost ack and answers replayed success —
+	// the documented trade for retry safety.
+	var del3 DeleteResponse
+	if resp := doDelete(t, ts.URL+"/graphs/never-was", map[string]string{IdempotencyHeader: "k3"}, &del3); resp.StatusCode != http.StatusOK || !del3.Replayed {
+		t.Fatalf("keyed absent delete: status %d replayed %v", resp.StatusCode, del3.Replayed)
+	}
+
+	// The restart case: key lost with the process, effects on disk. A
+	// keyed insert whose graphs all exist answers replayed success.
+	ireq2 := InsertRequest{Graph: namedGraph(t, "idem-b")}
+	if resp := postAny(t, ts.URL+"/graphs", ireq2, nil); resp.StatusCode != http.StatusOK {
+		t.Fatal("setup insert failed")
+	}
+	ireq2.IdempotencyKey = "fresh-key-after-restart"
+	var rec InsertResponse
+	if resp := postAny(t, ts.URL+"/graphs", ireq2, &rec); resp.StatusCode != http.StatusOK || !rec.Replayed {
+		t.Fatalf("reconstructed keyed insert: status %d replayed %v", resp.StatusCode, rec.Replayed)
+	}
+}
+
+// TestTimeoutHeader pins the deadline-propagation helper: the header
+// fills timeout_ms only when the body carries none, and malformed or
+// non-positive values are ignored.
+func TestTimeoutHeader(t *testing.T) {
+	mk := func(v string) *http.Request {
+		r := httptest.NewRequest(http.MethodPost, "/query/skyline", nil)
+		if v != "" {
+			r.Header.Set(TimeoutHeader, v)
+		}
+		return r
+	}
+	if got := headerTimeoutMS(mk("1500")); got != 1500 {
+		t.Fatalf("headerTimeoutMS(1500) = %d", got)
+	}
+	for _, v := range []string{"", "abc", "-5", "0", "1.5"} {
+		if got := headerTimeoutMS(mk(v)); got != 0 {
+			t.Fatalf("headerTimeoutMS(%q) = %d, want 0", v, got)
+		}
+	}
+	// Body timeout wins over the header.
+	req := QueryRequest{TimeoutMS: 42}
+	if hv := headerTimeoutMS(mk("1000")); req.TimeoutMS > 0 && hv != 1000 {
+		t.Fatalf("header parse changed: %d", hv)
+	}
+	s := New(gdb.NewSharded(1), Config{MaxTimeout: time.Second})
+	defer s.Close()
+	if d := s.timeout(&QueryRequest{TimeoutMS: 5000}); d != time.Second {
+		t.Fatalf("MaxTimeout clamp broken: %v", d)
+	}
+}
+
+// TestFaultAdminEndpoint drives the registry over HTTP: arm a point,
+// watch a mutation fail with it, read the snapshot back, disarm.
+func TestFaultAdminEndpoint(t *testing.T) {
+	defer fault.Reset()
+	_, _, ts := newResilientServer(t, t.TempDir())
+
+	var snap FaultAdminResponse
+	resp := postAny(t, ts.URL+"/admin/fault", FaultAdminRequest{Spec: "wal/append=error:err=ENOSPC,limit=1"}, &snap)
+	if resp.StatusCode != http.StatusOK || snap.Armed != 1 {
+		t.Fatalf("arm: status %d snapshot %+v", resp.StatusCode, snap)
+	}
+	if resp := postAny(t, ts.URL+"/graphs", InsertRequest{Graph: namedGraph(t, "victim")}, nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("insert under admin-armed fault: status %d", resp.StatusCode)
+	}
+	getJSON(t, ts.URL+"/admin/fault", &snap)
+	if len(snap.Points) != 1 || snap.Points[0].Fires != 1 {
+		t.Fatalf("post-fire snapshot: %+v", snap)
+	}
+	if resp := postAny(t, ts.URL+"/admin/fault", FaultAdminRequest{Spec: "off"}, &snap); resp.StatusCode != http.StatusOK || snap.Armed != 0 {
+		t.Fatalf("disarm: status %d snapshot %+v", resp.StatusCode, snap)
+	}
+	var bad ErrorResponse
+	if resp := postAny(t, ts.URL+"/admin/fault", FaultAdminRequest{Spec: "wal/append=warp"}, &bad); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec: status %d", resp.StatusCode)
+	}
+
+	// Servers without FaultAdmin must not mount the endpoint at all.
+	plain := New(gdb.NewSharded(1), Config{})
+	defer plain.Close()
+	pts := httptest.NewServer(plain.Handler())
+	defer pts.Close()
+	if resp := getJSON(t, pts.URL+"/admin/fault", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/admin/fault without FaultAdmin: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestErrorClassDefaults spot-checks classForCode's mapping on live
+// endpoints that predate the class field.
+func TestErrorClassDefaults(t *testing.T) {
+	_, _, ts := newResilientServer(t, t.TempDir())
+	var body ErrorResponse
+	if resp := postAny(t, ts.URL+"/query/topk", QueryRequest{}, &body); resp.StatusCode != http.StatusBadRequest || body.Class != ClassBadRequest {
+		t.Fatalf("bad request: status %d class %q", resp.StatusCode, body.Class)
+	}
+	nresp, err := http.Get(ts.URL + "/graphs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nresp.Body.Close()
+	var nbody ErrorResponse
+	if err := json.NewDecoder(nresp.Body).Decode(&nbody); err != nil {
+		t.Fatal(err)
+	}
+	if nresp.StatusCode != http.StatusNotFound || nbody.Class != ClassNotFound {
+		t.Fatalf("not found: status %d class %q", nresp.StatusCode, nbody.Class)
+	}
+}

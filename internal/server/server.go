@@ -9,16 +9,20 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"skygraph/internal/fault"
 	"skygraph/internal/gdb"
 	"skygraph/internal/graph"
+	"skygraph/internal/lru"
 	"skygraph/internal/measure"
 	"skygraph/internal/obs"
 	"skygraph/internal/skyline"
 	"skygraph/internal/topk"
+	"skygraph/internal/wal"
 )
 
 // Config tunes a Server.
@@ -62,18 +66,43 @@ type Config struct {
 	// layer's counters in /stats and /metrics and fails mutations whose
 	// WAL append fails.
 	Durable *gdb.Durable
+	// DegradeAfter is K: after K consecutive transient persist failures
+	// the daemon enters degraded-readonly — queries keep serving from
+	// memory, mutations answer 503 + Retry-After while a background
+	// probe exercises the WAL until it heals (0 = 3). Only meaningful
+	// with Durable.
+	DegradeAfter int
+	// ProbeEvery is the write-probe interval while degraded (0 = 500ms).
+	ProbeEvery time.Duration
+	// RetryAfter is the delay hinted to clients on 429/503 answers via
+	// the Retry-After header and retry_after_ms body field (0 = 1s).
+	RetryAfter time.Duration
+	// MaxInflightQueries caps concurrently executing query, batch and
+	// warm requests; excess requests are shed with 429 + Retry-After
+	// before any decoding or evaluation (0 = unlimited). This is
+	// admission control at the front door — MaxInflight above still
+	// bounds the expensive table builds behind it.
+	MaxInflightQueries int
+	// FaultAdmin mounts GET/POST /admin/fault for configuring the
+	// failpoint registry over HTTP. Test and chaos tooling only — never
+	// enable it on a daemon you care about.
+	FaultAdmin bool
+	// IdempotencyCapacity is the number of recently acknowledged
+	// mutation keys remembered for replay (0 = 4096; < 0 disables).
+	IdempotencyCapacity int
 }
 
 // Server serves similarity queries over a sharded graph database with a
 // per-shard vector-table cache in front of pair evaluation. Create with
 // New, mount via Handler.
 type Server struct {
-	db    *gdb.Sharded
-	cache *Cache
-	cfg   Config
-	start time.Time
-	sem   chan struct{}
-	met   *metrics
+	db     *gdb.Sharded
+	cache  *Cache
+	cfg    Config
+	start  time.Time
+	sem    chan struct{}
+	met    *metrics
+	health *health
 
 	slowMu sync.Mutex
 	slowW  io.Writer
@@ -81,19 +110,25 @@ type Server struct {
 	flightMu sync.Mutex
 	flight   map[string]*flightCall
 
-	queries     atomic.Uint64
-	batches     atomic.Uint64
-	inserts     atomic.Uint64
-	deletes     atomic.Uint64
-	errors      atomic.Uint64
-	pairEvals   atomic.Uint64
-	pairsPruned atomic.Uint64
-	pivotPruned atomic.Uint64
-	pivotDists  atomic.Uint64
-	memoHits    atomic.Uint64
-	memoMisses  atomic.Uint64
-	timeouts    atomic.Uint64
-	rejected    atomic.Uint64
+	idemMu sync.Mutex
+	idem   *lru.Cache[idemRecord]
+
+	inflightQ       atomic.Int64
+	queries         atomic.Uint64
+	batches         atomic.Uint64
+	inserts         atomic.Uint64
+	deletes         atomic.Uint64
+	errors          atomic.Uint64
+	pairEvals       atomic.Uint64
+	pairsPruned     atomic.Uint64
+	pivotPruned     atomic.Uint64
+	pivotDists      atomic.Uint64
+	memoHits        atomic.Uint64
+	memoMisses      atomic.Uint64
+	timeouts        atomic.Uint64
+	rejected        atomic.Uint64
+	shed            atomic.Uint64
+	degradedRejects atomic.Uint64
 }
 
 // New returns a Server over db. MaxInflight below the shard count is
@@ -117,9 +152,24 @@ func New(db *gdb.Sharded, cfg Config) *Server {
 	if cfg.MaxInflight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInflight)
 	}
+	idemCap := cfg.IdempotencyCapacity
+	if idemCap == 0 {
+		idemCap = 4096
+	}
+	s.idem = lru.New[idemRecord](idemCap)
+	s.health = newHealth(cfg.Durable, cfg.DegradeAfter, cfg.ProbeEvery)
 	s.met = newMetrics(s)
 	return s
 }
+
+// Close stops the server's background work (the health probe loop).
+// The Server must not serve requests after Close; safe to call on a
+// server without persistence, and idempotent.
+func (s *Server) Close() { s.health.Close() }
+
+// HealthState reports the write-path health (always serving for an
+// in-memory daemon).
+func (s *Server) HealthState() HealthState { return s.health.State() }
 
 // Metrics exposes the server's metric registry (mounted at GET /metrics
 // by Handler; for tests and for embedding extra collectors).
@@ -170,15 +220,31 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /readyz", s.handleReady)
+	if s.cfg.FaultAdmin {
+		mux.HandleFunc("GET /admin/fault", s.handleFaultGet)
+		mux.HandleFunc("POST /admin/fault", s.handleFaultSet)
+	}
 	return mux
 }
 
 // handleReady answers GET /readyz: 200 once every shard's pivot-index
 // backlog has drained, 503 while columns are still being computed (the
-// bounds still work, but queries prune less until the index is warm).
+// bounds still work, but queries prune less until the index is warm)
+// and 503 while the write path is degraded-readonly — load balancers
+// that route mutations should drain a degraded daemon, which still
+// answers queries for clients that talk to it directly. The health
+// state rides along in every answer.
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	state := s.health.State()
+	if state == HealthDegraded {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "degraded",
+			"health": state.String(),
+		})
+		return
+	}
 	if s.Ready() {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready", "health": state.String()})
 		return
 	}
 	pending := 0
@@ -190,6 +256,7 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 		"status":                "not_ready",
+		"health":                state.String(),
 		"pivot_columns_pending": pending,
 	})
 }
@@ -200,9 +267,52 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// classForCode maps a status code to the default error class; paths
+// that know better (degraded, transient, corrupt) pass their class to
+// writeErrorClass directly.
+func classForCode(code int) string {
+	switch code {
+	case http.StatusBadRequest:
+		return ClassBadRequest
+	case http.StatusNotFound:
+		return ClassNotFound
+	case http.StatusConflict:
+		return ClassConflict
+	case http.StatusTooManyRequests:
+		return ClassOverloaded
+	case http.StatusServiceUnavailable:
+		return ClassUnavailable
+	case http.StatusGatewayTimeout:
+		return ClassTimeout
+	default:
+		return ClassInternal
+	}
+}
+
+// retryAfter is the delay hinted to clients on shed/degraded answers.
+func (s *Server) retryAfter() time.Duration {
+	if s.cfg.RetryAfter > 0 {
+		return s.cfg.RetryAfter
+	}
+	return time.Second
+}
+
 func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	s.writeErrorClass(w, code, classForCode(code), 0, format, args...)
+}
+
+// writeErrorClass writes an ErrorResponse with an explicit class and,
+// when retryAfter > 0, the Retry-After header (whole seconds, rounded
+// up per RFC 9110) plus its exact form in the body.
+func (s *Server) writeErrorClass(w http.ResponseWriter, code int, class string, retryAfter time.Duration, format string, args ...any) {
 	s.errors.Add(1)
-	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+	resp := ErrorResponse{Error: fmt.Sprintf(format, args...), Class: class}
+	if retryAfter > 0 {
+		secs := (retryAfter + time.Second - 1) / time.Second
+		w.Header().Set("Retry-After", strconv.FormatInt(int64(secs), 10))
+		resp.RetryAfterMS = retryAfter.Milliseconds()
+	}
+	writeJSON(w, code, resp)
 }
 
 const maxBodyBytes = 64 << 20
@@ -339,6 +449,46 @@ func (s *Server) timeout(req *QueryRequest) time.Duration {
 		d = s.cfg.MaxTimeout
 	}
 	return d
+}
+
+// headerTimeoutMS reads the client's propagated deadline from the
+// X-Skygraph-Timeout-Ms header (0 when absent or malformed). It fills
+// the body's timeout_ms only when the body carries none — an explicit
+// body timeout is the more specific intent.
+func headerTimeoutMS(r *http.Request) int {
+	v := r.Header.Get(TimeoutHeader)
+	if v == "" {
+		return 0
+	}
+	ms, err := strconv.Atoi(v)
+	if err != nil || ms <= 0 {
+		return 0
+	}
+	return ms
+}
+
+// admitQuery is the front-door load shed: when MaxInflightQueries is
+// set and that many query/batch/warm requests are already executing,
+// the request is refused with 429 + Retry-After before any decoding.
+// Returns false when shed; on true the caller must releaseQuery.
+func (s *Server) admitQuery(w http.ResponseWriter) bool {
+	if s.cfg.MaxInflightQueries <= 0 {
+		return true
+	}
+	if s.inflightQ.Add(1) > int64(s.cfg.MaxInflightQueries) {
+		s.inflightQ.Add(-1)
+		s.shed.Add(1)
+		s.writeErrorClass(w, http.StatusTooManyRequests, ClassOverloaded, s.retryAfter(),
+			"server is shedding load: %d queries already in flight", s.cfg.MaxInflightQueries)
+		return false
+	}
+	return true
+}
+
+func (s *Server) releaseQuery() {
+	if s.cfg.MaxInflightQueries > 0 {
+		s.inflightQ.Add(-1)
+	}
 }
 
 // flightCall is one in-progress computation — a shard table, or a
@@ -610,20 +760,21 @@ func (s *Server) lead(ctx context.Context, res resolved, shard int, qh, key, ful
 
 var errTooBusy = errors.New("server is at its concurrent query limit")
 
-// classifyQueryErr maps a table-evaluation error to an HTTP status and
-// message, bumping the matching counters. Shared by the single-query
-// endpoints and the per-item error reporting of /query/batch.
-func (s *Server) classifyQueryErr(err error) (int, string) {
+// classifyQueryErr maps a table-evaluation error to an HTTP status,
+// error class and message, bumping the matching counters. Shared by the
+// single-query endpoints and the per-item error reporting of
+// /query/batch.
+func (s *Server) classifyQueryErr(err error) (int, string, string) {
 	switch {
 	case errors.Is(err, errTooBusy):
-		return http.StatusServiceUnavailable, err.Error()
+		return http.StatusServiceUnavailable, ClassUnavailable, err.Error()
 	case errors.Is(err, context.DeadlineExceeded):
 		s.timeouts.Add(1)
-		return http.StatusGatewayTimeout, "query timed out"
+		return http.StatusGatewayTimeout, ClassTimeout, "query timed out"
 	case errors.Is(err, context.Canceled):
-		return http.StatusBadRequest, "query canceled"
+		return http.StatusBadRequest, ClassCanceled, "query canceled"
 	default:
-		return http.StatusInternalServerError, err.Error()
+		return http.StatusInternalServerError, ClassInternal, err.Error()
 	}
 }
 
@@ -832,12 +983,19 @@ func derefRadius(r *float64) float64 {
 // plumbing of the three query endpoints.
 func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, kind string,
 	validate func(*QueryRequest) error) {
+	if !s.admitQuery(w) {
+		return
+	}
+	defer s.releaseQuery()
 	s.queries.Add(1)
 	start := time.Now()
 	var req QueryRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
+	}
+	if req.TimeoutMS <= 0 {
+		req.TimeoutMS = headerTimeoutMS(r)
 	}
 	if validate != nil {
 		if err := validate(&req); err != nil {
@@ -862,8 +1020,12 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, kind string,
 	}
 	ans, err := s.execQuery(ctx, kind, &req, res, start)
 	if err != nil {
-		code, msg := s.classifyQueryErr(err)
-		s.writeError(w, code, "%s", msg)
+		code, class, msg := s.classifyQueryErr(err)
+		var retry time.Duration
+		if code == http.StatusServiceUnavailable {
+			retry = s.retryAfter()
+		}
+		s.writeErrorClass(w, code, class, retry, "%s", msg)
 		return
 	}
 	s.finishQuery(kind, &req, res, ans, start)
@@ -907,6 +1069,77 @@ func (s *Server) pruneShards(touched map[int]bool) {
 	}
 }
 
+// idemRecord remembers one acknowledged keyed mutation for replay;
+// exactly one field is set.
+type idemRecord struct {
+	insert *InsertResponse
+	del    *DeleteResponse
+}
+
+// idemLookup fetches the recorded ack of a keyed mutation. Keys are
+// namespaced by verb so an insert key can never replay a delete.
+func (s *Server) idemLookup(verb, key string) (idemRecord, bool) {
+	if key == "" {
+		return idemRecord{}, false
+	}
+	s.idemMu.Lock()
+	defer s.idemMu.Unlock()
+	return s.idem.Get(verb + ":" + key)
+}
+
+func (s *Server) idemRemember(verb, key string, rec idemRecord) {
+	if key == "" {
+		return
+	}
+	s.idemMu.Lock()
+	defer s.idemMu.Unlock()
+	s.idem.Put(verb+":"+key, rec)
+}
+
+// rejectDegraded refuses a mutation up front while the write path is
+// degraded-readonly (it could only fail), with the class and
+// Retry-After hint the retrying client keys on. Reports whether the
+// request was rejected.
+func (s *Server) rejectDegraded(w http.ResponseWriter) bool {
+	if !s.health.ReadOnly() {
+		return false
+	}
+	s.degradedRejects.Add(1)
+	s.writeErrorClass(w, http.StatusServiceUnavailable, ClassDegraded, s.retryAfter(),
+		"store is degraded-readonly: mutation refused while the write path heals")
+	return true
+}
+
+// mutationError answers a failed mutation. Name collisions stay 409;
+// persist failures split into transient (503 + Retry-After — the kind
+// a broken-then-fixed disk produces; feeds the health state machine)
+// and corruption-class (500, terminal: probing cannot heal a corrupt
+// store, and retrying cannot help). extra fields — partial-insert
+// progress — are merged into the body.
+func (s *Server) mutationError(w http.ResponseWriter, err error, extra map[string]any) {
+	code, class := http.StatusConflict, ClassConflict
+	var retry time.Duration
+	if errors.Is(err, gdb.ErrNotPersisted) {
+		if errors.Is(err, wal.ErrCorrupt) {
+			code, class = http.StatusInternalServerError, ClassCorrupt
+		} else {
+			s.health.NoteTransientFailure(err)
+			code, class, retry = http.StatusServiceUnavailable, ClassTransient, s.retryAfter()
+		}
+	}
+	s.errors.Add(1)
+	body := map[string]any{"error": err.Error(), "class": class}
+	if retry > 0 {
+		secs := (retry + time.Second - 1) / time.Second
+		w.Header().Set("Retry-After", strconv.FormatInt(int64(secs), 10))
+		body["retry_after_ms"] = retry.Milliseconds()
+	}
+	for k, v := range extra {
+		body[k] = v
+	}
+	writeJSON(w, code, body)
+}
+
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	s.inserts.Add(1)
 	var req InsertRequest
@@ -939,49 +1172,103 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	key := r.Header.Get(IdempotencyHeader)
+	if key == "" {
+		key = req.IdempotencyKey
+	}
+	// Replay before anything else — even degraded, serving the recorded
+	// ack of an already-persisted mutation is a read.
+	if rec, ok := s.idemLookup("insert", key); ok && rec.insert != nil {
+		resp := *rec.insert
+		resp.Replayed = true
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	if s.rejectDegraded(w) {
+		return
+	}
+	// Keyed retry whose ack was lost after a restart (the replay table
+	// is process-local): every named graph already existing means the
+	// earlier attempt landed — answer success without re-inserting,
+	// which would 409.
+	if key != "" {
+		names := make([]string, len(gs))
+		all := true
+		for i, g := range gs {
+			names[i] = g.Name()
+			if _, ok := s.db.Get(g.Name()); !ok {
+				all = false
+				break
+			}
+		}
+		if all {
+			resp := InsertResponse{Inserted: names, Generation: s.db.Generation(), Replayed: true}
+			s.idemRemember("insert", key, idemRecord{insert: &resp})
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
 	inserted := make([]string, 0, len(gs))
 	touched := make(map[int]bool)
 	for _, g := range gs {
 		if err := s.db.Insert(g); err != nil {
-			// A write-ahead append failure is a server-side fault, not a
-			// request conflict; either way partial inserts stand (each
-			// bumped its shard's generation) and are reported.
-			code := http.StatusConflict
-			if errors.Is(err, gdb.ErrNotPersisted) {
-				code = http.StatusInternalServerError
-			}
-			writeJSON(w, code, map[string]any{
-				"error":      err.Error(),
+			// Partial inserts stand (each bumped its shard's generation)
+			// and are reported; the request is not recorded for replay —
+			// a retry should re-attempt the remainder.
+			s.pruneShards(touched)
+			s.mutationError(w, err, map[string]any{
 				"inserted":   inserted,
 				"generation": s.db.Generation(),
 			})
-			s.errors.Add(1)
-			s.pruneShards(touched)
 			return
 		}
+		s.health.NoteSuccess()
 		inserted = append(inserted, g.Name())
 		touched[s.db.ShardFor(g.Name())] = true
 	}
 	s.pruneShards(touched)
-	writeJSON(w, http.StatusOK, InsertResponse{Inserted: inserted, Generation: s.db.Generation()})
+	resp := InsertResponse{Inserted: inserted, Generation: s.db.Generation()}
+	s.idemRemember("insert", key, idemRecord{insert: &resp})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	s.deletes.Add(1)
 	name := r.PathValue("name")
+	key := r.Header.Get(IdempotencyHeader)
+	if rec, ok := s.idemLookup("delete", key); ok && rec.del != nil {
+		resp := *rec.del
+		resp.Replayed = true
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	if s.rejectDegraded(w) {
+		return
+	}
 	existed, err := s.db.DeleteErr(name)
 	if err != nil {
 		// The write-ahead append failed: the graph is still there and the
 		// mutation must not be acked.
-		s.writeError(w, http.StatusInternalServerError, "delete not persisted: %v", err)
+		s.mutationError(w, err, nil)
 		return
 	}
 	if !existed {
+		if key != "" {
+			// Keyed retry of a delete whose ack was lost: the graph being
+			// gone is the success condition.
+			resp := DeleteResponse{Deleted: name, Generation: s.db.Generation(), Replayed: true}
+			s.idemRemember("delete", key, idemRecord{del: &resp})
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
 		s.writeError(w, http.StatusNotFound, "no graph named %q", name)
 		return
 	}
+	s.health.NoteSuccess()
 	s.pruneShards(map[int]bool{s.db.ShardFor(name): true})
-	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: name, Generation: s.db.Generation()})
+	resp := DeleteResponse{Deleted: name, Generation: s.db.Generation()}
+	s.idemRemember("delete", key, idemRecord{del: &resp})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -1037,6 +1324,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			RecoverySeconds:         ds.Recovery.Duration.Seconds(),
 		}
 	}
+	var faultBlock *FaultInfo
+	if pts := fault.Snapshot(); len(pts) > 0 {
+		faultBlock = &FaultInfo{Armed: fault.Armed(), Fires: fault.TotalFires(), Points: pts}
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Generation:    s.db.Generation(),
@@ -1053,6 +1344,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cache:      s.cache.Stats(),
 		Memo:       memo,
 		Durability: durability,
+		Health:     s.health.Info(),
+		Fault:      faultBlock,
 		Requests: ReqStats{
 			Queries:          s.queries.Load(),
 			Batches:          s.batches.Load(),
@@ -1067,6 +1360,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			MemoMisses:       s.memoMisses.Load(),
 			QueryTimeouts:    s.timeouts.Load(),
 			InflightRejected: s.rejected.Load(),
+			LoadShed:         s.shed.Load(),
+			DegradedRejected: s.degradedRejects.Load(),
 		},
 		Runtime: runtimeStats(),
 		Build:   buildInfo(),
@@ -1091,11 +1386,18 @@ func runtimeStats() RuntimeStats {
 // should trickle through the inflight budget rather than flood it; each
 // item still evaluates its shards in parallel like a normal cold query.
 func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
+	if !s.admitQuery(w) {
+		return
+	}
+	defer s.releaseQuery()
 	start := time.Now()
 	var req WarmRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
+	}
+	if req.TimeoutMS <= 0 {
+		req.TimeoutMS = headerTimeoutMS(r)
 	}
 	if len(req.Queries) == 0 {
 		s.writeError(w, http.StatusBadRequest, "empty warm request")
@@ -1133,7 +1435,7 @@ func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
 		}
 		ts, err := s.tables(ctx, res)
 		if err != nil {
-			_, msg := s.classifyQueryErr(err)
+			_, _, msg := s.classifyQueryErr(err)
 			results[i] = WarmResult{Error: msg}
 			continue
 		}

@@ -1,0 +1,230 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+
+	"skygraph/internal/fault"
+)
+
+// reopenAndReplay closes l, reopens the directory and returns every
+// surviving record — the "what would a restart recover" oracle.
+func reopenAndReplay(t *testing.T, l *Log, dir string) []Record {
+	t.Helper()
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	return replayAll(t, l2, 0)
+}
+
+// TestAppendFaultModes drives every injectable failure shape through
+// Append and asserts the same invariant each time: the failed append
+// leaves no trace, later appends succeed on the SAME log handle, and a
+// restart recovers exactly the acknowledged records.
+func TestAppendFaultModes(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   fault.Config
+		point string
+	}{
+		{"append-eio", fault.Config{Mode: fault.ModeError, Err: syscall.EIO, Limit: 1}, fault.WALAppend},
+		{"append-enospc", fault.Config{Mode: fault.ModeError, Err: syscall.ENOSPC, Limit: 1}, fault.WALAppend},
+		{"append-short", fault.Config{Mode: fault.ModeShortWrite, ShortBytes: 5, Limit: 1}, fault.WALAppend},
+		{"append-short-zero", fault.Config{Mode: fault.ModeShortWrite, ShortBytes: 0, Limit: 1}, fault.WALAppend},
+		{"fsync-eio", fault.Config{Mode: fault.ModeError, Err: syscall.EIO, Limit: 1}, fault.WALFsync},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer fault.Reset()
+			dir := t.TempDir()
+			l, err := Open(dir, Options{Sync: SyncAlways})
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs := testRecords(6)
+			acked := recs[:3]
+			appendAll(t, l, acked)
+
+			fault.Set(tc.point, tc.cfg)
+			if _, err := l.Append(recs[3]); err == nil {
+				t.Fatal("append under fault succeeded")
+			} else if tc.cfg.Err != nil && !errors.Is(err, tc.cfg.Err) {
+				t.Fatalf("append error %v does not wrap injected %v", err, tc.cfg.Err)
+			}
+
+			// Limit=1: the glitch has cleared; the same handle must keep
+			// working (online repair truncated the partial frame).
+			if _, err := l.Append(recs[4]); err != nil {
+				t.Fatalf("append after fault cleared: %v", err)
+			}
+			want := append(append([]Record(nil), acked...), recs[4])
+			got := reopenAndReplay(t, l, dir)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("recovered %d records, want %d:\n got %+v\nwant %+v", len(got), len(want), got, want)
+			}
+		})
+	}
+}
+
+// TestAppendFaultPersistentThenHeals holds the fault for several
+// appends (every one must fail cleanly) before clearing it — the
+// "disk stays broken for a while" shape the daemon's degraded mode
+// rides out.
+func TestAppendFaultPersistentThenHeals(t *testing.T) {
+	defer fault.Reset()
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords(10)
+	appendAll(t, l, recs[:2])
+	fault.Set(fault.WALAppend, fault.Config{Mode: fault.ModeShortWrite, ShortBytes: 3})
+	for i := 2; i < 7; i++ {
+		if _, err := l.Append(recs[i]); err == nil {
+			t.Fatalf("append %d under persistent fault succeeded", i)
+		}
+	}
+	fault.Reset()
+	lsn, err := l.Append(recs[7])
+	if err != nil {
+		t.Fatalf("append after heal: %v", err)
+	}
+	if lsn != 3 {
+		t.Fatalf("healed append got LSN %d, want 3 (failed appends must not burn LSNs)", lsn)
+	}
+	want := []Record{recs[0], recs[1], recs[7]}
+	if got := reopenAndReplay(t, l, dir); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered %+v, want %+v", got, want)
+	}
+}
+
+// TestRotateFault pins that a rotation failure fails the triggering
+// append without touching the sealed-or-active state, and that the log
+// rotates fine once the fault clears.
+func TestRotateFault(t *testing.T) {
+	defer fault.Reset()
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncAlways, SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords(8)
+	// First append creates the segment; the tiny SegmentBytes forces a
+	// rotation attempt on the next one.
+	appendAll(t, l, recs[:1])
+	fault.Set(fault.WALRotate, fault.Config{Mode: fault.ModeError, Err: syscall.EIO, Limit: 1})
+	if _, err := l.Append(recs[1]); err == nil {
+		t.Fatal("append across faulted rotation succeeded")
+	}
+	if _, err := l.Append(recs[1]); err != nil {
+		t.Fatalf("append after rotate fault cleared: %v", err)
+	}
+	want := []Record{recs[0], recs[1]}
+	if got := reopenAndReplay(t, l, dir); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered %+v, want %+v", got, want)
+	}
+}
+
+// TestIntervalSyncFaultKeepsDirty pins the retry semantics of the
+// background flusher: a failed interval fsync must leave the dirty
+// flag set so the next tick retries instead of dropping the data.
+func TestIntervalSyncFaultKeepsDirty(t *testing.T) {
+	defer fault.Reset()
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendAll(t, l, testRecords(1))
+	fault.Set(fault.WALFsync, fault.Config{Mode: fault.ModeError, Err: syscall.EIO, Limit: 1})
+	if err := l.Sync(); err == nil {
+		t.Fatal("faulted Sync succeeded")
+	}
+	if !l.dirty.Load() {
+		t.Fatal("failed Sync cleared the dirty flag")
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("retry Sync: %v", err)
+	}
+	if l.dirty.Load() {
+		t.Fatal("successful Sync left the dirty flag set")
+	}
+}
+
+// TestSnapshotAndManifestFaults pins that faulted snapshot/manifest
+// writes fail without disturbing the durable root.
+func TestSnapshotAndManifestFaults(t *testing.T) {
+	defer fault.Reset()
+	dir := t.TempDir()
+	if err := WriteManifest(dir, Manifest{LSN: 7, MaxSeq: 9}); err != nil {
+		t.Fatal(err)
+	}
+	fault.Set(fault.ManifestReplace, fault.Config{Mode: fault.ModeError, Err: syscall.ENOSPC})
+	fault.Set(fault.SnapshotWrite, fault.Config{Mode: fault.ModeError, Err: syscall.ENOSPC})
+
+	if err := WriteManifest(dir, Manifest{LSN: 99}); err == nil {
+		t.Fatal("faulted WriteManifest succeeded")
+	}
+	if _, err := WriteSnapshot(dir, 42, func(sink func(Record) error) error { return nil }); err == nil {
+		t.Fatal("faulted WriteSnapshot succeeded")
+	}
+	m, err := LoadManifest(dir)
+	if err != nil || m == nil || m.LSN != 7 || m.MaxSeq != 9 {
+		t.Fatalf("manifest disturbed by faulted writes: %+v, %v", m, err)
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if e.Name() != manifestName {
+			t.Fatalf("faulted writes left %q behind", e.Name())
+		}
+	}
+}
+
+// TestCorruptClassErrors pins that damaged base state surfaces as
+// ErrCorrupt (the 500 class) rather than a transient error.
+func TestCorruptClassErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(manifestPath(dir), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("garbage manifest: err = %v, want ErrCorrupt", err)
+	}
+	snap := filepath.Join(dir, snapshotName(1))
+	if err := os.WriteFile(snap, []byte("\x10\x00\x00\x00garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadSnapshot(snap, func(Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("garbage snapshot: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestNoopRecordRoundTrips pins the probe record type: appendable,
+// replayable, opcode preserved.
+func TestNoopRecordRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Op: OpInsert, Seq: 1, Name: "g", Data: []byte("x")},
+		{Op: OpNoop},
+		{Op: OpDelete, Name: "g"},
+	}
+	appendAll(t, l, recs)
+	if got := reopenAndReplay(t, l, dir); !reflect.DeepEqual(got, recs) {
+		t.Fatalf("recovered %+v, want %+v", got, recs)
+	}
+}

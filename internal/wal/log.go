@@ -13,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"skygraph/internal/fault"
 )
 
 // Log is a segmented append-only record log in one directory. All
@@ -32,6 +34,12 @@ type Log struct {
 	nextLSN  uint64
 	appended bool // Replay may only run before the first Append
 	closed   bool
+	// pendingRepair is set when a failed append may have left a partial
+	// frame in the active segment. Until the truncate-back repair
+	// succeeds, later appends must not write past the garbage — a later
+	// valid frame after a torn one would be unreachable to recovery's
+	// prefix scan, silently losing acknowledged mutations.
+	pendingRepair bool
 	dirty    atomic.Bool // unsynced appends (SyncInterval)
 	stop     chan struct{}
 	done     chan struct{}
@@ -312,12 +320,21 @@ func (l *Log) Replay(afterLSN uint64, fn func(lsn uint64, rec Record) error) err
 
 // Append writes rec, assigns it the next LSN and (under SyncAlways)
 // fsyncs before returning: when Append returns nil under SyncAlways,
-// the record survives any crash.
+// the record survives any crash. A failed Append leaves no trace: the
+// partial frame is truncated back out (retried on the next Append if
+// the disk refuses even that), so the log's durable content is always
+// exactly the acknowledged prefix plus, at worst, one torn tail that
+// recovery repairs.
 func (l *Log) Append(rec Record) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return 0, fmt.Errorf("wal: log is closed")
+	}
+	if l.pendingRepair {
+		if err := l.repairLocked(); err != nil {
+			return 0, fmt.Errorf("wal: segment repair: %w", err)
+		}
 	}
 	if l.f == nil {
 		if err := l.openSegmentLocked(); err != nil {
@@ -329,30 +346,102 @@ func (l *Log) Append(rec Record) (uint64, error) {
 			return 0, err
 		}
 	}
+	l.appended = true
 	l.buf = encodeRecord(l.buf[:0], rec)
-	n, err := l.f.Write(l.buf)
+	frame := l.buf
+	if act := fault.Hit(fault.WALAppend); act != nil {
+		if act.Short >= 0 && act.Short < len(frame) {
+			// Simulate a torn write: part of the frame lands on disk
+			// before the failure surfaces.
+			_, _ = l.f.Write(frame[:act.Short])
+		}
+		if err := act.Do(); err != nil {
+			l.pendingRepair = true
+			_ = l.repairLocked()
+			return 0, fmt.Errorf("wal: append: %w", err)
+		}
+	}
+	n, err := l.f.Write(frame)
 	if err != nil {
-		// A partial frame on disk is exactly the torn tail recovery
-		// repairs; surface the error and stop trusting the segment.
+		l.pendingRepair = true
+		_ = l.repairLocked()
 		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if l.opts.Sync == SyncAlways {
+		if err := l.fsyncLocked(); err != nil {
+			// The frame is fully written but not durably synced; back it
+			// out so the caller's failure report matches the log. If the
+			// truncate also fails (or we crash first), replay may
+			// resurrect this never-acked mutation — documented as the one
+			// tolerated asymmetry (acked mutations are never lost;
+			// failed ones may still land).
+			l.pendingRepair = true
+			_ = l.repairLocked()
+			return 0, fmt.Errorf("wal: fsync: %w", err)
+		}
+	} else {
+		l.dirty.Store(true)
 	}
 	l.size += int64(n)
 	l.segments[len(l.segments)-1].count++
 	l.segments[len(l.segments)-1].size = l.size
 	lsn := l.nextLSN
 	l.nextLSN++
-	l.appended = true
 	l.appends.Add(1)
 	l.appendedBytes.Add(uint64(n))
-	if l.opts.Sync == SyncAlways {
-		if err := l.f.Sync(); err != nil {
-			return 0, fmt.Errorf("wal: fsync: %w", err)
-		}
-		l.fsyncs.Add(1)
-	} else {
-		l.dirty.Store(true)
-	}
 	return lsn, nil
+}
+
+// repairLocked truncates the active segment back to the last good
+// offset after a failed append. It tries the live fd first, then a
+// fresh open of the segment path (the fd itself may be the broken
+// part). While it keeps failing, pendingRepair stays set and appends
+// keep refusing — never writing past garbage keeps every acknowledged
+// record inside the valid prefix recovery trusts.
+func (l *Log) repairLocked() error {
+	if !l.pendingRepair {
+		return nil
+	}
+	if l.f != nil {
+		if l.f.Truncate(l.size) == nil {
+			if _, err := l.f.Seek(l.size, io.SeekStart); err == nil {
+				l.pendingRepair = false
+				return nil
+			}
+		}
+		l.f.Close()
+		l.f = nil
+	}
+	seg := l.segments[len(l.segments)-1]
+	f, err := os.OpenFile(seg.path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(l.size); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Seek(l.size, io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.pendingRepair = false
+	return nil
+}
+
+// fsyncLocked is every fsync of the active segment (per-append under
+// SyncAlways, interval flushes, rotation seals, Close), with the
+// wal/fsync failpoint in front.
+func (l *Log) fsyncLocked() error {
+	if err := fault.Hit(fault.WALFsync).Do(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.fsyncs.Add(1)
+	return nil
 }
 
 // openSegmentLocked starts the fresh segment appends go to (the first
@@ -375,12 +464,15 @@ func (l *Log) openSegmentLocked() error {
 }
 
 // rotateLocked seals the active segment (fsync + close) and opens the
-// next one.
+// next one. A rotation failure leaves the current segment active and
+// intact — the append that triggered it fails without side effects.
 func (l *Log) rotateLocked() error {
-	if err := l.f.Sync(); err != nil {
-		return err
+	if err := fault.Hit(fault.WALRotate).Do(); err != nil {
+		return fmt.Errorf("wal: rotate: %w", err)
 	}
-	l.fsyncs.Add(1)
+	if err := l.fsyncLocked(); err != nil {
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
 	if err := l.f.Close(); err != nil {
 		return err
 	}
@@ -400,10 +492,12 @@ func (l *Log) syncLocked() error {
 	if l.f == nil || !l.dirty.Swap(false) {
 		return nil
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := l.fsyncLocked(); err != nil {
+		// Still unsynced; keep the flag so the next flush retries
+		// instead of silently forgetting the dirty data.
+		l.dirty.Store(true)
 		return err
 	}
-	l.fsyncs.Add(1)
 	return nil
 }
 
@@ -432,6 +526,12 @@ func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.closed = true
+	if l.pendingRepair {
+		// Best effort: a clean shutdown should not leave a garbage tail
+		// for recovery to repair. If it still fails, the torn-tail scan
+		// handles it.
+		_ = l.repairLocked()
+	}
 	if l.f == nil {
 		return nil
 	}

@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"strings"
 	"time"
+
+	"skygraph/internal/fault"
 )
 
 // Manifest is the durable root of a data directory: it names the
@@ -43,6 +45,9 @@ func manifestPath(dir string) string { return filepath.Join(dir, manifestName) }
 
 // WriteManifest atomically replaces dir's manifest.
 func WriteManifest(dir string, m Manifest) error {
+	if err := fault.Hit(fault.ManifestReplace).Do(); err != nil {
+		return fmt.Errorf("wal: manifest replace: %w", err)
+	}
 	m.Version = manifestVersion
 	if m.UnixNano == 0 {
 		m.UnixNano = time.Now().UnixNano()
@@ -65,10 +70,10 @@ func LoadManifest(dir string) (*Manifest, error) {
 	}
 	var m Manifest
 	if err := json.Unmarshal(b, &m); err != nil {
-		return nil, fmt.Errorf("wal: corrupt manifest: %w", err)
+		return nil, fmt.Errorf("%w: manifest: %v", ErrCorrupt, err)
 	}
 	if m.Version != manifestVersion {
-		return nil, fmt.Errorf("wal: manifest version %d not supported", m.Version)
+		return nil, fmt.Errorf("%w: manifest version %d not supported", ErrCorrupt, m.Version)
 	}
 	return &m, nil
 }
@@ -86,6 +91,9 @@ const snapshotSuffix = ".snap"
 // writing a manifest referencing it — a crash in between leaves an
 // orphan file the next snapshot prunes, never a broken root.
 func WriteSnapshot(dir string, lsn uint64, emit func(sink func(Record) error) error) (string, error) {
+	if err := fault.Hit(fault.SnapshotWrite).Do(); err != nil {
+		return "", fmt.Errorf("wal: snapshot write: %w", err)
+	}
 	name := snapshotName(lsn)
 	var buf []byte
 	err := AtomicWrite(filepath.Join(dir, name), func(w io.Writer) error {
@@ -123,7 +131,7 @@ func ReadSnapshot(path string, fn func(Record) error) error {
 	for off < st.Size() {
 		rec, n, ok := nextRecord(data[off:])
 		if !ok {
-			return fmt.Errorf("wal: corrupt snapshot %s at byte %d", path, off)
+			return fmt.Errorf("%w: snapshot %s at byte %d", ErrCorrupt, path, off)
 		}
 		if err := fn(rec); err != nil {
 			return err

@@ -28,9 +28,12 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"time"
+
+	"skygraph/internal/fault"
 )
 
 // Op is a record opcode.
@@ -42,7 +45,25 @@ const (
 	OpInsert Op = 1
 	// OpDelete records a deletion by name; Seq and Data are unused.
 	OpDelete Op = 2
+	// OpNoop records nothing: it exists so a health probe can exercise
+	// the full append+fsync path ("is the disk writable again?") without
+	// mutating the database. Replay skips it.
+	OpNoop Op = 3
 )
+
+// ErrCorrupt tags corruption-class storage failures: a damaged
+// snapshot, an unreadable manifest — states where retrying cannot help
+// and the data directory needs operator attention. Everything else
+// (EIO, ENOSPC, ...) is transient-class: the serving layer degrades to
+// read-only and probes for recovery instead of failing permanently.
+// Test with errors.Is.
+var ErrCorrupt = errors.New("wal: corrupt data")
+
+func init() {
+	// Let fault specs inject the corruption class by name
+	// ("err=corrupt") without the fault package importing wal.
+	fault.RegisterError("corrupt", ErrCorrupt)
+}
 
 // Record is one logged mutation (or one snapshot entry — snapshots
 // reuse the record codec, so a snapshot file is simply a compacted log
@@ -149,7 +170,7 @@ func decodePayload(payload []byte) (Record, error) {
 		return Record{}, fmt.Errorf("wal: unknown payload version %d", payload[0])
 	}
 	rec := Record{Op: Op(payload[1])}
-	if rec.Op != OpInsert && rec.Op != OpDelete {
+	if rec.Op != OpInsert && rec.Op != OpDelete && rec.Op != OpNoop {
 		return Record{}, fmt.Errorf("wal: unknown opcode %d", payload[1])
 	}
 	rest := payload[2:]
