@@ -128,7 +128,7 @@ type Action struct {
 	// payload before failing (-1 = no short write).
 	Short int
 	// Delay is slept by Do before failing/proceeding.
-	Delay time.Duration
+	Delay  time.Duration
 	panics bool
 }
 

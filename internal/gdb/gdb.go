@@ -102,7 +102,14 @@ func New() *DB {
 // name must be unused. The database stores g itself; callers must not
 // mutate a graph after insertion (Clone first if needed).
 func (db *DB) Insert(g *graph.Graph) error {
-	return db.insertWithSeq(g, insertSeq.Add(1))
+	return db.insertWithSeq(g, insertSeq.Add(1), "")
+}
+
+// InsertKeyed is Insert with the client's idempotency key logged into
+// the write-ahead record, leaving durable evidence the key was
+// accepted (see Store.LogInsert).
+func (db *DB) InsertKeyed(g *graph.Graph, key string) error {
+	return db.insertWithSeq(g, insertSeq.Add(1), key)
 }
 
 // insertWithSeq is Insert with a caller-supplied insert sequence:
@@ -110,7 +117,7 @@ func (db *DB) Insert(g *graph.Graph) error {
 // keeps their sequences, so score-memo entries stay reachable across a
 // resize (the sequence identifies the graph VALUE, which a reshard
 // does not change).
-func (db *DB) insertWithSeq(g *graph.Graph, seq uint64) error {
+func (db *DB) insertWithSeq(g *graph.Graph, seq uint64, key string) error {
 	if g.Name() == "" {
 		return fmt.Errorf("gdb: graph has no name")
 	}
@@ -128,7 +135,7 @@ func (db *DB) insertWithSeq(g *graph.Graph, seq uint64) error {
 	// the append, replay applies a mutation that was never acked —
 	// harmless, the client saw no success.
 	if db.store != nil {
-		if err := db.store.LogInsert(g, seq); err != nil {
+		if err := db.store.LogInsert(g, seq, key); err != nil {
 			return fmt.Errorf("gdb: %w: wal append: %w", ErrNotPersisted, err)
 		}
 	}
@@ -186,13 +193,19 @@ func (db *DB) Delete(name string) bool {
 // was present; err is non-nil only when the write-ahead append failed
 // (in which case the graph remains).
 func (db *DB) DeleteErr(name string) (existed bool, err error) {
+	return db.DeleteKeyedErr(name, "")
+}
+
+// DeleteKeyedErr is DeleteErr with the client's idempotency key logged
+// into the write-ahead record (see Store.LogDelete).
+func (db *DB) DeleteKeyedErr(name, key string) (existed bool, err error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, ok := db.graphs[name]; !ok {
 		return false, nil
 	}
 	if db.store != nil {
-		if err := db.store.LogDelete(name); err != nil {
+		if err := db.store.LogDelete(name, key); err != nil {
 			return true, fmt.Errorf("gdb: %w: wal append: %w", ErrNotPersisted, err)
 		}
 	}

@@ -80,9 +80,15 @@ func (sh *Sharded) ShardFor(name string) int {
 // take sh.mu (only the rank snapshot does, briefly), so mutations
 // serializing against each other costs nothing on the hot path.
 func (sh *Sharded) Insert(g *graph.Graph) error {
+	return sh.InsertKeyed(g, "")
+}
+
+// InsertKeyed is Insert with the client's idempotency key threaded
+// into the write-ahead record (durable evidence the key was accepted).
+func (sh *Sharded) InsertKeyed(g *graph.Graph, key string) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if err := sh.shards[sh.ShardFor(g.Name())].Insert(g); err != nil {
+	if err := sh.shards[sh.ShardFor(g.Name())].InsertKeyed(g, key); err != nil {
 		return err
 	}
 	sh.pos[g.Name()] = len(sh.order)
@@ -118,9 +124,15 @@ func (sh *Sharded) Delete(name string) bool {
 // DeleteErr removes the named graph, surfacing write-ahead append
 // errors (see DB.DeleteErr).
 func (sh *Sharded) DeleteErr(name string) (existed bool, err error) {
+	return sh.DeleteKeyedErr(name, "")
+}
+
+// DeleteKeyedErr is DeleteErr with the client's idempotency key
+// threaded into the write-ahead record.
+func (sh *Sharded) DeleteKeyedErr(name, key string) (existed bool, err error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	existed, err = sh.shards[sh.ShardFor(name)].DeleteErr(name)
+	existed, err = sh.shards[sh.ShardFor(name)].DeleteKeyedErr(name, key)
 	if !existed || err != nil {
 		return existed, err
 	}
@@ -155,7 +167,7 @@ func (sh *Sharded) SetStore(st Store) {
 func (sh *Sharded) insertPreservingSeq(g *graph.Graph, seq uint64) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if err := sh.shards[sh.ShardFor(g.Name())].insertWithSeq(g, seq); err != nil {
+	if err := sh.shards[sh.ShardFor(g.Name())].insertWithSeq(g, seq, ""); err != nil {
 		return err
 	}
 	sh.pos[g.Name()] = len(sh.order)

@@ -19,30 +19,46 @@ import (
 // no ordering logic of their own.
 type Store interface {
 	// LogInsert records that g is about to be inserted with the given
-	// insert sequence.
-	LogInsert(g *graph.Graph, seq uint64) error
-	// LogDelete records that the named graph is about to be removed.
-	LogDelete(name string) error
+	// insert sequence, under the client's idempotency key ("" =
+	// unkeyed).
+	LogInsert(g *graph.Graph, seq uint64, key string) error
+	// LogDelete records that the named graph is about to be removed,
+	// under the client's idempotency key ("" = unkeyed).
+	LogDelete(name, key string) error
 }
 
 // walStore adapts a wal.Log to the Store interface: inserts carry the
-// LGF-encoded graph as their payload, deletes just the name.
+// LGF-encoded graph as their payload, deletes just the name. The
+// idempotency key rides along in the record, so an accepted keyed
+// mutation leaves durable evidence of its key — recovery rebuilds the
+// key table from it instead of guessing from surviving state. Each
+// successful keyed append is also noted in the live key table, which
+// snapshots persist into the manifest so the evidence outlives log
+// reclaim.
 type walStore struct {
-	log *wal.Log
+	log  *wal.Log
+	keys *keyTable
 }
 
-func (s *walStore) LogInsert(g *graph.Graph, seq uint64) error {
+func (s *walStore) LogInsert(g *graph.Graph, seq uint64, key string) error {
 	_, err := s.log.Append(wal.Record{
 		Op:   wal.OpInsert,
 		Seq:  seq,
 		Name: g.Name(),
+		Key:  key,
 		Data: []byte(graph.MarshalLGF(g)),
 	})
+	if err == nil {
+		s.keys.noteInsert(key, g.Name())
+	}
 	return err
 }
 
-func (s *walStore) LogDelete(name string) error {
-	_, err := s.log.Append(wal.Record{Op: wal.OpDelete, Name: name})
+func (s *walStore) LogDelete(name, key string) error {
+	_, err := s.log.Append(wal.Record{Op: wal.OpDelete, Name: name, Key: key})
+	if err == nil {
+		s.keys.noteDelete(key, name)
+	}
 	return err
 }
 
@@ -56,18 +72,18 @@ type FaultStore struct {
 	Inner Store
 }
 
-func (s *FaultStore) LogInsert(g *graph.Graph, seq uint64) error {
+func (s *FaultStore) LogInsert(g *graph.Graph, seq uint64, key string) error {
 	if err := fault.Hit(fault.StoreInsert).Do(); err != nil {
 		return err
 	}
-	return s.Inner.LogInsert(g, seq)
+	return s.Inner.LogInsert(g, seq, key)
 }
 
-func (s *FaultStore) LogDelete(name string) error {
+func (s *FaultStore) LogDelete(name, key string) error {
 	if err := fault.Hit(fault.StoreDelete).Do(); err != nil {
 		return err
 	}
-	return s.Inner.LogDelete(name)
+	return s.Inner.LogDelete(name, key)
 }
 
 // DurableOptions configures OpenDurable.
@@ -124,6 +140,7 @@ type Durable struct {
 	log      *wal.Log
 	opts     DurableOptions
 	recovery RecoveryInfo
+	keys     keyTable
 
 	mu            sync.Mutex // serializes Snapshot against Close
 	closed        bool
@@ -154,6 +171,7 @@ func OpenDurable(opts DurableOptions) (*Durable, error) {
 		d.recovery.ManifestLSN = m.LSN
 		d.lastSnapLSN = m.LSN
 		d.lastSnapCount = m.Graphs
+		d.keys.seed(m.InsertKeys, m.DeleteKeys)
 		if m.Snapshot != "" {
 			err := wal.ReadSnapshot(filepath.Join(opts.Dir, m.Snapshot), func(rec wal.Record) error {
 				return d.applyRecord(rec, &maxSeq)
@@ -192,13 +210,14 @@ func OpenDurable(opts DurableOptions) (*Durable, error) {
 	d.log = log
 	// From here on, mutations are logged (through the failpoint wrapper,
 	// so chaos tests can fail them at will; disarmed it is a no-op).
-	d.DB.SetStore(&FaultStore{Inner: &walStore{log: log}})
+	d.DB.SetStore(&FaultStore{Inner: &walStore{log: log, keys: &d.keys}})
 	return d, nil
 }
 
 // applyRecord applies one recovered record (snapshot entry or replayed
 // WAL record) to the in-memory database, tracking the largest insert
-// sequence seen. No store is attached yet, so nothing is re-logged.
+// sequence seen and collecting idempotency-key evidence. No store is
+// attached yet, so nothing is re-logged.
 func (d *Durable) applyRecord(rec wal.Record, maxSeq *uint64) error {
 	switch rec.Op {
 	case wal.OpInsert:
@@ -209,11 +228,13 @@ func (d *Durable) applyRecord(rec wal.Record, maxSeq *uint64) error {
 		if rec.Seq > *maxSeq {
 			*maxSeq = rec.Seq
 		}
+		d.keys.noteInsert(rec.Key, rec.Name)
 		return d.DB.insertPreservingSeq(g, rec.Seq)
 	case wal.OpDelete:
 		// A delete of an absent name is possible only for a mutation that
 		// was logged but never acked (crash in between); dropping it is
 		// exactly right.
+		d.keys.noteDelete(rec.Key, rec.Name)
 		d.DB.Delete(rec.Name)
 		return nil
 	case wal.OpNoop:
@@ -223,6 +244,139 @@ func (d *Durable) applyRecord(rec wal.Record, maxSeq *uint64) error {
 		return fmt.Errorf("unknown opcode %d", rec.Op)
 	}
 }
+
+// RecoveredKeys is the idempotency-key evidence recovery found on
+// disk: every keyed mutation whose append completed, with the names it
+// covered. The serving layer seeds its replay bookkeeping from it, so
+// a keyed retry whose ack died with the previous process is answered
+// from proof the key was accepted — never reconstructed from the mere
+// existence (or absence) of similarly named graphs.
+type RecoveredKeys struct {
+	// Inserts maps each insert key to the names logged under it, in
+	// log order (a multi-graph insert logs one record per graph).
+	Inserts map[string][]string
+	// Deletes maps each delete key to the name it removed.
+	Deletes map[string]string
+}
+
+// keyCap bounds each side of the key table (and so the manifest's key
+// section): past it the oldest key is forgotten, which turns its next
+// retry into an honest 409/404 instead of growing the root without
+// bound. Matches the serving layer's default replay-table capacity.
+const keyCap = 4096
+
+// keyTable is the durable idempotency-key evidence, maintained live:
+// seeded from the manifest at open, extended by recovery's WAL replay
+// and by every successful keyed append, and persisted back into the
+// manifest at each snapshot — which is what lets the evidence outlive
+// the reclaimed log segments that carried it. Insertion order is kept
+// for FIFO capping and stable manifests. noteInsert dedups names per
+// key, so the overlap between the manifest table and the un-reclaimed
+// log suffix (both are replayed at open) is harmless.
+type keyTable struct {
+	mu       sync.Mutex
+	inserts  map[string][]string
+	insOrder []string
+	deletes  map[string]string
+	delOrder []string
+}
+
+func (t *keyTable) noteInsert(key, name string) {
+	if key == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.inserts == nil {
+		t.inserts = make(map[string][]string)
+	}
+	names, known := t.inserts[key]
+	for _, n := range names {
+		if n == name {
+			return
+		}
+	}
+	t.inserts[key] = append(names, name)
+	if !known {
+		t.insOrder = append(t.insOrder, key)
+		if len(t.insOrder) > keyCap {
+			delete(t.inserts, t.insOrder[0])
+			t.insOrder = t.insOrder[1:]
+		}
+	}
+}
+
+func (t *keyTable) noteDelete(key, name string) {
+	if key == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.deletes == nil {
+		t.deletes = make(map[string]string)
+	}
+	if _, known := t.deletes[key]; !known {
+		t.delOrder = append(t.delOrder, key)
+		if len(t.delOrder) > keyCap {
+			delete(t.deletes, t.delOrder[0])
+			t.delOrder = t.delOrder[1:]
+		}
+	}
+	t.deletes[key] = name
+}
+
+// seed loads the manifest's key section (oldest first, called before
+// any concurrent use).
+func (t *keyTable) seed(ins []wal.ManifestInsertKey, del []wal.ManifestDeleteKey) {
+	for _, k := range ins {
+		for _, n := range k.Names {
+			t.noteInsert(k.Key, n)
+		}
+	}
+	for _, k := range del {
+		t.noteDelete(k.Key, k.Name)
+	}
+}
+
+// view returns a copy in the exported shape.
+func (t *keyTable) view() RecoveredKeys {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var rk RecoveredKeys
+	if len(t.inserts) > 0 {
+		rk.Inserts = make(map[string][]string, len(t.inserts))
+		for k, names := range t.inserts {
+			rk.Inserts[k] = append([]string(nil), names...)
+		}
+	}
+	if len(t.deletes) > 0 {
+		rk.Deletes = make(map[string]string, len(t.deletes))
+		for k, n := range t.deletes {
+			rk.Deletes[k] = n
+		}
+	}
+	return rk
+}
+
+// manifest returns the table in manifest form, oldest key first.
+func (t *keyTable) manifest() ([]wal.ManifestInsertKey, []wal.ManifestDeleteKey) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var ins []wal.ManifestInsertKey
+	for _, k := range t.insOrder {
+		ins = append(ins, wal.ManifestInsertKey{Key: k, Names: append([]string(nil), t.inserts[k]...)})
+	}
+	var del []wal.ManifestDeleteKey
+	for _, k := range t.delOrder {
+		del = append(del, wal.ManifestDeleteKey{Key: k, Name: t.deletes[k]})
+	}
+	return ins, del
+}
+
+// RecoveredKeys returns the idempotency keys recovery found (maps may
+// be nil). The snapshot is taken at call time; the serving layer reads
+// it once at startup.
+func (d *Durable) RecoveredKeys() RecoveredKeys { return d.keys.view() }
 
 // Snapshot cuts a point-in-time copy of the database, commits it with
 // an atomic manifest replace, prunes superseded snapshot files and
@@ -257,6 +411,10 @@ func (d *Durable) Snapshot() error {
 		seq, _ := src.seqOf(name)
 		cut = append(cut, snapEntry{name: name, seq: seq, data: []byte(graph.MarshalLGF(g))})
 	}
+	// The key table is cut inside the same mutation-exclusion window:
+	// every keyed record at or below lsn has already been noted, so the
+	// manifest's evidence covers exactly the log it lets be reclaimed.
+	insKeys, delKeys := d.keys.manifest()
 	d.DB.mu.RUnlock()
 
 	if lsn == d.lastSnapLSN {
@@ -280,10 +438,12 @@ func (d *Durable) Snapshot() error {
 		}
 	}
 	err := wal.WriteManifest(d.dir, wal.Manifest{
-		LSN:      lsn,
-		MaxSeq:   maxSeq,
-		Snapshot: name,
-		Graphs:   len(cut),
+		LSN:        lsn,
+		MaxSeq:     maxSeq,
+		Snapshot:   name,
+		Graphs:     len(cut),
+		InsertKeys: insKeys,
+		DeleteKeys: delKeys,
 	})
 	if err != nil {
 		return err

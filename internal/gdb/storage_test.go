@@ -473,3 +473,106 @@ func TestDurableStoreErrorFailsMutation(t *testing.T) {
 		t.Fatal("bool Delete reported success for an unpersisted delete")
 	}
 }
+
+// TestKeyTableSurvivesSnapshot pins the manifest-side key persistence:
+// idempotency-key evidence must outlive the WAL segments that carried
+// it (a snapshot reclaims them), and recovery must present the union of
+// manifest keys and keys found in the remaining log suffix.
+func TestKeyTableSurvivesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	gs := storageGraphs(13, 4)
+
+	d, err := OpenDurable(DurableOptions{Dir: dir, Shards: 2})
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	if err := d.DB.InsertKeyed(gs[0], "ik-snap"); err != nil {
+		t.Fatalf("keyed insert: %v", err)
+	}
+	if err := d.DB.InsertKeyed(gs[1], "ik-snap"); err != nil {
+		t.Fatalf("keyed insert: %v", err)
+	}
+	if err := d.DB.Insert(gs[2]); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	if ok, err := d.DB.DeleteKeyedErr(gs[2].Name(), "dk-snap"); !ok || err != nil {
+		t.Fatalf("keyed delete: ok=%v err=%v", ok, err)
+	}
+	// Snapshot: the keyed records' segments are reclaimed; the keys must
+	// now live in the manifest.
+	if err := d.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	// One more keyed mutation after the snapshot rides in the log only.
+	if err := d.DB.InsertKeyed(gs[3], "ik-log"); err != nil {
+		t.Fatalf("keyed insert after snapshot: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r := reopen(t, dir, 3)
+	defer r.Close()
+	rk := r.RecoveredKeys()
+	if got := rk.Inserts["ik-snap"]; len(got) != 2 || got[0] != gs[0].Name() || got[1] != gs[1].Name() {
+		t.Fatalf("manifest insert key: %v", got)
+	}
+	if got := rk.Inserts["ik-log"]; len(got) != 1 || got[0] != gs[3].Name() {
+		t.Fatalf("log insert key: %v", got)
+	}
+	if got := rk.Deletes["dk-snap"]; got != gs[2].Name() {
+		t.Fatalf("manifest delete key: %q", got)
+	}
+	// A second generation: snapshot again (folding the log key into the
+	// manifest) and reopen — everything still there, nothing duplicated.
+	if err := r.Snapshot(); err != nil {
+		t.Fatalf("second Snapshot: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r2 := reopen(t, dir, 2)
+	defer r2.Close()
+	rk2 := r2.RecoveredKeys()
+	if got := rk2.Inserts["ik-snap"]; len(got) != 2 {
+		t.Fatalf("second-generation insert key duplicated or lost: %v", got)
+	}
+	if len(rk2.Inserts) != 2 || len(rk2.Deletes) != 1 {
+		t.Fatalf("second-generation key table: %+v", rk2)
+	}
+}
+
+// TestKeyTableCap pins the FIFO bound: past keyCap keys the oldest is
+// forgotten (its retry becomes an honest conflict), the newest kept.
+func TestKeyTableCap(t *testing.T) {
+	var kt keyTable
+	for i := 0; i < keyCap+10; i++ {
+		kt.noteInsert(fmt.Sprintf("k%05d", i), fmt.Sprintf("g%05d", i))
+		kt.noteDelete(fmt.Sprintf("k%05d", i), fmt.Sprintf("g%05d", i))
+	}
+	rk := kt.view()
+	if len(rk.Inserts) != keyCap || len(rk.Deletes) != keyCap {
+		t.Fatalf("table over cap: %d inserts, %d deletes", len(rk.Inserts), len(rk.Deletes))
+	}
+	if _, ok := rk.Inserts["k00000"]; ok {
+		t.Fatal("oldest insert key not evicted")
+	}
+	if _, ok := rk.Inserts[fmt.Sprintf("k%05d", keyCap+9)]; !ok {
+		t.Fatal("newest insert key missing")
+	}
+	if _, ok := rk.Deletes["k00000"]; ok {
+		t.Fatal("oldest delete key not evicted")
+	}
+	// Re-noting an existing key's name is a no-op, not a duplicate.
+	kt.noteInsert(fmt.Sprintf("k%05d", keyCap+9), fmt.Sprintf("g%05d", keyCap+9))
+	if got := kt.view().Inserts[fmt.Sprintf("k%05d", keyCap+9)]; len(got) != 1 {
+		t.Fatalf("dedup failed: %v", got)
+	}
+	ins, del := kt.manifest()
+	if len(ins) != keyCap || len(del) != keyCap {
+		t.Fatalf("manifest form: %d/%d", len(ins), len(del))
+	}
+	if ins[0].Key != fmt.Sprintf("k%05d", 10) || ins[len(ins)-1].Key != fmt.Sprintf("k%05d", keyCap+9) {
+		t.Fatalf("manifest order: first %s last %s", ins[0].Key, ins[len(ins)-1].Key)
+	}
+}

@@ -233,22 +233,32 @@ type BatchResponse struct {
 type InsertRequest struct {
 	Graph  *graph.Graph   `json:"graph,omitempty"`
 	Graphs []*graph.Graph `json:"graphs,omitempty"`
-	// IdempotencyKey makes the insert safely retryable: a repeat of the
-	// same key replays the recorded success instead of re-inserting (and
-	// a keyed retry whose graphs all already exist — the server acked,
-	// the ack was lost — answers 200 with replayed=true rather than
-	// 409). Keys are client-chosen; reuse across different payloads is
-	// the client's bug.
+	// IdempotencyKey makes the insert safely retryable. The key is
+	// persisted with each WAL record it inserts, so the server has
+	// durable evidence of which names this key applied — in-process and
+	// across restarts. A retry replays the recorded ack, or skips the
+	// names proven applied under the key and inserts only the
+	// remainder (completing a partially applied multi-graph insert).
+	// Names the key never inserted get no benefit of the doubt: a keyed
+	// insert of a name someone else created is a genuine 409 conflict.
+	// Keys are client-chosen; reuse across different payloads is the
+	// client's bug.
 	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // InsertResponse confirms an insert.
 type InsertResponse struct {
+	// Inserted lists every requested name now applied under this
+	// request's key — freshly inserted or already proven inserted by an
+	// earlier attempt with the same key.
 	Inserted   []string `json:"inserted"`
 	Generation uint64   `json:"generation"`
-	// Replayed reports that this response was served from the
-	// idempotency record (or reconstructed from existing state) of an
-	// earlier attempt with the same key, not by inserting again.
+	// Skipped lists the subset of Inserted that was not re-applied: the
+	// WAL already showed them inserted under this key.
+	Skipped []string `json:"skipped,omitempty"`
+	// Replayed reports that nothing was newly inserted — the whole
+	// response answers an earlier attempt with the same key, either
+	// from the replay table or from keys recovered out of the WAL.
 	Replayed bool `json:"replayed,omitempty"`
 }
 
@@ -287,10 +297,10 @@ type StatsResponse struct {
 	Health *HealthInfo `json:"health,omitempty"`
 	// Fault lists the armed failpoints and their hit/fire counters
 	// (absent when none are armed — the production steady state).
-	Fault     *FaultInfo   `json:"fault,omitempty"`
-	Requests  ReqStats     `json:"requests"`
-	Runtime   RuntimeStats `json:"runtime"`
-	Build     BuildInfo    `json:"build"`
+	Fault    *FaultInfo   `json:"fault,omitempty"`
+	Requests ReqStats     `json:"requests"`
+	Runtime  RuntimeStats `json:"runtime"`
+	Build    BuildInfo    `json:"build"`
 }
 
 // HealthInfo is the wire form of the health state machine.
@@ -505,7 +515,7 @@ const IdempotencyHeader = "X-Skygraph-Idempotency-Key"
 // FaultInfo reports the failpoint registry in /stats while any point
 // is armed.
 type FaultInfo struct {
-	Armed  int               `json:"armed"`
-	Fires  uint64            `json:"fires"`
+	Armed  int                `json:"armed"`
+	Fires  uint64             `json:"fires"`
 	Points []fault.PointStats `json:"points"`
 }

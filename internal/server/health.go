@@ -59,8 +59,9 @@ type health struct {
 	mu      sync.Mutex
 	lastErr string
 
-	stop chan struct{}
-	done chan struct{}
+	closeOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
 }
 
 // newHealth starts the machine (and its probe loop) over a durable
@@ -157,16 +158,14 @@ func (h *health) probeLoop() {
 	}
 }
 
-// Close stops the probe loop (idempotent, nil-safe).
+// Close stops the probe loop (idempotent, nil-safe, and safe for
+// concurrent callers — the Once is what makes two racing Closes not
+// double-close the channel).
 func (h *health) Close() {
 	if h == nil {
 		return
 	}
-	select {
-	case <-h.stop:
-	default:
-		close(h.stop)
-	}
+	h.closeOnce.Do(func() { close(h.stop) })
 	<-h.done
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -318,9 +319,9 @@ func TestLoadShed(t *testing.T) {
 // TestIdempotentMutations covers the replay table end to end: a keyed
 // insert retried after a success replays the recorded ack instead of
 // 409ing; the same works for deletes (key in the header) retried after
-// the graph is gone; and a keyed retry that misses the process-local
-// table but finds its effects applied (the restart case) reconstructs
-// the ack from state.
+// the graph is gone; and a key the server has no evidence for gets no
+// benefit of the doubt — a keyed insert of an existing name is a real
+// 409 and a keyed delete of a never-existing graph a real 404.
 func TestIdempotentMutations(t *testing.T) {
 	_, _, ts := newResilientServer(t, t.TempDir())
 
@@ -358,24 +359,131 @@ func TestIdempotentMutations(t *testing.T) {
 	if resp := doDelete(t, ts.URL+"/graphs/idem-a", nil, nil); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unkeyed absent delete: status %d, want 404", resp.StatusCode)
 	}
-	// A keyed delete of a graph that never existed under a fresh key is
-	// indistinguishable from a lost ack and answers replayed success —
-	// the documented trade for retry safety.
-	var del3 DeleteResponse
-	if resp := doDelete(t, ts.URL+"/graphs/never-was", map[string]string{IdempotencyHeader: "k3"}, &del3); resp.StatusCode != http.StatusOK || !del3.Replayed {
-		t.Fatalf("keyed absent delete: status %d replayed %v", resp.StatusCode, del3.Replayed)
+	// A keyed delete of a graph that never existed is a real 404: the
+	// server has no evidence k3 ever deleted anything, so it must not
+	// invent a success.
+	if resp := doDelete(t, ts.URL+"/graphs/never-was", map[string]string{IdempotencyHeader: "k3"}, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("keyed absent delete: status %d, want 404", resp.StatusCode)
 	}
 
-	// The restart case: key lost with the process, effects on disk. A
-	// keyed insert whose graphs all exist answers replayed success.
+	// A fresh key inserting a name someone else created is a genuine
+	// conflict, not a lost ack — the key has no evidence behind it, and
+	// answering 200 would silently drop the caller's (different) graph.
 	ireq2 := InsertRequest{Graph: namedGraph(t, "idem-b")}
 	if resp := postAny(t, ts.URL+"/graphs", ireq2, nil); resp.StatusCode != http.StatusOK {
 		t.Fatal("setup insert failed")
 	}
-	ireq2.IdempotencyKey = "fresh-key-after-restart"
+	ireq2.IdempotencyKey = "fresh-key-other-writer"
+	if resp := postAny(t, ts.URL+"/graphs", ireq2, nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("fresh-key insert of existing name: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestIdempotencySurvivesRestart pins the durable half of the replay
+// story: idempotency keys ride in the WAL records, so after a restart a
+// keyed retry is answered from recovered evidence — while keys the WAL
+// has never seen still get real 409/404 answers.
+func TestIdempotencySurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	d, s, ts := newResilientServer(t, dir)
+
+	ireq := InsertRequest{Graph: namedGraph(t, "dur-a"), IdempotencyKey: "ins-key"}
+	if resp := postAny(t, ts.URL+"/graphs", ireq, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("keyed insert: status %d", resp.StatusCode)
+	}
+	if resp := postAny(t, ts.URL+"/graphs", InsertRequest{Graph: namedGraph(t, "dur-b"), IdempotencyKey: "del-target"}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("setup insert: status %d", resp.StatusCode)
+	}
+	if resp := doDelete(t, ts.URL+"/graphs/dur-b", map[string]string{IdempotencyHeader: "del-key"}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("keyed delete: status %d", resp.StatusCode)
+	}
+
+	// Restart the way skygraphd does: final snapshot (which reclaims the
+	// WAL segments carrying the keyed records — the evidence must ride
+	// in the manifest to survive this), then close, then reopen.
+	ts.Close()
+	s.Close()
+	if err := d.Snapshot(); err != nil {
+		t.Fatalf("final snapshot: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("close durable: %v", err)
+	}
+	_, _, ts2 := newResilientServer(t, dir)
+
+	// The insert retry is recognized from the recovered WAL key: the
+	// name is skipped, not 409ed, and the response is a replay.
 	var rec InsertResponse
-	if resp := postAny(t, ts.URL+"/graphs", ireq2, &rec); resp.StatusCode != http.StatusOK || !rec.Replayed {
-		t.Fatalf("reconstructed keyed insert: status %d replayed %v", resp.StatusCode, rec.Replayed)
+	if resp := postAny(t, ts2.URL+"/graphs", ireq, &rec); resp.StatusCode != http.StatusOK || !rec.Replayed {
+		t.Fatalf("keyed insert after restart: status %d replayed %v", resp.StatusCode, rec.Replayed)
+	}
+	if len(rec.Inserted) != 1 || rec.Inserted[0] != "dur-a" || len(rec.Skipped) != 1 || rec.Skipped[0] != "dur-a" {
+		t.Fatalf("keyed insert after restart: %+v", rec)
+	}
+	// The delete retry replays from the recovered key even though the
+	// graph is long gone.
+	var del DeleteResponse
+	if resp := doDelete(t, ts2.URL+"/graphs/dur-b", map[string]string{IdempotencyHeader: "del-key"}, &del); resp.StatusCode != http.StatusOK || !del.Replayed || del.Deleted != "dur-b" {
+		t.Fatalf("keyed delete after restart: status %d %+v", resp.StatusCode, del)
+	}
+	// A key the WAL never saw is still held to the truth after restart.
+	fresh := InsertRequest{Graph: namedGraph(t, "dur-a"), IdempotencyKey: "never-logged"}
+	if resp := postAny(t, ts2.URL+"/graphs", fresh, nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("fresh-key insert after restart: status %d, want 409", resp.StatusCode)
+	}
+	if resp := doDelete(t, ts2.URL+"/graphs/dur-b", map[string]string{IdempotencyHeader: "never-logged"}, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("fresh-key delete after restart: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestPartialInsertRetryCompletes pins the multi-graph repair path: when
+// a batch insert dies partway (fault on the second WAL append), a keyed
+// retry skips the names already applied under the key and inserts only
+// the remainder — instead of 409ing on its own earlier work and leaving
+// the request permanently uncompletable.
+func TestPartialInsertRetryCompletes(t *testing.T) {
+	defer fault.Reset()
+	_, _, ts := newResilientServer(t, t.TempDir())
+
+	if resp := postAny(t, ts.URL+"/admin/fault", FaultAdminRequest{
+		Spec: "wal/append=error:err=ENOSPC,after=1,limit=1",
+	}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("arm failpoint: status %d", resp.StatusCode)
+	}
+
+	ireq := InsertRequest{
+		Graphs:         []*graph.Graph{namedGraph(t, "part-a"), namedGraph(t, "part-b")},
+		IdempotencyKey: "partial-key",
+	}
+	var errBody map[string]any
+	resp := postAny(t, ts.URL+"/graphs", ireq, &errBody)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("partial insert: status %d, want 503", resp.StatusCode)
+	}
+	applied, _ := errBody["inserted"].([]any)
+	if len(applied) != 1 || applied[0] != "part-a" {
+		t.Fatalf("partial insert applied %v, want [part-a]", applied)
+	}
+
+	// The retry completes: part-a is skipped on the key's evidence,
+	// part-b is inserted, and the whole request is acked.
+	var done InsertResponse
+	if resp := postAny(t, ts.URL+"/graphs", ireq, &done); resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry: status %d", resp.StatusCode)
+	}
+	if done.Replayed {
+		t.Fatalf("retry that inserted part-b marked replayed: %+v", done)
+	}
+	if len(done.Inserted) != 2 || len(done.Skipped) != 1 || done.Skipped[0] != "part-a" {
+		t.Fatalf("retry: %+v", done)
+	}
+	if resp := postAny(t, ts.URL+"/query/skyline", QueryRequest{Graph: dataset.PaperQuery()}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after repair: status %d", resp.StatusCode)
+	}
+	// A further retry is a pure replay of the completed request.
+	var again InsertResponse
+	if resp := postAny(t, ts.URL+"/graphs", ireq, &again); resp.StatusCode != http.StatusOK || !again.Replayed {
+		t.Fatalf("third attempt: status %d replayed %v", resp.StatusCode, again.Replayed)
 	}
 }
 
@@ -466,4 +574,26 @@ func TestErrorClassDefaults(t *testing.T) {
 	if nresp.StatusCode != http.StatusNotFound || nbody.Class != ClassNotFound {
 		t.Fatalf("not found: status %d class %q", nresp.StatusCode, nbody.Class)
 	}
+}
+
+// TestHealthCloseConcurrent pins Close's documented idempotence under
+// actual concurrency: racing Closes must not double-close the stop
+// channel and panic.
+func TestHealthCloseConcurrent(t *testing.T) {
+	d, err := gdb.OpenDurable(gdb.DurableOptions{Dir: t.TempDir(), Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	h := newHealth(d, 2, 10*time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.Close()
+		}()
+	}
+	wg.Wait()
+	h.Close() // and once more after everyone is done
 }

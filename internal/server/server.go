@@ -112,6 +112,14 @@ type Server struct {
 
 	idemMu sync.Mutex
 	idem   *lru.Cache[idemRecord]
+	// idemProg tracks, per insert key, the names proven applied under
+	// that key — noted live as each graph commits and seeded from the
+	// WAL's recovered keys at startup. It is the evidence that lets a
+	// keyed retry skip its own earlier work (including completing a
+	// partially applied multi-graph insert) without ever masking a
+	// genuine name conflict. Values are copy-on-write: readers get a
+	// snapshot map that is never mutated.
+	idemProg *lru.Cache[map[string]bool]
 
 	inflightQ       atomic.Int64
 	queries         atomic.Uint64
@@ -157,9 +165,38 @@ func New(db *gdb.Sharded, cfg Config) *Server {
 		idemCap = 4096
 	}
 	s.idem = lru.New[idemRecord](idemCap)
+	s.idemProg = lru.New[map[string]bool](idemCap)
+	s.seedIdempotency()
 	s.health = newHealth(cfg.Durable, cfg.DegradeAfter, cfg.ProbeEvery)
 	s.met = newMetrics(s)
 	return s
+}
+
+// seedIdempotency loads the WAL's recovered idempotency keys into the
+// replay bookkeeping, so keyed retries whose acks died with the
+// previous process are answered from durable evidence: recovered
+// delete keys become replayable acks outright (a delete is complete by
+// construction), recovered insert keys become per-name progress (a
+// multi-graph insert may have been cut short mid-batch, so the retry
+// must be able to complete the remainder, not just replay). Keys the
+// WAL does not know — reclaimed by a snapshot, or never accepted —
+// get no special treatment, which is the point.
+func (s *Server) seedIdempotency() {
+	if s.cfg.Durable == nil {
+		return
+	}
+	rk := s.cfg.Durable.RecoveredKeys()
+	gen := s.db.Generation()
+	for key, name := range rk.Deletes {
+		s.idemRemember("delete", key, idemRecord{del: &DeleteResponse{Deleted: name, Generation: gen}})
+	}
+	for key, names := range rk.Inserts {
+		done := make(map[string]bool, len(names))
+		for _, n := range names {
+			done[n] = true
+		}
+		s.idemProg.Put(key, done)
+	}
 }
 
 // Close stops the server's background work (the health probe loop).
@@ -1096,6 +1133,34 @@ func (s *Server) idemRemember(verb, key string, rec idemRecord) {
 	s.idem.Put(verb+":"+key, rec)
 }
 
+// insertProgress returns the names proven applied under the given
+// insert key (nil for unkeyed or unknown keys). The returned map is an
+// immutable snapshot — noteInsertProgress replaces rather than mutates
+// it, so readers race with nothing.
+func (s *Server) insertProgress(key string) map[string]bool {
+	if key == "" {
+		return nil
+	}
+	done, _ := s.idemProg.Get(key)
+	return done
+}
+
+// noteInsertProgress records that name committed under the given
+// insert key (copy-on-write, see insertProgress).
+func (s *Server) noteInsertProgress(key, name string) {
+	if key == "" {
+		return
+	}
+	s.idemProg.Update(key, func(old map[string]bool, _ bool) map[string]bool {
+		next := make(map[string]bool, len(old)+1)
+		for n := range old {
+			next[n] = true
+		}
+		next[name] = true
+		return next
+	})
+}
+
 // rejectDegraded refuses a mutation up front while the write path is
 // degraded-readonly (it could only fail), with the class and
 // Retry-After hint the retrying client keys on. Reports whether the
@@ -1187,34 +1252,28 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if s.rejectDegraded(w) {
 		return
 	}
-	// Keyed retry whose ack was lost after a restart (the replay table
-	// is process-local): every named graph already existing means the
-	// earlier attempt landed — answer success without re-inserting,
-	// which would 409.
-	if key != "" {
-		names := make([]string, len(gs))
-		all := true
-		for i, g := range gs {
-			names[i] = g.Name()
-			if _, ok := s.db.Get(g.Name()); !ok {
-				all = false
-				break
-			}
-		}
-		if all {
-			resp := InsertResponse{Inserted: names, Generation: s.db.Generation(), Replayed: true}
-			s.idemRemember("insert", key, idemRecord{insert: &resp})
-			writeJSON(w, http.StatusOK, resp)
-			return
-		}
-	}
+	// done is the evidence this key was accepted before: names noted by
+	// this process on commit, or recovered from the WAL (keys ride
+	// along in the records) after a restart ate the ack. Those names
+	// are skipped rather than re-inserted, which both replays lost
+	// acks and lets a retry of a partially applied multi-graph insert
+	// complete the remainder instead of 409-ing on its own earlier
+	// work. Without evidence nothing is skipped: a keyed insert of a
+	// name someone else created is a genuine 409 conflict.
+	done := s.insertProgress(key)
 	inserted := make([]string, 0, len(gs))
+	var skipped []string
 	touched := make(map[int]bool)
 	for _, g := range gs {
-		if err := s.db.Insert(g); err != nil {
+		if done[g.Name()] {
+			skipped = append(skipped, g.Name())
+			continue
+		}
+		if err := s.db.InsertKeyed(g, key); err != nil {
 			// Partial inserts stand (each bumped its shard's generation)
-			// and are reported; the request is not recorded for replay —
-			// a retry should re-attempt the remainder.
+			// and are reported; the request is not recorded for replay,
+			// but the applied names are noted under the key, so a keyed
+			// retry re-attempts exactly the remainder.
 			s.pruneShards(touched)
 			s.mutationError(w, err, map[string]any{
 				"inserted":   inserted,
@@ -1223,11 +1282,25 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.health.NoteSuccess()
+		s.noteInsertProgress(key, g.Name())
 		inserted = append(inserted, g.Name())
 		touched[s.db.ShardFor(g.Name())] = true
 	}
 	s.pruneShards(touched)
-	resp := InsertResponse{Inserted: inserted, Generation: s.db.Generation()}
+	// Inserted reports every name the request asked for that is now
+	// applied under this key — freshly inserted or skipped as already
+	// done — so a completed retry acks the whole request; Replayed
+	// marks the pure-replay case (nothing newly applied).
+	names := make([]string, len(gs))
+	for i, g := range gs {
+		names[i] = g.Name()
+	}
+	resp := InsertResponse{
+		Inserted:   names,
+		Skipped:    skipped,
+		Generation: s.db.Generation(),
+		Replayed:   len(inserted) == 0 && len(skipped) > 0,
+	}
 	s.idemRemember("insert", key, idemRecord{insert: &resp})
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -1245,7 +1318,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if s.rejectDegraded(w) {
 		return
 	}
-	existed, err := s.db.DeleteErr(name)
+	existed, err := s.db.DeleteKeyedErr(name, key)
 	if err != nil {
 		// The write-ahead append failed: the graph is still there and the
 		// mutation must not be acked.
@@ -1253,14 +1326,10 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !existed {
-		if key != "" {
-			// Keyed retry of a delete whose ack was lost: the graph being
-			// gone is the success condition.
-			resp := DeleteResponse{Deleted: name, Generation: s.db.Generation(), Replayed: true}
-			s.idemRemember("delete", key, idemRecord{del: &resp})
-			writeJSON(w, http.StatusOK, resp)
-			return
-		}
+		// A keyed delete whose ack was lost is answered by the replay
+		// table above — recovery seeds it from the keys in the WAL — so
+		// an absent graph here means this key never deleted anything:
+		// 404, keyed or not.
 		s.writeError(w, http.StatusNotFound, "no graph named %q", name)
 		return
 	}

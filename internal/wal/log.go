@@ -40,9 +40,9 @@ type Log struct {
 	// valid frame after a torn one would be unreachable to recovery's
 	// prefix scan, silently losing acknowledged mutations.
 	pendingRepair bool
-	dirty    atomic.Bool // unsynced appends (SyncInterval)
-	stop     chan struct{}
-	done     chan struct{}
+	dirty         atomic.Bool // unsynced appends (SyncInterval)
+	stop          chan struct{}
+	done          chan struct{}
 
 	appends       atomic.Uint64
 	appendedBytes atomic.Uint64

@@ -33,8 +33,29 @@ type Manifest struct {
 	Snapshot string `json:"snapshot,omitempty"`
 	// Graphs is the number of records in the snapshot.
 	Graphs int `json:"graphs"`
+	// InsertKeys and DeleteKeys carry the idempotency-key evidence of
+	// keyed mutations forward past log reclaim: the keyed records
+	// themselves live in WAL segments the snapshot lets go of, so the
+	// keys ride in the manifest instead (oldest first, bounded by the
+	// writer). Absent in pre-key manifests.
+	InsertKeys []ManifestInsertKey `json:"insert_keys,omitempty"`
+	DeleteKeys []ManifestDeleteKey `json:"delete_keys,omitempty"`
 	// UnixNano timestamps the cut (informational).
 	UnixNano int64 `json:"unix_nano"`
+}
+
+// ManifestInsertKey is one insert idempotency key and the graph names
+// logged under it.
+type ManifestInsertKey struct {
+	Key   string   `json:"key"`
+	Names []string `json:"names"`
+}
+
+// ManifestDeleteKey is one delete idempotency key and the name it
+// removed.
+type ManifestDeleteKey struct {
+	Key  string `json:"key"`
+	Name string `json:"name"`
 }
 
 const manifestVersion = 1

@@ -72,6 +72,11 @@ type Record struct {
 	Op   Op
 	Seq  uint64 // insert-sequence high-water information (inserts only)
 	Name string
+	// Key is the client idempotency key the mutation was submitted
+	// under ("" = unkeyed). Persisting it makes the key itself durable
+	// evidence: recovery can prove a retried key was previously
+	// accepted instead of guessing from surviving state.
+	Key  string
 	Data []byte // opaque payload (the LGF-encoded graph for inserts)
 }
 
@@ -147,15 +152,29 @@ func encodeRecord(buf []byte, rec Record) []byte {
 	return append(buf, payload...)
 }
 
-// payloadVersion is bumped if the payload layout ever changes; decode
-// rejects versions it does not know.
-const payloadVersion = 1
+// Payload versions. Version 1 is the original layout (op, seq, name,
+// data); version 2 adds a uvarint-length-prefixed idempotency key
+// between name and data. Unkeyed records are still written as version
+// 1, so snapshots, no-ops and pre-key logs stay byte-identical, and
+// decode accepts both.
+const (
+	payloadVersion1 = 1
+	payloadVersion2 = 2
+)
 
 func encodePayload(buf []byte, rec Record) []byte {
-	buf = append(buf, payloadVersion, byte(rec.Op))
+	version := byte(payloadVersion1)
+	if rec.Key != "" {
+		version = payloadVersion2
+	}
+	buf = append(buf, version, byte(rec.Op))
 	buf = binary.AppendUvarint(buf, rec.Seq)
 	buf = binary.AppendUvarint(buf, uint64(len(rec.Name)))
 	buf = append(buf, rec.Name...)
+	if version == payloadVersion2 {
+		buf = binary.AppendUvarint(buf, uint64(len(rec.Key)))
+		buf = append(buf, rec.Key...)
+	}
 	buf = binary.AppendUvarint(buf, uint64(len(rec.Data)))
 	return append(buf, rec.Data...)
 }
@@ -166,7 +185,8 @@ func decodePayload(payload []byte) (Record, error) {
 	if len(payload) < 2 {
 		return Record{}, fmt.Errorf("wal: payload of %d bytes is too short", len(payload))
 	}
-	if payload[0] != payloadVersion {
+	version := payload[0]
+	if version != payloadVersion1 && version != payloadVersion2 {
 		return Record{}, fmt.Errorf("wal: unknown payload version %d", payload[0])
 	}
 	rec := Record{Op: Op(payload[1])}
@@ -187,6 +207,15 @@ func decodePayload(payload []byte) (Record, error) {
 	rest = rest[n:]
 	rec.Name = string(rest[:nameLen])
 	rest = rest[nameLen:]
+	if version == payloadVersion2 {
+		keyLen, n := binary.Uvarint(rest)
+		if n <= 0 || uint64(len(rest)-n) < keyLen {
+			return Record{}, fmt.Errorf("wal: bad key length")
+		}
+		rest = rest[n:]
+		rec.Key = string(rest[:keyLen])
+		rest = rest[keyLen:]
+	}
 	dataLen, n := binary.Uvarint(rest)
 	if n <= 0 || uint64(len(rest)-n) != dataLen {
 		return Record{}, fmt.Errorf("wal: bad data length")

@@ -372,3 +372,39 @@ func TestRecordCodecEdgeCases(t *testing.T) {
 		t.Fatal("checksum-violating frame accepted")
 	}
 }
+
+// TestRecordKeyCodec pins the idempotency-key extension: keyed records
+// round-trip through the v2 payload, while keyless records keep the v1
+// encoding byte for byte — so logs written before keys existed (and all
+// noop/snapshot records) still decode.
+func TestRecordKeyCodec(t *testing.T) {
+	keyed := []Record{
+		{Op: OpInsert, Seq: 7, Name: "g1", Data: []byte("data"), Key: "client-1:42"},
+		{Op: OpDelete, Name: "g1", Key: "k"},
+		{Op: OpInsert, Seq: 8, Name: "g2", Data: nil, Key: "weird \xff key"},
+	}
+	for i, rec := range keyed {
+		frame := encodeRecord(nil, rec)
+		if v := frame[8]; v != payloadVersion2 {
+			t.Fatalf("case %d: keyed record encoded as version %d", i, v)
+		}
+		got, n, ok := nextRecord(frame)
+		if !ok || n != int64(len(frame)) {
+			t.Fatalf("case %d: decode failed", i)
+		}
+		if got.Key != rec.Key || got.Op != rec.Op || got.Seq != rec.Seq || got.Name != rec.Name || !reflect.DeepEqual(got.Data, rec.Data) {
+			t.Fatalf("case %d: round trip %+v -> %+v", i, rec, got)
+		}
+	}
+	// A keyless record stays on the v1 payload: byte-identical to what
+	// pre-key versions wrote, and decodes with an empty Key.
+	plain := Record{Op: OpInsert, Seq: 3, Name: "g", Data: []byte("d")}
+	frame := encodeRecord(nil, plain)
+	if v := frame[8]; v != payloadVersion1 {
+		t.Fatalf("keyless record encoded as version %d", v)
+	}
+	got, _, ok := nextRecord(frame)
+	if !ok || got.Key != "" || got.Name != plain.Name {
+		t.Fatalf("keyless round trip: %+v", got)
+	}
+}

@@ -269,8 +269,9 @@ func soakRun(t *testing.T, ops [][]chaosOp, queries []*graph.Graph, chaos bool) 
 
 // runChaosOps drives every op to acknowledgment: the client's internal
 // retries handle transient windows, and the outer loop re-presents the
-// same idempotency key until the daemon acks — the server's replay (or
-// post-restart reconstruction) makes that at-most-once.
+// same idempotency key until the daemon acks — the server's replay
+// (answered from WAL-recovered keys after a restart) makes that
+// at-most-once.
 func runChaosOps(t *testing.T, cl *Client, ops [][]chaosOp) {
 	var wg sync.WaitGroup
 	for _, list := range ops {

@@ -347,8 +347,10 @@ func (c *Client) Batch(ctx context.Context, req server.BatchRequest) (*server.Ba
 }
 
 // Insert inserts graphs. When req.IdempotencyKey is empty a random key
-// is generated, making the call safely retryable: the server replays
-// (or reconstructs) the earlier ack instead of applying twice.
+// is generated, making the call safely retryable: the key is persisted
+// with the WAL records it produces, so the server replays the earlier
+// ack (or completes a partially applied batch) instead of applying
+// twice — in process and across restarts.
 func (c *Client) Insert(ctx context.Context, req server.InsertRequest) (*server.InsertResponse, error) {
 	if req.IdempotencyKey == "" {
 		req.IdempotencyKey = NewIdempotencyKey()
