@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-skyline bench-topk bench-pivot bench-compare run-server smoke smoke-restart smoke-chaos bench-fault vet
+.PHONY: build test race fuzz bench bench-skyline bench-topk bench-pivot bench-vector bench-compare bench-vector-compare run-server smoke smoke-restart smoke-chaos bench-fault vet
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,20 @@ bench-pivot:
 	$(GO) run ./cmd/benchjson < BENCH_pivot.txt > BENCH_pivot.json
 	@cat BENCH_pivot.json
 
+# bench-vector records the candidate-generation-tier experiment at real
+# collection sizes (n=1k/10k rewired molecule families): signature-only
+# vs pivot vs pivot+vector ranked evaluation, as BENCH_vector.json.
+# candidates_touched/op is the headline metric — the graphs the scan
+# bounded at all; the sig and pivot rows touch the whole collection,
+# the vector rows only the cells the admissible floors could not skip.
+# The iteration count is pinned (setup dominates the wall clock; per-op
+# variance at 20 iterations is already small).
+bench-vector:
+	@set -e; trap 'rm -f BENCH_vector.txt' EXIT; \
+	$(GO) test -bench=VectorScaling -benchmem -benchtime=20x -run=^$$ . > BENCH_vector.txt; \
+	$(GO) run ./cmd/benchjson < BENCH_vector.txt > BENCH_vector.json
+	@cat BENCH_vector.json
+
 # bench-compare re-runs the pivot experiment and fails on a >20% ns/op
 # regression against the committed BENCH_pivot.json (same-machine
 # comparisons only — absolute ns/op is hardware-specific).
@@ -59,6 +73,15 @@ bench-compare:
 	$(GO) test -bench=PivotScaling -benchmem -run=^$$ . > BENCH_pivot_new.txt; \
 	$(GO) run ./cmd/benchjson < BENCH_pivot_new.txt > BENCH_pivot_new.json; \
 	$(GO) run ./cmd/benchjson -compare BENCH_pivot.json BENCH_pivot_new.json
+
+# bench-vector-compare is the vector-tier backslide guard: re-runs the
+# scaling experiment and fails on a >20% ns/op regression against the
+# committed BENCH_vector.json (same-machine comparisons only).
+bench-vector-compare:
+	@set -e; trap 'rm -f BENCH_vector_new.txt BENCH_vector_new.json' EXIT; \
+	$(GO) test -bench=VectorScaling -benchmem -benchtime=20x -run=^$$ . > BENCH_vector_new.txt; \
+	$(GO) run ./cmd/benchjson < BENCH_vector_new.txt > BENCH_vector_new.json; \
+	$(GO) run ./cmd/benchjson -compare BENCH_vector.json BENCH_vector_new.json
 
 run-server:
 	$(GO) run ./cmd/skygraphd -addr :8091 -shards 4 -cache 128

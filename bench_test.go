@@ -21,6 +21,7 @@ import (
 	"skygraph/internal/pivot"
 	"skygraph/internal/skyline"
 	"skygraph/internal/topk"
+	"skygraph/internal/vector"
 )
 
 // BenchmarkTable1Hotels regenerates Table I / Example 1: the hotel skyline
@@ -262,6 +263,71 @@ func BenchmarkPivotScaling(b *testing.B) {
 			}
 			db.EnablePivots(pivotCfg).Wait()
 			db.SetScoreMemo(gdb.NewScoreMemo(4096))
+			b.ResetTimer()
+			run(b, db)
+		})
+	}
+}
+
+// BenchmarkVectorScaling grows the pivot experiment to real collection
+// sizes and adds the vector candidate tier: n molecule families of 50
+// rewired variants each (identical label histograms within a family, so
+// only structure distinguishes members), DistEd top-5 queries against a
+// fresh rewiring of a family-0 member. Three tiers: signature bounds
+// alone ("sig"), the triangle-inequality pivot tier ("pivot"), and the
+// IVF partition under both ("vector"). All three return byte-identical
+// answers; what changes is candidates_touched/op — the graphs the scan
+// had to bound at all (collection size minus the members excluded
+// wholesale by admissible cell floors). sig and pivot touch every graph
+// every query; the vector tier's floor cutoff drops whole families
+// without reading a signature, which is where the sublinear ns/op comes
+// from. Workers is pinned to 1 so the counters are deterministic.
+func BenchmarkVectorScaling(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		gs := dataset.RewiredClusters(n/25, 25, 4, 5, 5, 1)
+		q := graph.Rewire(gs[0], 1, newGoRand(999))
+		q.SetName("q0")
+		opts := gdb.QueryOptions{Prune: true, Workers: 1}
+		run := func(b *testing.B, db *gdb.DB) {
+			var last gdb.QueryStats
+			for i := 0; i < b.N; i++ {
+				res, err := db.TopKQuery(q, measure.DistEd{}, 5, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.Stats
+			}
+			b.ReportMetric(float64(db.Len()-last.VectorSkipped), "candidates_touched/op")
+			b.ReportMetric(float64(last.Evaluated), "evaluated/op")
+			b.ReportMetric(float64(last.VectorCells), "vector_cells/op")
+			b.ReportMetric(float64(last.VectorFallbacks), "vector_fallbacks/op")
+		}
+		pivotCfg := pivot.Config{Pivots: 16, QueryMaxNodes: -1}
+		vectorCfg := vector.Config{Dims: 32, Cells: n / 100}
+		b.Run(fmt.Sprintf("n=%d/sig", n), func(b *testing.B) {
+			db := gdb.New()
+			if err := db.InsertAll(gs); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			run(b, db)
+		})
+		b.Run(fmt.Sprintf("n=%d/pivot", n), func(b *testing.B) {
+			db := gdb.New()
+			if err := db.InsertAll(gs); err != nil {
+				b.Fatal(err)
+			}
+			db.EnablePivots(pivotCfg).Wait()
+			b.ResetTimer()
+			run(b, db)
+		})
+		b.Run(fmt.Sprintf("n=%d/vector", n), func(b *testing.B) {
+			db := gdb.New()
+			if err := db.InsertAll(gs); err != nil {
+				b.Fatal(err)
+			}
+			db.EnablePivots(pivotCfg).Wait()
+			db.EnableVector(vectorCfg)
 			b.ResetTimer()
 			run(b, db)
 		})

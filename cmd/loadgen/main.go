@@ -105,6 +105,7 @@ func main() {
 	mixSpec := flag.String("mix", "skyline=4,topk=3,range=2,batch=1,insert=1,delete=1", "comma-separated kind=weight traffic mix (kinds: skyline, topk, range, batch, insert, delete)")
 	seed := flag.Int64("seed", 1, "workload seed (request stream is deterministic given the seed)")
 	corpus := flag.Int("corpus", 64, "seeded molecule corpus size query graphs are mutated from")
+	dbSize := flag.Int("db-size", 0, "bulk-insert a synthetic collection of this many graphs before offering load (0 = use the daemon's existing database); deterministic from -seed, names are prefixed loadgen-db-")
 	k := flag.Int("k", 5, "k for top-k requests")
 	radius := flag.Float64("radius", 6, "radius for range requests")
 	batchSize := flag.Int("batch-size", 4, "queries per batch request")
@@ -148,6 +149,12 @@ func main() {
 		}
 		acks = &ackLog{f: f}
 		defer f.Close()
+	}
+
+	if *dbSize > 0 {
+		if err := seedDatabase(cl, *seed, *dbSize); err != nil {
+			fatalf("seeding %d graphs: %v", *dbSize, err)
+		}
 	}
 
 	gen := newWorkload(*seed, *corpus, *k, *radius, *batchSize)
@@ -238,6 +245,41 @@ func awaitReady(client *http.Client, base string, budget time.Duration) error {
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
+}
+
+// seedDatabase bulk-inserts a deterministic synthetic collection so a
+// fresh daemon can be driven at a chosen scale (e.g. -db-size 10000 to
+// exercise the vector tier) without preparing an LGF file. Graphs go in
+// batches of 256 under idempotency keys, so an interrupted or retried
+// seeding pass converges instead of 409-ing; names already present
+// (a previous run's collection) fail the pass, which is the right
+// answer — mixing two differently-seeded collections would make the
+// workload non-reproducible.
+func seedDatabase(cl *client.Client, seed int64, n int) error {
+	rng := rand.New(rand.NewSource(seed + 7))
+	const chunk = 256
+	start := time.Now()
+	for off := 0; off < n; off += chunk {
+		m := chunk
+		if n-off < m {
+			m = n - off
+		}
+		gs := make([]*graph.Graph, m)
+		for i := range gs {
+			g := graph.Molecule(5+rng.Intn(4), rng)
+			g.SetName(fmt.Sprintf("loadgen-db-%06d", off+i))
+			gs[i] = g
+		}
+		req := server.InsertRequest{
+			Graphs:         gs,
+			IdempotencyKey: fmt.Sprintf("loadgen-seed-%d-%06d", seed, off),
+		}
+		if _, err := cl.Insert(context.Background(), req); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: seeded %d graphs in %s\n", n, time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // workload produces the deterministic request stream: query graphs are

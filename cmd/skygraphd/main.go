@@ -8,7 +8,11 @@
 // -pivots attaches a background-maintained metric pivot index per
 // shard (triangle-inequality GED bounds for the filter tiers); -memo
 // adds the cross-query exact-score memo that survives mutations the
-// table cache cannot.
+// table cache cannot; -vector-cells adds the vector candidate tier —
+// per-graph embeddings in an IVF-style coarse partition that streams
+// candidates best-first and skips whole cells whose admissible floor
+// cannot beat the running threshold, with answers byte-identical to
+// the plain scan.
 //
 // Usage:
 //
@@ -72,6 +76,7 @@ import (
 	"skygraph/internal/measure"
 	"skygraph/internal/pivot"
 	"skygraph/internal/server"
+	"skygraph/internal/vector"
 	"skygraph/internal/wal"
 )
 
@@ -124,6 +129,8 @@ func main() {
 	pivotBudget := flag.Int64("pivot-budget", 0, "A* node cap per insert-time pivot distance (0 = package default, negative = exact)")
 	pivotQueryBudget := flag.Int64("pivot-query-budget", 0, "A* node cap per query-to-pivot distance (0 = package default, negative = exact)")
 	memoSize := flag.Int("memo", 0, "cross-query exact-score memo capacity (pair entries, 0 = disabled)")
+	vectorCells := flag.Int("vector-cells", 0, "vector candidate tier: coarse partition cells per shard (0 = disabled); answers stay byte-identical, candidates stream best-first")
+	vectorDims := flag.Int("vector-dims", 0, "vector embedding dimensions for the WL-histogram block (0 = package default of 32; needs -vector-cells)")
 	slowQueryMS := flag.Int("slow-query-ms", 0, "log queries at or above this server-side duration as JSON lines to stderr (0 = disabled)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled; keep it private)")
 	dataDir := flag.String("data-dir", "", "durable data directory: WAL + snapshots; a restart with the same directory recovers the database (empty = in-memory only)")
@@ -204,6 +211,13 @@ func main() {
 	}
 	if *memoSize > 0 {
 		db.EnableScoreMemo(*memoSize)
+	}
+	if *vectorCells > 0 {
+		// After EnablePivots (so the embeddings carry pivot-distance
+		// blocks) and after recovery (so every recovered graph is
+		// embedded): the index feeds from the already-loaded shards and
+		// tracks mutations synchronously from here on.
+		db.EnableVector(vector.Config{Dims: *vectorDims, Cells: *vectorCells})
 	}
 	stats := db.Stats()
 	log.Printf("skygraphd: serving %d graphs (%d vertices, %d edges) across %d shards on %s",

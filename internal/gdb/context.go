@@ -26,14 +26,17 @@ func (db *DB) SkylineQueryContext(ctx context.Context, q *graph.Graph, opts Quer
 		Skyline: t.Skyline(opts.Algorithm),
 		All:     t.Points,
 		Stats: QueryStats{
-			Evaluated:   len(t.Points),
-			Pruned:      t.Pruned,
-			Inexact:     t.Inexact,
-			PivotDists:  t.PivotDists,
-			PivotPruned: t.PivotPruned,
-			MemoHits:    t.MemoHits,
-			MemoMisses:  t.MemoMisses,
-			Duration:    time.Since(start),
+			Evaluated:       len(t.Points),
+			Pruned:          t.Pruned,
+			Inexact:         t.Inexact,
+			PivotDists:      t.PivotDists,
+			PivotPruned:     t.PivotPruned,
+			MemoHits:        t.MemoHits,
+			MemoMisses:      t.MemoMisses,
+			VectorCells:     t.VectorCells,
+			VectorSkipped:   t.VectorSkipped,
+			VectorFallbacks: t.VectorFallbacks,
+			Duration:        time.Since(start),
 		},
 	}, nil
 }

@@ -16,6 +16,7 @@ import (
 	"skygraph/internal/graph"
 	"skygraph/internal/measure"
 	"skygraph/internal/pivot"
+	"skygraph/internal/vector"
 	"skygraph/internal/wal"
 )
 
@@ -33,6 +34,10 @@ type DB struct {
 	// pidx, when enabled, is the metric pivot index maintained in the
 	// background as graphs come and go (see EnablePivots).
 	pidx *pivot.Index
+	// vidx, when enabled, is the vector candidate-generation tier:
+	// per-graph embeddings and the IVF partition queries probe
+	// best-first (see EnableVector).
+	vidx *vector.Index
 	// memo, when set, is the cross-query exact-score memo consulted and
 	// fed by every evaluation path (see SetScoreMemo).
 	memo *ScoreMemo
@@ -146,6 +151,9 @@ func (db *DB) insertWithSeq(g *graph.Graph, seq uint64, key string) error {
 	if db.pidx != nil {
 		db.pidx.Add(g.Name(), e.g, e.sig)
 	}
+	if db.vidx != nil {
+		db.vidx.Add(g.Name(), e.g, e.sig, db.gen)
+	}
 	return nil
 }
 
@@ -220,6 +228,9 @@ func (db *DB) DeleteKeyedErr(name, key string) (existed bool, err error) {
 	if db.pidx != nil {
 		db.pidx.Remove(name)
 	}
+	if db.vidx != nil {
+		db.vidx.Remove(name, db.gen)
+	}
 	return true, nil
 }
 
@@ -239,6 +250,9 @@ func (db *DB) EnablePivots(cfg pivot.Config) *pivot.Index {
 			e := db.graphs[n]
 			db.pidx.Add(n, e.g, e.sig)
 		}
+		if db.vidx != nil {
+			db.vidx.AttachPivots(db.pidx)
+		}
 	}
 	return db.pidx
 }
@@ -248,6 +262,37 @@ func (db *DB) PivotIndex() *pivot.Index {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.pidx
+}
+
+// EnableVector attaches the vector candidate tier (see internal/vector):
+// embeddings for the current graphs are computed immediately and
+// maintained synchronously on every insert and delete from then on.
+// Queries pick the tier up automatically once the collection reaches
+// Config.Cells members; until then — and whenever a query cannot prove
+// its snapshot matches the partition — evaluation falls back to the
+// plain scan, so enabling is safe at any point, including right after
+// recovery replay (the embeddings rebuild from the recovered graphs, no
+// separate persistence). Enable pivots first (or at any later point) to
+// get pivot-midpoint embedding coordinates and per-cell pivot floors.
+// Calling it again is a no-op; it returns the index either way.
+func (db *DB) EnableVector(cfg vector.Config) *vector.Index {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.vidx == nil {
+		db.vidx = vector.New(cfg, db.pidx)
+		for _, n := range db.names {
+			e := db.graphs[n]
+			db.vidx.Add(n, e.g, e.sig, db.gen)
+		}
+	}
+	return db.vidx
+}
+
+// VectorIndex returns the attached vector index (nil when disabled).
+func (db *DB) VectorIndex() *vector.Index {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.vidx
 }
 
 // SetScoreMemo attaches a cross-query exact-score memo. Pass the same

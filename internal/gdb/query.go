@@ -44,6 +44,12 @@ type QueryOptions struct {
 	// is identical to an unpruned run. Diversity queries ignore Prune.
 	// Ignored for measures outside this package's built-ins.
 	Prune bool
+	// NoVector opts a pruned query out of the vector candidate tier
+	// (EnableVector): candidates are scanned in plain bound order with
+	// no partition probe. Answers are identical either way — the flag
+	// exists for A/B measurement and as an escape hatch. Meaningless
+	// when no vector index is attached.
+	NoVector bool
 	// Trace, when non-nil, accumulates per-cascade-stage work counters
 	// and durations for this query (see trace.go). The same trace may be
 	// shared by every shard of a sharded query; recording is
@@ -90,6 +96,16 @@ type QueryStats struct {
 	// hits replayed recorded engine results instead of running engines.
 	MemoHits   int
 	MemoMisses int
+	// VectorCells counts partition cells the vector tier probed
+	// (bounded and offered to the scan); VectorSkipped counts graphs in
+	// cells the tier proved out wholesale — their per-graph bounds were
+	// never even computed. VectorFallbacks counts snapshots where a
+	// vector index was attached but could not serve the query (stale
+	// generation, partition not built yet) and the scan fell back to
+	// the plain bound order.
+	VectorCells     int
+	VectorSkipped   int
+	VectorFallbacks int
 	// Duration is the wall-clock query time.
 	Duration time.Duration
 }
@@ -103,6 +119,9 @@ func (s *QueryStats) addRanked(o RankedStats) {
 	s.PivotPruned += o.PivotPruned
 	s.MemoHits += o.MemoHits
 	s.MemoMisses += o.MemoMisses
+	s.VectorCells += o.VectorCells
+	s.VectorSkipped += o.VectorSkipped
+	s.VectorFallbacks += o.VectorFallbacks
 }
 
 // SkylineResult is the answer to a similarity skyline query.
@@ -208,7 +227,8 @@ func (db *DB) RangeQueryContext(ctx context.Context, q *graph.Graph, m measure.M
 		sn := db.snapshot()
 		run := NewRankedRange(m, radius)
 		qsig := run.querySig(q)
-		rs, err := evalRanked(ctx, sn, qsig, q, m, opts, db.newEvalCtx(q, qsig, opts, true), run.coll)
+		ec := db.newEvalCtx(q, qsig, opts, true)
+		rs, err := evalRanked(ctx, sn, qsig, q, m, opts, ec, db.startVector(sn, qsig, q, m, opts, ec), run.coll)
 		if err != nil {
 			return RangeResult{}, err
 		}

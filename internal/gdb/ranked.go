@@ -173,6 +173,14 @@ type RankedStats struct {
 	// MemoHits/MemoMisses count score-memo lookups during the scan.
 	MemoHits   int
 	MemoMisses int
+	// VectorCells counts partition cells probed by the vector tier;
+	// VectorSkipped counts candidates in cells the tier's admissible
+	// floor proved out wholesale (their bounds were never computed);
+	// VectorFallbacks counts snapshots where an attached vector index
+	// could not serve the scan and the plain order ran instead.
+	VectorCells     int
+	VectorSkipped   int
+	VectorFallbacks int
 }
 
 func (s *RankedStats) add(o RankedStats) {
@@ -183,6 +191,9 @@ func (s *RankedStats) add(o RankedStats) {
 	s.PivotPruned += o.PivotPruned
 	s.MemoHits += o.MemoHits
 	s.MemoMisses += o.MemoMisses
+	s.VectorCells += o.VectorCells
+	s.VectorSkipped += o.VectorSkipped
+	s.VectorFallbacks += o.VectorFallbacks
 }
 
 // Ranked is one in-progress best-first ranked query: the shared
@@ -246,7 +257,8 @@ func (r *Ranked) EvalDB(ctx context.Context, db *DB, q *graph.Graph, opts QueryO
 		// value is shared by all shards of one query.
 		opts.QueryHash = r.queryHash(q)
 	}
-	return evalRanked(ctx, sn, qsig, q, r.m, opts, db.newEvalCtx(q, qsig, opts, true), r.coll)
+	ec := db.newEvalCtx(q, qsig, opts, true)
+	return evalRanked(ctx, sn, qsig, q, r.m, opts, ec, db.startVector(sn, qsig, q, r.m, opts, ec), r.coll)
 }
 
 // evalRanked is the scan itself: order candidates by optimistic bound,
@@ -255,22 +267,47 @@ func (r *Ranked) EvalDB(ctx context.Context, db *DB, q *graph.Graph, opts QueryO
 // true near-neighbors earlier and the cutoff fires sooner — and the
 // score memo, which replays recorded pair scores without any engine
 // work.
-func evalRanked(ctx context.Context, sn snap, qsig *measure.Signature, q *graph.Graph, m measure.Measure, opts QueryOptions, ec *evalCtx, coll rankedCollector) (RankedStats, error) {
+//
+// vs (nil-safe) adds the vector tier below all of that: instead of
+// bounding every candidate up front, the scan drains the partition's
+// inverted lists as batches, nearest-and-most-promising cell first
+// (ascending by admissible floor, then centroid proximity). Each batch
+// pays tier-0 bounding only for its own members, so the threshold —
+// seeded from the pessimistic corners probed so far and tightened by
+// every exact score — is already tight when the far cells come up; the
+// moment the next cell's floor exceeds the live threshold, that cell
+// and every cell after it are excluded wholesale, without touching a
+// single signature. Exclusion always carries a proof (the floor is
+// admissible for every member), so the answer — scores and tie-order —
+// is byte-identical to the plain scan.
+func evalRanked(ctx context.Context, sn snap, qsig *measure.Signature, q *graph.Graph, m measure.Measure, opts QueryOptions, ec *evalCtx, vs *vecState, coll rankedCollector) (RankedStats, error) {
 	n := len(sn.graphs)
 	if n == 0 {
 		return RankedStats{}, nil
 	}
 
-	// Tier 0: bound every candidate from its stored signature alone,
-	// tightened by the pivot tier, and order by the optimistic end
-	// (ties by snapshot position, for a deterministic claim order).
-	// sigLos keeps the signature-only optimistic bound for attribution.
 	trace := opts.Trace
-	var tierStart time.Time
-	var pivotDur time.Duration
-	if trace != nil {
-		tierStart = time.Now()
+	var stats RankedStats
+
+	// Tier −1: the probe plan. With a live vector state the batches are
+	// the partition's cells in ascending (floor, centroid distance)
+	// order; otherwise one batch holds every candidate and the scan
+	// below degenerates to exactly the plain pass.
+	vsActive := vs != nil && len(vs.batches) > 0
+	var batches []vecBatch
+	if vsActive {
+		batches = vs.batches
+	} else {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		batches = []vecBatch{{members: all, floor: math.Inf(-1)}}
 	}
+	if vs != nil && vs.fallback {
+		stats.VectorFallbacks = 1
+	}
+
 	bounds := make([]measure.BoundStats, n)
 	los := make([]float64, n)
 	sigLos := los
@@ -279,158 +316,206 @@ func evalRanked(ctx context.Context, sn snap, qsig *measure.Signature, q *graph.
 		sigLos = make([]float64, n)
 	}
 	his := make([]float64, n)
-	order := make([]int, n)
-	for i, sig := range sn.sigs {
-		bounds[i] = measure.BoundPair(sig, qsig)
-		if attribute {
-			sigLos[i], _ = bounds[i].Interval(m)
-			if trace != nil {
-				// tighten may run query-to-pivot engines lazily; that
-				// time belongs to the pivot stage, not the bound stage.
-				t0 := time.Now()
-				ec.tighten(&bounds[i], sn.graphs[i].Name())
-				pivotDur += time.Since(t0)
-			} else {
-				ec.tighten(&bounds[i], sn.graphs[i].Name())
-			}
-		}
-		los[i], his[i] = bounds[i].Interval(m)
-		order[i] = i
-	}
-	// Claim order: by the optimistic end — which is what lets the scan
-	// STOP at the first claim whose lo exceeds the threshold
-	// (everything after is at least as hopeless) — with lo ties broken
-	// by the pessimistic end. Distances are integral, so lo ties are
-	// the common case, and within a tie the candidate that is CERTAINLY
-	// near (small hi) should feed the threshold before one that is
-	// merely possibly near; remaining ties keep snapshot order, for a
-	// deterministic claim sequence. The answer itself is
-	// order-independent — exclusion always carries a proof.
-	sort.SliceStable(order, func(a, b int) bool {
-		la, lb := los[order[a]], los[order[b]]
-		if la != lb {
-			return la < lb
-		}
-		return his[order[a]] < his[order[b]]
-	})
-	// Seed the threshold from the pessimistic corners before anything
-	// evaluates: the k best reported scores each sit under one of the k
-	// smallest uppers (tier-0 uppers already bracket what the capped
-	// engines report; the pivot tier tightens them further when the GED
-	// engine is uncapped), so the scan starts against a real bar instead
-	// of +Inf.
-	coll.seedUppers(his)
-	if trace != nil {
-		// Bounding, ordering and threshold seeding are bound-stage work;
-		// the stage's pruned count (threshold cutoff plus candidates the
-		// signature bound condemns) is derived after the scan.
-		trace.Observe(StageBound, time.Since(tierStart)-pivotDur, n, 0)
-	}
+	// probed marks candidates whose tier-0 bounds were computed; allHis
+	// accumulates their pessimistic corners for threshold seeding.
+	probed := make([]bool, n)
+	allHis := make([]float64, 0, n)
 
 	needGED, needMCS := measure.EngineNeeds(m)
 	useMemo := ec != nil && ec.memo != nil && (needGED || needMCS)
 	scored := make([]atomic.Bool, n)
 
-	workers := opts.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > n {
-		workers = n
-	}
 	var (
-		wg          sync.WaitGroup
-		cursor      atomic.Int64
-		stopped     atomic.Bool
-		canceled    atomic.Bool
 		statsMu     sync.Mutex
-		stats       RankedStats
+		pivotDur    time.Duration
 		exactPruned atomic.Int64 // decision-run exclusions, for stage attribution
+		canceled    bool
 	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var local RankedStats
-			defer func() {
-				statsMu.Lock()
-				stats.add(local)
-				statsMu.Unlock()
-			}()
-			for {
-				k := int(cursor.Add(1)) - 1
-				if k >= n || stopped.Load() {
-					return
-				}
-				if ctx.Err() != nil {
-					canceled.Store(true)
-					stopped.Store(true)
-					return
-				}
-				i := order[k]
-				name := sn.graphs[i].Name()
-				if los[i] > coll.threshold() {
-					// Candidates are claimed in optimistic-bound order:
-					// everything after this one is at least as hopeless.
-					stopped.Store(true)
-					return
-				}
-				var t0 time.Time
+	for b := range batches {
+		if ctx.Err() != nil {
+			return RankedStats{}, ctx.Err()
+		}
+		// The admissibility guard: every member of this cell is provably
+		// at least floor away, and batches ascend by floor — once the
+		// live threshold drops below it, this cell and every remaining
+		// one hold nothing that can enter the answer.
+		if batches[b].floor > coll.threshold() {
+			for _, rest := range batches[b:] {
+				stats.VectorSkipped += len(rest.members)
+			}
+			break
+		}
+		if vsActive {
+			stats.VectorCells++
+		}
+		mem := batches[b].members
+
+		// Tier 0: bound this batch's candidates from their stored
+		// signatures, tightened by the pivot tier, and order by the
+		// optimistic end. sigLos keeps the signature-only optimistic
+		// bound for attribution.
+		var tierStart time.Time
+		var batchPivot time.Duration
+		if trace != nil {
+			tierStart = time.Now()
+		}
+		for _, i := range mem {
+			bounds[i] = measure.BoundPair(sn.sigs[i], qsig)
+			if attribute {
+				sigLos[i], _ = bounds[i].Interval(m)
 				if trace != nil {
-					t0 = time.Now()
+					// tighten may run query-to-pivot engines lazily; that
+					// time belongs to the pivot stage, not the bound stage.
+					t0 := time.Now()
+					ec.tighten(&bounds[i], sn.graphs[i].Name())
+					batchPivot += time.Since(t0)
+				} else {
+					ec.tighten(&bounds[i], sn.graphs[i].Name())
 				}
-				// Memo replay: a recorded pair score skips refinement and
-				// the engines entirely. The replayed score is exact, so
-				// the replay counts as exact-stage work.
-				if useMemo {
-					if r, ok := ec.memoGet(name, sn.seqs[i], needGED, needMCS); ok {
-						ps := measure.PairStatsFrom(sn.sigs[i], qsig, r)
-						local.Evaluated++
-						if (needGED && !r.GEDExact) || (needMCS && !r.MCSExact) {
-							local.Inexact++
+			}
+			los[i], his[i] = bounds[i].Interval(m)
+			probed[i] = true
+			allHis = append(allHis, his[i])
+		}
+		pivotDur += batchPivot
+		// Claim order: by the optimistic end — which is what lets the scan
+		// STOP at the first claim whose lo exceeds the threshold
+		// (everything after in this batch is at least as hopeless) — with
+		// lo ties broken by the pessimistic end. Distances are integral,
+		// so lo ties are the common case, and within a tie the candidate
+		// that is CERTAINLY near (small hi) should feed the threshold
+		// before one that is merely possibly near; remaining ties keep
+		// snapshot order, for a deterministic claim sequence. The answer
+		// itself is order-independent — exclusion always carries a proof.
+		order := append([]int(nil), mem...)
+		sort.SliceStable(order, func(a, b int) bool {
+			la, lb := los[order[a]], los[order[b]]
+			if la != lb {
+				return la < lb
+			}
+			return his[order[a]] < his[order[b]]
+		})
+		// Seed the threshold from every pessimistic corner probed so far:
+		// the k best reported scores each sit under one of the k smallest
+		// uppers (tier-0 uppers already bracket what the capped engines
+		// report; the pivot tier tightens them further when the GED engine
+		// is uncapped), so the scan runs against a real bar instead of
+		// +Inf — and each batch tightens it further before the next floor
+		// check.
+		coll.seedUppers(allHis)
+		if trace != nil {
+			// Bounding, ordering and threshold seeding are bound-stage
+			// work; the stage's pruned count (threshold cutoff plus
+			// candidates the signature bound condemns) is derived after
+			// the scan.
+			trace.Observe(StageBound, time.Since(tierStart)-batchPivot, len(mem), 0)
+		}
+
+		workers := opts.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		if workers > len(order) {
+			workers = len(order)
+		}
+		var (
+			wg         sync.WaitGroup
+			cursor     atomic.Int64
+			stopped    atomic.Bool
+			cancelFlag atomic.Bool
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var local RankedStats
+				defer func() {
+					statsMu.Lock()
+					stats.add(local)
+					statsMu.Unlock()
+				}()
+				for {
+					k := int(cursor.Add(1)) - 1
+					if k >= len(order) || stopped.Load() {
+						return
+					}
+					if ctx.Err() != nil {
+						cancelFlag.Store(true)
+						stopped.Store(true)
+						return
+					}
+					i := order[k]
+					name := sn.graphs[i].Name()
+					if los[i] > coll.threshold() {
+						// Candidates are claimed in optimistic-bound order:
+						// everything after this one in the batch is at
+						// least as hopeless. (Later batches still get
+						// their floor check — their members may bound
+						// lower individually.)
+						stopped.Store(true)
+						return
+					}
+					var t0 time.Time
+					if trace != nil {
+						t0 = time.Now()
+					}
+					// Memo replay: a recorded pair score skips refinement and
+					// the engines entirely. The replayed score is exact, so
+					// the replay counts as exact-stage work.
+					if useMemo {
+						if r, ok := ec.memoGet(name, sn.seqs[i], needGED, needMCS); ok {
+							ps := measure.PairStatsFrom(sn.sigs[i], qsig, r)
+							local.Evaluated++
+							if (needGED && !r.GEDExact) || (needMCS && !r.MCSExact) {
+								local.Inexact++
+							}
+							scored[i].Store(true)
+							coll.offer(topk.Item{ID: name, Score: m.FromStats(ps)})
+							if trace != nil {
+								trace.Observe(StageExact, time.Since(t0), 1, 0)
+							}
+							continue
 						}
-						scored[i].Store(true)
-						coll.offer(topk.Item{ID: name, Score: m.FromStats(ps)})
+					}
+					// Tier 1: polynomial refinement, witnesses kept for the
+					// engines.
+					var wit *measure.Witness
+					bounds[i], wit = measure.RefineWitness(sn.graphs[i], q, bounds[i])
+					if trace != nil {
+						trace.Observe(StageRefine, time.Since(t0), 1, 0)
+						t0 = time.Now()
+					}
+					hints := measure.PairHints{Sig1: sn.sigs[i], Sig2: qsig, Witness: wit}
+					// Tier 2: threshold-fed evaluation — an engine decision
+					// run excludes, or a plain exact run scores.
+					score, got, excluded, inexact := measure.ComputeRankResults(sn.graphs[i], q, m, coll.threshold(), bounds[i], opts.Eval, hints)
+					if excluded {
 						if trace != nil {
-							trace.Observe(StageExact, time.Since(t0), 1, 0)
+							exactPruned.Add(1)
+							trace.Observe(StageExact, time.Since(t0), 1, 1)
 						}
 						continue
 					}
-				}
-				// Tier 1: polynomial refinement, witnesses kept for the
-				// engines.
-				var wit *measure.Witness
-				bounds[i], wit = measure.RefineWitness(sn.graphs[i], q, bounds[i])
-				if trace != nil {
-					trace.Observe(StageRefine, time.Since(t0), 1, 0)
-					t0 = time.Now()
-				}
-				hints := measure.PairHints{Sig1: sn.sigs[i], Sig2: qsig, Witness: wit}
-				// Tier 2: threshold-fed evaluation — an engine decision
-				// run excludes, or a plain exact run scores.
-				score, got, excluded, inexact := measure.ComputeRankResults(sn.graphs[i], q, m, coll.threshold(), bounds[i], opts.Eval, hints)
-				if excluded {
-					if trace != nil {
-						exactPruned.Add(1)
-						trace.Observe(StageExact, time.Since(t0), 1, 1)
+					ec.memoPublish(name, sn.seqs[i], got)
+					local.Evaluated++
+					if inexact {
+						local.Inexact++
 					}
-					continue
+					scored[i].Store(true)
+					coll.offer(topk.Item{ID: name, Score: score})
+					if trace != nil {
+						trace.Observe(StageExact, time.Since(t0), 1, 0)
+					}
 				}
-				ec.memoPublish(name, sn.seqs[i], got)
-				local.Evaluated++
-				if inexact {
-					local.Inexact++
-				}
-				scored[i].Store(true)
-				coll.offer(topk.Item{ID: name, Score: score})
-				if trace != nil {
-					trace.Observe(StageExact, time.Since(t0), 1, 0)
-				}
-			}
-		}()
+			}()
+		}
+		wg.Wait()
+		if cancelFlag.Load() {
+			canceled = true
+			break
+		}
 	}
-	wg.Wait()
-	if canceled.Load() {
+	if canceled {
 		return RankedStats{}, ctx.Err()
 	}
 	stats.Pruned = n - stats.Evaluated
@@ -438,22 +523,28 @@ func evalRanked(ctx context.Context, sn snap, qsig *measure.Signature, q *graph.
 		// Attribute exclusions the pivot tier alone explains: at the
 		// final threshold the merged optimistic bound condemns the
 		// candidate but the signature bound would have let it through.
+		// Candidates a skipped cell covers were never bounded at all —
+		// they are the vector tier's, not the pivot tier's.
 		th := coll.threshold()
 		for i := 0; i < n; i++ {
-			if !scored[i].Load() && los[i] > th && sigLos[i] <= th {
+			if probed[i] && !scored[i].Load() && los[i] > th && sigLos[i] <= th {
 				stats.PivotPruned++
 			}
 		}
 	}
 	stats.PivotDists, stats.MemoHits, stats.MemoMisses = ec.counters()
 	if trace != nil {
+		if vs != nil {
+			trace.Observe(StageVector, vs.planDur, n, stats.VectorSkipped)
+		}
 		if attribute {
 			trace.Observe(StagePivot, pivotDur, n, stats.PivotPruned)
 		}
 		// Whatever was excluded without reaching the engines — the
 		// best-first cutoff or a signature-bound condemnation — is the
-		// bound stage's doing, minus the pivot tier's attributed share.
-		trace.Observe(StageBound, 0, 0, stats.Pruned-int(exactPruned.Load())-stats.PivotPruned)
+		// bound stage's doing, minus the vector and pivot tiers'
+		// attributed shares.
+		trace.Observe(StageBound, 0, 0, stats.Pruned-int(exactPruned.Load())-stats.PivotPruned-stats.VectorSkipped)
 	}
 	return stats, nil
 }

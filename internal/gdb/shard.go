@@ -14,6 +14,7 @@ import (
 	"skygraph/internal/pivot"
 	"skygraph/internal/skyline"
 	"skygraph/internal/topk"
+	"skygraph/internal/vector"
 )
 
 // Sharded partitions a graph database across N independent DB shards by
@@ -33,11 +34,12 @@ type Sharded struct {
 	order []string       // global insertion order of live graph names
 	pos   map[string]int // name -> index in order
 
-	// pivotCfg remembers the per-shard pivot configuration (nil =
-	// disabled) and memo the shared score memo, so Reshard can carry
-	// both over to the new shard set.
-	pivotCfg *pivot.Config
-	memo     *ScoreMemo
+	// pivotCfg and vectorCfg remember the per-shard index
+	// configurations (nil = disabled) and memo the shared score memo,
+	// so Reshard can carry all three over to the new shard set.
+	pivotCfg  *pivot.Config
+	vectorCfg *vector.Config
+	memo      *ScoreMemo
 }
 
 // NewSharded returns an empty database split across n shards (n < 1 is
@@ -213,6 +215,20 @@ func (sh *Sharded) EnablePivots(cfg pivot.Config) {
 	}
 }
 
+// EnableVector attaches one vector candidate tier per shard (each
+// shard partitions exactly its own graphs, so sharded cell skipping
+// stays per shard, like the signature and pivot tiers). Stored so
+// Reshard re-enables the tier on the new shard set. Enable pivots
+// first to give the embeddings their pivot-midpoint block.
+func (sh *Sharded) EnableVector(cfg vector.Config) {
+	sh.mu.Lock()
+	sh.vectorCfg = &cfg
+	sh.mu.Unlock()
+	for _, db := range sh.shards {
+		db.EnableVector(cfg)
+	}
+}
+
 // EnableScoreMemo attaches one shared cross-query score memo to every
 // shard (entries are keyed by process-unique insert sequences, so
 // sharing one LRU across shards is safe and pools its capacity where
@@ -260,10 +276,13 @@ func (sh *Sharded) WaitPivots() {
 func (sh *Sharded) Reshard(n int) (*Sharded, error) {
 	out := NewSharded(n)
 	sh.mu.RLock()
-	cfg, memo := sh.pivotCfg, sh.memo
+	cfg, vcfg, memo := sh.pivotCfg, sh.vectorCfg, sh.memo
 	sh.mu.RUnlock()
 	if cfg != nil {
 		out.EnablePivots(*cfg)
+	}
+	if vcfg != nil {
+		out.EnableVector(*vcfg)
 	}
 	if memo != nil {
 		out.mu.Lock()
@@ -520,6 +539,9 @@ func mergedStats(tables []*VectorTable, start time.Time) QueryStats {
 		s.PivotPruned += t.PivotPruned
 		s.MemoHits += t.MemoHits
 		s.MemoMisses += t.MemoMisses
+		s.VectorCells += t.VectorCells
+		s.VectorSkipped += t.VectorSkipped
+		s.VectorFallbacks += t.VectorFallbacks
 	}
 	return s
 }

@@ -45,6 +45,14 @@ type VectorTable struct {
 	// the engines.
 	MemoHits   int
 	MemoMisses int
+	// VectorCells, VectorSkipped and VectorFallbacks report the vector
+	// tier's pre-selection on a pruned build: partition cells probed,
+	// graphs dropped wholesale because a probed survivor's pessimistic
+	// corner strictly dominates their cell's floor vector, and
+	// snapshots an attached index could not serve (stale generation).
+	VectorCells     int
+	VectorSkipped   int
+	VectorFallbacks int
 	// Duration is the wall-clock time of the evaluation.
 	Duration time.Duration
 }
@@ -100,11 +108,17 @@ func (db *DB) VectorTable(ctx context.Context, q *graph.Graph, opts QueryOptions
 		// The pivot tier only pays off when bounds can exclude pairs, so
 		// only the pruned build computes query-to-pivot distances.
 		ec = db.newEvalCtx(q, qsig, opts, true)
-		pts, pruned, inexact, err := evalPruned(ctx, sn, q, qsig, ec, opts)
+		// The vector tier narrows the snapshot first: whole cells whose
+		// floor vector is strictly dominated by an already-probed
+		// survivor never even reach the signature bounds.
+		psn, vst := db.vectorPreselect(sn, qsig, q, opts, ec)
+		pts, pruned, inexact, err := evalPruned(ctx, psn, q, qsig, ec, opts)
 		if err != nil {
 			return nil, err
 		}
+		pruned += vst.Skipped
 		t.Points, t.Pruned, t.Inexact, t.Complete = pts, pruned, inexact, pruned == 0
+		t.VectorCells, t.VectorSkipped, t.VectorFallbacks = vst.Cells, vst.Skipped, vst.Fallbacks
 	} else {
 		// Stored signatures spare the per-pair histogram/degree rebuild
 		// even on the unpruned path; the query's is computed once. The

@@ -10,6 +10,9 @@ import (
 // work ran there and how many candidate pairs it settled. The stages
 // mirror the filter-and-refine pipeline (prune.go / ranked.go):
 //
+//	vector  the tier below the bounds: partition-index cell ordering,
+//	        per-cell admissible floors, and the wholesale cell skips
+//	        they prove (see internal/vector)
 //	bound   tier-0 signature bounds: histogram/degree intervals from the
 //	        stored index, the candidate ordering of ranked scans, and
 //	        the threshold cutoff that ends them
@@ -37,7 +40,8 @@ import (
 type Stage int
 
 const (
-	StageBound Stage = iota
+	StageVector Stage = iota
+	StageBound
 	StagePivot
 	StageRefine
 	StageExact
@@ -45,7 +49,7 @@ const (
 	numStages
 )
 
-var stageNames = [numStages]string{"bound", "pivot", "refine", "exact", "merge"}
+var stageNames = [numStages]string{"vector", "bound", "pivot", "refine", "exact", "merge"}
 
 // String returns the stage's wire name.
 func (s Stage) String() string { return stageNames[s] }
@@ -84,8 +88,8 @@ func (t *QueryTrace) Observe(s Stage, d time.Duration, pairs, pruned int) {
 
 // TraceStage is one stage's totals in wire form.
 type TraceStage struct {
-	// Stage is the cascade stage name: bound, pivot, refine, exact,
-	// merge.
+	// Stage is the cascade stage name: vector, bound, pivot, refine,
+	// exact, merge.
 	Stage string `json:"stage"`
 	// DurationMS is the stage's work time, summed across shards and
 	// workers.

@@ -13,50 +13,137 @@ import (
 // stronger than label/degree histograms and almost always separates
 // non-isomorphic graphs in practice, at O((V+E)·iters) cost — the standard
 // cheap pre-filter before running an exact matcher.
+//
+// Colors are 64-bit FNV hashes computed canonically from structure alone
+// (no per-graph numbering), so the same rooted neighborhood produces the
+// same hash in every graph. That makes the colors directly usable as
+// cross-graph features (WLHistogram) in addition to the per-graph
+// partition views (WLColors, WLSignature).
+
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// fnvString folds a string into a running FNV-1a hash, with a length
+// prefix so concatenated fields cannot collide by re-splitting.
+func fnvString(h uint64, s string) uint64 {
+	h = fnvUint64(h, uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// fnvUint64 folds eight bytes into a running FNV-1a hash.
+func fnvUint64(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime64
+		x >>= 8
+	}
+	return h
+}
+
+// wlRefine runs color refinement on hashed colors, reusing scratch
+// buffers across rounds (no strings, no per-round maps except the
+// distinct-color counter). maxRounds <= 0 refines to stability; the
+// |V|+1 safety bound always applies. Returns the final colors and the
+// number of rounds executed.
+//
+// Stopping criterion: refinement only ever splits color classes (the
+// next color is a function of the current one), so the partition is
+// stable exactly when the number of distinct colors stops growing.
+func wlRefine(g *Graph, maxRounds int) ([]uint64, int) {
+	n := g.Order()
+	cur := make([]uint64, n)
+	labelSeed := fnvString(fnvOffset64, "wl/v")
+	for v := 0; v < n; v++ {
+		cur[v] = fnvString(labelSeed, g.VertexLabel(v))
+	}
+	if n == 0 {
+		return cur, 0
+	}
+	next := make([]uint64, n)
+	sig := make([]uint64, 0, 16) // per-vertex neighbor contributions, reused
+	distinct := make(map[uint64]struct{}, n)
+	countDistinct := func(cs []uint64) int {
+		clear(distinct)
+		for _, c := range cs {
+			distinct[c] = struct{}{}
+		}
+		return len(distinct)
+	}
+	classes := countDistinct(cur)
+	edgeSeed := fnvString(fnvOffset64, "wl/e")
+	rounds := 0
+	for rounds < n+1 && (maxRounds <= 0 || rounds < maxRounds) {
+		for v := 0; v < n; v++ {
+			sig = sig[:0]
+			for w, el := range g.NeighborSet(v) {
+				sig = append(sig, fnvUint64(fnvString(edgeSeed, el), cur[w]))
+			}
+			sort.Slice(sig, func(i, j int) bool { return sig[i] < sig[j] })
+			h := fnvUint64(fnvString(fnvOffset64, "wl/c"), cur[v])
+			for _, s := range sig {
+				h = fnvUint64(h, s)
+			}
+			next[v] = h
+		}
+		rounds++
+		cur, next = next, cur
+		nc := countDistinct(cur)
+		if nc == classes {
+			break
+		}
+		classes = nc
+	}
+	return cur, rounds
+}
 
 // WLColors returns the stable WL colors (arbitrary but deterministic
-// integers) per vertex, and the number of refinement rounds executed.
+// integers, dense in first-vertex order) per vertex, and the number of
+// refinement rounds executed.
 func WLColors(g *Graph) ([]int, int) {
-	n := g.Order()
-	colors := make([]int, n)
-	names := map[string]int{}
-	for v := 0; v < n; v++ {
-		key := "l:" + g.VertexLabel(v)
-		id, ok := names[key]
+	return WLColorsCapped(g, 0)
+}
+
+// WLColorsCapped is WLColors with an iteration cap: maxRounds <= 0
+// refines to stability, otherwise at most maxRounds refinement rounds
+// run (a capped run is still a valid — merely coarser — invariant
+// partition).
+func WLColorsCapped(g *Graph, maxRounds int) ([]int, int) {
+	hashes, rounds := wlRefine(g, maxRounds)
+	colors := make([]int, len(hashes))
+	ids := make(map[uint64]int, len(hashes))
+	for v, h := range hashes {
+		id, ok := ids[h]
 		if !ok {
-			id = len(names)
-			names[key] = id
+			id = len(ids)
+			ids[h] = id
 		}
 		colors[v] = id
 	}
-	rounds := 0
-	for {
-		next := make([]int, n)
-		nextNames := map[string]int{}
-		for v := 0; v < n; v++ {
-			sig := make([]string, 0, g.Degree(v))
-			for w, el := range g.NeighborSet(v) {
-				sig = append(sig, fmt.Sprintf("%s~%d", el, colors[w]))
-			}
-			sort.Strings(sig)
-			key := fmt.Sprintf("%d(%s)", colors[v], strings.Join(sig, ","))
-			id, ok := nextNames[key]
-			if !ok {
-				id = len(nextNames)
-				nextNames[key] = id
-			}
-			next[v] = id
-		}
-		rounds++
-		if samePartition(colors, next) {
-			return colors, rounds
-		}
-		colors = next
-		if rounds > n+1 {
-			// Refinement stabilizes within |V| rounds; this is a safety net.
-			return colors, rounds
-		}
+	return colors, rounds
+}
+
+// WLHistogram returns a dims-length feature-hashed histogram of g's WL
+// colors after at most iters refinement rounds (iters <= 0 refines to
+// stability). Bucket = color hash mod dims. Colors are canonical across
+// graphs, so isomorphic graphs produce identical histograms and graphs
+// sharing local structure share buckets — the embedding feature used by
+// the vector candidate tier. Counts are raw vertex counts.
+func WLHistogram(g *Graph, iters, dims int) []float64 {
+	if dims <= 0 {
+		return nil
 	}
+	out := make([]float64, dims)
+	hashes, _ := wlRefine(g, iters)
+	for _, h := range hashes {
+		out[h%uint64(dims)]++
+	}
+	return out
 }
 
 // samePartition reports whether two colorings induce the same partition of

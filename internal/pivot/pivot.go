@@ -384,8 +384,22 @@ func (ix *Index) Pivots() []string {
 type QueryBounds struct {
 	qd      []Entry
 	entries map[string][]Entry
+	epoch   uint64
 	// Dists is the number of query-to-pivot engine runs performed.
 	Dists int
+}
+
+// snapLocked returns the query-facing copy of the columns, rebuilding
+// it if stale. Callers must hold ix.mu.
+func (ix *Index) snapLocked() map[string][]Entry {
+	if ix.snap == nil || ix.snapDirty {
+		ix.snap = make(map[string][]Entry, len(ix.entries))
+		for name, col := range ix.entries {
+			ix.snap[name] = col
+		}
+		ix.snapDirty = false
+	}
+	return ix.snap
 }
 
 // StartQuery computes the query's P pivot distances (the only engine
@@ -395,23 +409,53 @@ type QueryBounds struct {
 func (ix *Index) StartQuery(q *graph.Graph, qsig *measure.Signature) *QueryBounds {
 	ix.mu.Lock()
 	pivots := ix.pivots
-	if ix.snap == nil || ix.snapDirty {
-		ix.snap = make(map[string][]Entry, len(ix.entries))
-		for name, col := range ix.entries {
-			ix.snap[name] = col
-		}
-		ix.snapDirty = false
-	}
-	entries := ix.snap
+	epoch := ix.epoch
+	entries := ix.snapLocked()
 	ix.mu.Unlock()
 	if len(pivots) == 0 || len(entries) == 0 {
 		return nil
 	}
-	qb := &QueryBounds{qd: make([]Entry, len(pivots)), entries: entries, Dists: len(pivots)}
+	qb := &QueryBounds{qd: make([]Entry, len(pivots)), entries: entries, epoch: epoch, Dists: len(pivots)}
 	for i, p := range pivots {
 		qb.qd[i] = distance(q, qsig, p, ix.cfg.QueryMaxNodes)
 	}
 	return qb
+}
+
+// Epoch returns the selection epoch the bounds were captured at.
+// Consumers holding per-epoch derived data (the vector tier's cell
+// summaries) compare epochs before trusting any cross-referenced
+// per-pivot geometry.
+func (qb *QueryBounds) Epoch() uint64 { return qb.epoch }
+
+// NumPivots returns the number of query-to-pivot intervals held.
+func (qb *QueryBounds) NumPivots() int { return len(qb.qd) }
+
+// QueryDistance returns the i-th query-to-pivot certified interval, in
+// pivot selection order.
+func (qb *QueryBounds) QueryDistance(i int) Entry { return qb.qd[i] }
+
+// Midpoints returns the midpoint of every query-to-pivot interval, in
+// pivot selection order — the query's coordinates in the pivot-distance
+// part of the vector tier's embedding space.
+func (qb *QueryBounds) Midpoints() []float64 {
+	out := make([]float64, len(qb.qd))
+	for i, e := range qb.qd {
+		out[i] = (e.Lo + e.Hi) / 2
+	}
+	return out
+}
+
+// ColumnsSnapshot returns the current selection epoch, the pivot names
+// in selection order, and the query-facing snapshot of the published
+// distance columns. The snapshot map is shared and immutable — callers
+// must not mutate it. The vector tier reads it to place members at
+// their pivot-distance midpoints and to summarize per-cell pivot
+// ranges; the epoch tag lets it reject cross-epoch combinations.
+func (ix *Index) ColumnsSnapshot() (epoch uint64, pnames []string, cols map[string][]Entry) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.epoch, append([]string(nil), ix.pnames...), ix.snapLocked()
 }
 
 // GED returns the intersected triangle-inequality interval

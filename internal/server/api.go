@@ -62,11 +62,18 @@ type QueryRequest struct {
 	// the same graph are served from.
 	Prune *bool `json:"prune,omitempty"`
 	// Trace requests the per-stage cascade trace in the response: one
-	// entry per stage the query touched (bound, pivot, refine, exact,
-	// merge) with wall time, pair count and pruned count. The trace is
-	// always recorded server-side (it feeds the stage metrics and the
+	// entry per stage the query touched (vector, bound, pivot, refine,
+	// exact, merge) with wall time, pair count and pruned count. The trace
+	// is always recorded server-side (it feeds the stage metrics and the
 	// slow-query log); this flag only controls whether it is returned.
 	Trace bool `json:"trace,omitempty"`
+	// Vector opts out of the vector candidate tier when set false: the
+	// pruned paths scan in insertion order instead of partition-proximity
+	// order and skip no cells. The answer is byte-identical either way —
+	// the flag exists for A/B measurement against a daemon running with
+	// -vector-cells. Unset (or true) uses the tier whenever the shards
+	// carry a partition.
+	Vector *bool `json:"vector,omitempty"`
 }
 
 // QueryStats reports the work a request caused.
@@ -97,6 +104,17 @@ type QueryStats struct {
 	// without -memo.
 	MemoHits   int `json:"memo_hits"`
 	MemoMisses int `json:"memo_misses"`
+	// VectorCells counts partition cells the vector tier probed for this
+	// request's fresh evaluations; VectorSkipped counts graphs (within
+	// Pruned) it excluded wholesale — by the admissible cell floor on the
+	// ranked paths, by cell-floor dominance on the skyline path — without
+	// even a signature bound; VectorFallbacks counts shard snapshots an
+	// attached vector index could not serve (stale partition), which fell
+	// back to the plain scan. All 0 without -vector-cells and for cache
+	// hits.
+	VectorCells     int `json:"vector_cells_probed"`
+	VectorSkipped   int `json:"vector_skipped"`
+	VectorFallbacks int `json:"vector_fallbacks"`
 	// CacheHit reports whether every shard table came from the cache.
 	CacheHit bool `json:"cache_hit"`
 	// Shards is the number of shards the query ran against.
@@ -215,6 +233,11 @@ type BatchStats struct {
 	PivotDists  int `json:"pivot_dists"`
 	MemoHits    int `json:"memo_hits"`
 	MemoMisses  int `json:"memo_misses"`
+	// VectorCells, VectorSkipped and VectorFallbacks aggregate the
+	// per-item vector-tier counters (see QueryStats).
+	VectorCells     int `json:"vector_cells_probed"`
+	VectorSkipped   int `json:"vector_skipped"`
+	VectorFallbacks int `json:"vector_fallbacks"`
 	// ShardHits counts shard tables served from the cache or a
 	// coalesced leader across the batch.
 	ShardHits int `json:"shard_hits"`
@@ -389,6 +412,16 @@ type ShardInfo struct {
 	Pivots       int    `json:"pivots,omitempty"`
 	PivotReady   int    `json:"pivot_ready,omitempty"`
 	PivotPending int    `json:"pivot_pending,omitempty"`
+	// Vector-tier occupancy when the daemon runs with -vector-cells:
+	// coarse cells in the shard's partition, embedded members, mean
+	// inverted-list length, the partition's rebuild epoch and lifetime
+	// rebuild count. Absent (zero) without the tier; a shard still below
+	// -vector-cells members reports 0 cells (dormant partition).
+	VectorCells    int     `json:"vector_cells,omitempty"`
+	VectorMembers  int     `json:"vector_members,omitempty"`
+	VectorMeanList float64 `json:"vector_mean_list,omitempty"`
+	VectorEpoch    uint64  `json:"vector_epoch,omitempty"`
+	VectorRebuilds int64   `json:"vector_rebuilds,omitempty"`
 }
 
 // DBStats mirrors gdb.Stats in wire form.
@@ -418,10 +451,17 @@ type ReqStats struct {
 	// tier's triangle bounds excluded; PivotDists counts query-to-pivot
 	// distance computations. MemoHits/MemoMisses total the score-memo
 	// lookups the query paths performed.
-	PivotPruned      uint64 `json:"pivot_pruned"`
-	PivotDists       uint64 `json:"pivot_dists"`
-	MemoHits         uint64 `json:"memo_hits"`
-	MemoMisses       uint64 `json:"memo_misses"`
+	PivotPruned uint64 `json:"pivot_pruned"`
+	PivotDists  uint64 `json:"pivot_dists"`
+	MemoHits    uint64 `json:"memo_hits"`
+	MemoMisses  uint64 `json:"memo_misses"`
+	// VectorCells, VectorSkipped and VectorFallbacks total the vector
+	// tier's activity across all fresh evaluations: partition cells
+	// probed, candidates excluded wholesale by cell floors, and shard
+	// snapshots a stale partition could not serve.
+	VectorCells      uint64 `json:"vector_cells_probed"`
+	VectorSkipped    uint64 `json:"vector_skipped"`
+	VectorFallbacks  uint64 `json:"vector_fallbacks"`
 	QueryTimeouts    uint64 `json:"query_timeouts"`
 	InflightRejected uint64 `json:"inflight_rejected"`
 	// LoadShed counts queries refused with 429 at the inflight-query

@@ -152,6 +152,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		stats.PivotDists += qs.PivotDists
 		stats.MemoHits += qs.MemoHits
 		stats.MemoMisses += qs.MemoMisses
+		stats.VectorCells += qs.VectorCells
+		stats.VectorSkipped += qs.VectorSkipped
+		stats.VectorFallbacks += qs.VectorFallbacks
 		stats.ShardHits += qs.ShardHits
 	}
 	writeJSON(w, http.StatusOK, BatchResponse{Results: results, Stats: stats})

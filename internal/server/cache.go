@@ -85,6 +85,14 @@ func CacheKey(shard int, generation uint64, queryHash string, basis []measure.Me
 // full-table, top-k or range lookup — hence the separate namespace.
 func prunedKey(full string) string { return full + "|pruned" }
 
+// vectorKey derives the key of the pruned-table variant built with the
+// vector tier's cell pre-selection live. Its skyline is identical to
+// the plain pruned variant's, but the two hold different survivor sets
+// and different work attributions, and the "vector": false escape hatch
+// promises a vector-free evaluation — so the variants never shadow one
+// another.
+func vectorKey(full string) string { return full + "|vector" }
+
 // RankedKey renders the cache key of a pruned ranked answer: the merged
 // result of one (kind, measure, k/radius) query, bound to the canonical
 // query hash, the engine budgets and every shard's generation. The

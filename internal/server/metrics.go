@@ -34,6 +34,7 @@ type metrics struct {
 	pivotPruned   obs.CounterVec
 	memoHits      obs.CounterVec
 	memoMisses    obs.CounterVec
+	vectorSkipped obs.CounterVec
 	queryCacheHit obs.CounterVec
 
 	// Cascade stages, labelled by trace stage name.
@@ -70,6 +71,8 @@ func newMetrics(s *Server) *metrics {
 		"Score-memo lookups that replayed a recorded result, by query kind.", "kind")
 	m.memoMisses = reg.CounterVec("skygraph_query_memo_misses_total",
 		"Score-memo lookups that missed, by query kind.", "kind")
+	m.vectorSkipped = reg.CounterVec("skygraph_query_vector_skipped_total",
+		"Candidates the vector tier excluded wholesale via cell floors, by query kind.", "kind")
 	m.queryCacheHit = reg.CounterVec("skygraph_query_cache_hits_total",
 		"Queries answered entirely from the table or ranked cache, by query kind.", "kind")
 
@@ -96,6 +99,12 @@ func newMetrics(s *Server) *metrics {
 		func() float64 { return float64(s.errors.Load()) })
 	reg.CounterFunc("skygraph_query_timeouts_total", "Queries that hit their deadline.",
 		func() float64 { return float64(s.timeouts.Load()) })
+	reg.CounterFunc("skygraph_vector_cells_probed_total", "Partition cells the vector tier probed across fresh evaluations.",
+		func() float64 { return float64(s.vectorCells.Load()) })
+	reg.CounterFunc("skygraph_vector_skipped_total", "Candidates the vector tier excluded wholesale via cell floors.",
+		func() float64 { return float64(s.vectorSkipped.Load()) })
+	reg.CounterFunc("skygraph_vector_fallbacks_total", "Shard snapshots a stale vector partition could not serve.",
+		func() float64 { return float64(s.vectorFallbacks.Load()) })
 	reg.CounterFunc("skygraph_inflight_rejected_total", "Evaluations rejected at the inflight limit.",
 		func() float64 { return float64(s.rejected.Load()) })
 	reg.CounterFunc("skygraph_load_shed_total", "Queries refused with 429 at the inflight-query cap.",
@@ -192,11 +201,35 @@ func newMetrics(s *Server) *metrics {
 	var pivotReady, pivotPending obs.GaugeVec
 	var pivotRebuilds, pivotRebuildSecs, pivotColumns, pivotColumnSecs obs.CounterVec
 	pivotRegistered := false
+	var vecCells, vecMembers, vecMeanList, vecEpoch obs.GaugeVec
+	var vecRebuilds, vecRebuildSecs obs.CounterVec
+	vectorRegistered := false
 	for i := 0; i < s.db.NumShards(); i++ {
 		shard := s.db.Shard(i)
 		label := strconv.Itoa(i)
 		shardGraphs.WithFunc(func() float64 { return float64(shard.Len()) }, label)
 		shardGen.WithFunc(func() float64 { return float64(shard.Generation()) }, label)
+		// Vector-tier occupancy where a partition index is attached: cell
+		// count, embedded members, mean inverted-list length, and the
+		// epoch/rebuild counters that show the inline doubling rebuilds
+		// keeping up with growth.
+		if vix := shard.VectorIndex(); vix != nil {
+			if !vectorRegistered {
+				vectorRegistered = true
+				vecCells = reg.GaugeVec("skygraph_vector_cells", "Coarse cells in the shard's vector partition.", "shard")
+				vecMembers = reg.GaugeVec("skygraph_vector_members", "Graphs embedded in the shard's vector partition.", "shard")
+				vecMeanList = reg.GaugeVec("skygraph_vector_mean_list_length", "Mean inverted-list length per partition cell, per shard.", "shard")
+				vecEpoch = reg.GaugeVec("skygraph_vector_epoch", "Partition rebuild epoch, per shard.", "shard")
+				vecRebuilds = reg.CounterVec("skygraph_vector_rebuilds_total", "Partition rebuilds (centroid re-selections), per shard.", "shard")
+				vecRebuildSecs = reg.CounterVec("skygraph_vector_rebuild_seconds_total", "Time spent rebuilding partitions, per shard.", "shard")
+			}
+			vecCells.WithFunc(func() float64 { return float64(vix.Occupancy().Cells) }, label)
+			vecMembers.WithFunc(func() float64 { return float64(vix.Occupancy().Members) }, label)
+			vecMeanList.WithFunc(func() float64 { return vix.Occupancy().MeanList }, label)
+			vecEpoch.WithFunc(func() float64 { return float64(vix.Occupancy().Epoch) }, label)
+			vecRebuilds.WithFunc(func() float64 { return float64(vix.Occupancy().Rebuilds) }, label)
+			vecRebuildSecs.WithFunc(func() float64 { return float64(vix.Occupancy().RebuildNanos) / 1e9 }, label)
+		}
 		ix := shard.PivotIndex()
 		if ix == nil {
 			continue
@@ -275,6 +308,7 @@ func (m *metrics) observeQuery(kind string, qs QueryStats, stages []gdb.TraceSta
 	m.pivotPruned.With(kind).Add(float64(qs.PivotPruned))
 	m.memoHits.With(kind).Add(float64(qs.MemoHits))
 	m.memoMisses.With(kind).Add(float64(qs.MemoMisses))
+	m.vectorSkipped.With(kind).Add(float64(qs.VectorSkipped))
 	if qs.CacheHit {
 		m.queryCacheHit.With(kind).Inc()
 	}

@@ -27,12 +27,15 @@ type rankedAnswer struct {
 	// evaluated and pruned count pair decisions this request caused
 	// (0 when the whole answer came from a cache), with the pivot-tier
 	// and score-memo activity of the fresh shard scans alongside.
-	evaluated   int
-	pruned      int
-	pivotPruned int
-	pivotDists  int
-	memoHits    int
-	memoMisses  int
+	evaluated       int
+	pruned          int
+	pivotPruned     int
+	pivotDists      int
+	memoHits        int
+	memoMisses      int
+	vectorCells     int
+	vectorSkipped   int
+	vectorFallbacks int
 	// shardHits counts shards served from cached complete tables; hit
 	// reports the whole merged answer came from the ranked cache (or a
 	// coalesced leader).
@@ -58,6 +61,12 @@ func (s *Server) ranked(ctx context.Context, kind string, res resolved, k int, r
 	for {
 		gens := s.db.Generations()
 		key := RankedKey(kind, gens, res.qh, res.m, rankedArg(kind, k, radius), res.opts.Eval)
+		if res.novector {
+			// The answers are byte-identical, but the opt-out is an A/B
+			// measurement tool: it must neither serve nor seed the default
+			// path's cached answers.
+			key += "|novec"
+		}
 		if e, ok := s.cache.GetRanked(key); ok {
 			return rankedAnswer{items: e.items, inexact: e.inexact, shardHits: n, hit: true}, nil
 		}
@@ -76,6 +85,7 @@ func (s *Server) ranked(ctx context.Context, kind string, res resolved, k int, r
 				ra := *leader.ra
 				ra.evaluated, ra.pruned = 0, 0
 				ra.pivotPruned, ra.pivotDists, ra.memoHits, ra.memoMisses = 0, 0, 0, 0
+				ra.vectorCells, ra.vectorSkipped, ra.vectorFallbacks = 0, 0, 0
 				ra.shardHits, ra.hit = n, true
 				return ra, nil
 			}
@@ -169,7 +179,7 @@ func (s *Server) leadRanked(ctx context.Context, kind string, res resolved, k in
 		for j, shard := range cold {
 			go func(j, shard int) {
 				defer func() { done <- j }()
-				opts := gdb.QueryOptions{Eval: res.opts.Eval, Workers: workers, Trace: res.opts.Trace}
+				opts := gdb.QueryOptions{Eval: res.opts.Eval, Workers: workers, Trace: res.opts.Trace, NoVector: res.novector}
 				stats[j], errs[j] = run.EvalDB(ctx, s.db.Shard(shard), res.q, opts)
 			}(j, shard)
 		}
@@ -189,6 +199,9 @@ func (s *Server) leadRanked(ctx context.Context, kind string, res resolved, k in
 			ra.pivotDists += st.PivotDists
 			ra.memoHits += st.MemoHits
 			ra.memoMisses += st.MemoMisses
+			ra.vectorCells += st.VectorCells
+			ra.vectorSkipped += st.VectorSkipped
+			ra.vectorFallbacks += st.VectorFallbacks
 		}
 	}
 
@@ -207,6 +220,9 @@ func (s *Server) leadRanked(ctx context.Context, kind string, res resolved, k in
 	s.pivotDists.Add(uint64(ra.pivotDists))
 	s.memoHits.Add(uint64(ra.memoHits))
 	s.memoMisses.Add(uint64(ra.memoMisses))
+	s.vectorCells.Add(uint64(ra.vectorCells))
+	s.vectorSkipped.Add(uint64(ra.vectorSkipped))
+	s.vectorFallbacks.Add(uint64(ra.vectorFallbacks))
 	// Cache only when no mutation raced the evaluation: generations are
 	// monotone, so unchanged before/after means every snapshot the scan
 	// used matches the keyed generations.
@@ -231,16 +247,19 @@ func gensEqual(a, b []uint64) bool {
 // rankedStats assembles the wire stats for one pruned ranked answer.
 func (s *Server) rankedStats(ra rankedAnswer, start time.Time) QueryStats {
 	return QueryStats{
-		Evaluated:   ra.evaluated,
-		Pruned:      ra.pruned,
-		Inexact:     ra.inexact,
-		PivotPruned: ra.pivotPruned,
-		PivotDists:  ra.pivotDists,
-		MemoHits:    ra.memoHits,
-		MemoMisses:  ra.memoMisses,
-		CacheHit:    ra.hit || ra.shardHits == s.db.NumShards(),
-		Shards:      s.db.NumShards(),
-		ShardHits:   ra.shardHits,
-		DurationMS:  float64(time.Since(start).Microseconds()) / 1000,
+		Evaluated:       ra.evaluated,
+		Pruned:          ra.pruned,
+		Inexact:         ra.inexact,
+		PivotPruned:     ra.pivotPruned,
+		PivotDists:      ra.pivotDists,
+		MemoHits:        ra.memoHits,
+		MemoMisses:      ra.memoMisses,
+		VectorCells:     ra.vectorCells,
+		VectorSkipped:   ra.vectorSkipped,
+		VectorFallbacks: ra.vectorFallbacks,
+		CacheHit:        ra.hit || ra.shardHits == s.db.NumShards(),
+		Shards:          s.db.NumShards(),
+		ShardHits:       ra.shardHits,
+		DurationMS:      float64(time.Since(start).Microseconds()) / 1000,
 	}
 }

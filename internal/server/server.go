@@ -133,6 +133,9 @@ type Server struct {
 	pivotDists      atomic.Uint64
 	memoHits        atomic.Uint64
 	memoMisses      atomic.Uint64
+	vectorCells     atomic.Uint64
+	vectorSkipped   atomic.Uint64
+	vectorFallbacks atomic.Uint64
 	timeouts        atomic.Uint64
 	rejected        atomic.Uint64
 	shed            atomic.Uint64
@@ -375,6 +378,11 @@ type resolved struct {
 	// their own key variant because they cannot serve top-k/range/full-
 	// table requests.
 	prune bool
+	// novector is the request's explicit opt-out of the vector tier
+	// ("vector": false). Pruned tables built without the tier live in
+	// their own key variant, so an A/B pair of requests never serves one
+	// path's table for the other's.
+	novector bool
 }
 
 // tableGroup keys the set of requests answerable from the same shard
@@ -439,7 +447,8 @@ func (s *Server) resolveQuery(req *QueryRequest, needMeasure bool) (resolved, er
 	// Workers 0 is resolved per query in tables(), where the number of
 	// shards actually needing evaluation is known. The canonical query
 	// hash rides along so the score memo never re-canonicalizes.
-	res.opts = gdb.QueryOptions{Basis: basis, Eval: s.mergeEval(req.Eval), Workers: s.cfg.Workers, QueryHash: res.qh}
+	res.novector = req.Vector != nil && !*req.Vector
+	res.opts = gdb.QueryOptions{Basis: basis, Eval: s.mergeEval(req.Eval), Workers: s.cfg.Workers, QueryHash: res.qh, NoVector: res.novector}
 	// Every kind prunes by default when the bounds allow it: skyline
 	// requests unless the full table was asked for (boundable basis),
 	// ranking kinds whenever the ranking measure is a built-in. "prune":
@@ -551,12 +560,15 @@ type tableSet struct {
 // tableWork sums the fresh-evaluation counters of one or more shard
 // table builds.
 type tableWork struct {
-	evaluated   int
-	pruned      int
-	pivotPruned int
-	pivotDists  int
-	memoHits    int
-	memoMisses  int
+	evaluated       int
+	pruned          int
+	pivotPruned     int
+	pivotDists      int
+	memoHits        int
+	memoMisses      int
+	vectorCells     int
+	vectorSkipped   int
+	vectorFallbacks int
 }
 
 // freshWork extracts a table's counters, zeroed for cache hits (the
@@ -566,12 +578,15 @@ func freshWork(t *gdb.VectorTable, hit bool) tableWork {
 		return tableWork{}
 	}
 	return tableWork{
-		evaluated:   len(t.Points),
-		pruned:      t.Pruned,
-		pivotPruned: t.PivotPruned,
-		pivotDists:  t.PivotDists,
-		memoHits:    t.MemoHits,
-		memoMisses:  t.MemoMisses,
+		evaluated:       len(t.Points),
+		pruned:          t.Pruned,
+		pivotPruned:     t.PivotPruned,
+		pivotDists:      t.PivotDists,
+		memoHits:        t.MemoHits,
+		memoMisses:      t.MemoMisses,
+		vectorCells:     t.VectorCells,
+		vectorSkipped:   t.VectorSkipped,
+		vectorFallbacks: t.VectorFallbacks,
 	}
 }
 
@@ -582,6 +597,9 @@ func (w *tableWork) add(o tableWork) {
 	w.pivotDists += o.pivotDists
 	w.memoHits += o.memoHits
 	w.memoMisses += o.memoMisses
+	w.vectorCells += o.vectorCells
+	w.vectorSkipped += o.vectorSkipped
+	w.vectorFallbacks += o.vectorFallbacks
 }
 
 func (ts tableSet) inexact() int {
@@ -677,7 +695,19 @@ func (s *Server) cachedForQuery(shard int, qh string, res resolved) bool {
 	if s.cache.contains(key) {
 		return true
 	}
-	return res.prune && s.cache.contains(prunedKey(key))
+	return res.prune && s.cache.contains(res.prunedVariant(key))
+}
+
+// prunedVariant derives the pruned-table key namespace this request
+// reads and writes: the vector-preselected variant by default, the
+// plain-scan variant under "vector": false. Separate namespaces keep an
+// A/B pair honest — the opt-out never serves (or is served) a table the
+// vector tier helped build.
+func (res resolved) prunedVariant(full string) string {
+	if res.novector {
+		return prunedKey(full)
+	}
+	return vectorKey(full)
 }
 
 // shardTable returns one shard's table for a resolved query, from the
@@ -702,7 +732,7 @@ func (s *Server) shardTable(ctx context.Context, shard int, qh string, res resol
 			if t, ok := s.cache.getRecheck(fullKey); ok {
 				return t, true, nil
 			}
-			key = prunedKey(fullKey)
+			key = res.prunedVariant(fullKey)
 		}
 		if t, ok := s.cache.Get(key); ok {
 			return t, true, nil
@@ -782,6 +812,9 @@ func (s *Server) lead(ctx context.Context, res resolved, shard int, qh, key, ful
 	s.pivotDists.Add(uint64(t.PivotDists))
 	s.memoHits.Add(uint64(t.MemoHits))
 	s.memoMisses.Add(uint64(t.MemoMisses))
+	s.vectorCells.Add(uint64(t.VectorCells))
+	s.vectorSkipped.Add(uint64(t.VectorSkipped))
+	s.vectorFallbacks.Add(uint64(t.VectorFallbacks))
 	// The snapshot generation is authoritative: if the shard changed
 	// between the key computation and the snapshot, rekey so the entry
 	// stays reachable exactly as long as it is valid. A pruning build
@@ -789,7 +822,7 @@ func (s *Server) lead(ctx context.Context, res resolved, shard int, qh, key, ful
 	// the full key, where every request kind can reuse it.
 	putKey := CacheKey(shard, t.Generation, qh, res.basis, res.opts.Eval)
 	if !t.Complete {
-		putKey = prunedKey(putKey)
+		putKey = res.prunedVariant(putKey)
 	}
 	s.cache.Put(putKey, shard, t)
 	return t, false, nil
@@ -818,17 +851,20 @@ func (s *Server) classifyQueryErr(err error) (int, string, string) {
 // queryStats assembles the wire stats for one answered query.
 func (s *Server) queryStats(ts tableSet, start time.Time) QueryStats {
 	return QueryStats{
-		Evaluated:   ts.work.evaluated,
-		Pruned:      ts.work.pruned,
-		Inexact:     ts.inexact(),
-		PivotPruned: ts.work.pivotPruned,
-		PivotDists:  ts.work.pivotDists,
-		MemoHits:    ts.work.memoHits,
-		MemoMisses:  ts.work.memoMisses,
-		CacheHit:    ts.hits == len(ts.tables),
-		Shards:      len(ts.tables),
-		ShardHits:   ts.hits,
-		DurationMS:  float64(time.Since(start).Microseconds()) / 1000,
+		Evaluated:       ts.work.evaluated,
+		Pruned:          ts.work.pruned,
+		Inexact:         ts.inexact(),
+		PivotPruned:     ts.work.pivotPruned,
+		PivotDists:      ts.work.pivotDists,
+		MemoHits:        ts.work.memoHits,
+		MemoMisses:      ts.work.memoMisses,
+		VectorCells:     ts.work.vectorCells,
+		VectorSkipped:   ts.work.vectorSkipped,
+		VectorFallbacks: ts.work.vectorFallbacks,
+		CacheHit:        ts.hits == len(ts.tables),
+		Shards:          len(ts.tables),
+		ShardHits:       ts.hits,
+		DurationMS:      float64(time.Since(start).Microseconds()) / 1000,
 	}
 }
 
@@ -1366,6 +1402,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		if ix := s.db.Shard(i).PivotIndex(); ix != nil {
 			shards[i].Pivots, shards[i].PivotReady, shards[i].PivotPending = ix.Ready()
 		}
+		if vix := s.db.Shard(i).VectorIndex(); vix != nil {
+			o := vix.Occupancy()
+			shards[i].VectorCells = o.Cells
+			shards[i].VectorMembers = o.Members
+			shards[i].VectorMeanList = o.MeanList
+			shards[i].VectorEpoch = o.Epoch
+			shards[i].VectorRebuilds = o.Rebuilds
+		}
 	}
 	var memo *gdb.MemoStats
 	if m := s.db.Memo(); m != nil {
@@ -1427,6 +1471,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			PivotDists:       s.pivotDists.Load(),
 			MemoHits:         s.memoHits.Load(),
 			MemoMisses:       s.memoMisses.Load(),
+			VectorCells:      s.vectorCells.Load(),
+			VectorSkipped:    s.vectorSkipped.Load(),
+			VectorFallbacks:  s.vectorFallbacks.Load(),
 			QueryTimeouts:    s.timeouts.Load(),
 			InflightRejected: s.rejected.Load(),
 			LoadShed:         s.shed.Load(),

@@ -1,0 +1,211 @@
+package vector_test
+
+import (
+	"fmt"
+	"testing"
+
+	"skygraph/internal/graph"
+	"skygraph/internal/measure"
+	"skygraph/internal/pivot"
+	"skygraph/internal/testutil"
+	"skygraph/internal/vector"
+)
+
+// addAll registers graphs under consecutive generations starting at 1,
+// the way a database insert path would.
+func addAll(ix *vector.Index, gs []*graph.Graph) {
+	for i, g := range gs {
+		ix.Add(g.Name(), g, measure.NewSignature(g), uint64(i+1))
+	}
+}
+
+// TestDormantUntilCells: below Config.Cells members the index has no
+// partition; crossing the threshold builds one covering everything.
+func TestDormantUntilCells(t *testing.T) {
+	gs := testutil.SeededGraphs(1, 10)
+	ix := vector.New(vector.Config{Cells: 4}, nil)
+	for i, g := range gs {
+		ix.Add(g.Name(), g, measure.NewSignature(g), uint64(i+1))
+		if i+1 < 4 && ix.Snapshot() != nil {
+			t.Fatalf("partition exists at %d members (cells=4)", i+1)
+		}
+	}
+	p := ix.Snapshot()
+	if p == nil {
+		t.Fatal("no partition after 10 members")
+	}
+	if p.N != 10 || p.Gen != 10 {
+		t.Fatalf("partition N=%d Gen=%d, want 10/10", p.N, p.Gen)
+	}
+	if len(p.Centroids) != 4 || len(p.Cells) != 4 {
+		t.Fatalf("got %d centroids, %d cells, want 4", len(p.Centroids), len(p.Cells))
+	}
+}
+
+// TestPartitionCoversEveryMember: the inverted lists must hold every
+// insertion-order index exactly once, and every cell summary must
+// bracket its members' signatures — the admissibility the query layer's
+// floors stand on.
+func TestPartitionCoversEveryMember(t *testing.T) {
+	gs := testutil.SeededGraphs(2, 25)
+	ix := vector.New(vector.Config{Cells: 5}, nil)
+	addAll(ix, gs)
+	p := ix.Snapshot()
+	if p == nil {
+		t.Fatal("no partition")
+	}
+	seen := make(map[int]int)
+	for c, cell := range p.Cells {
+		for _, i := range cell.Members {
+			seen[i]++
+			sig := measure.NewSignature(gs[i])
+			if sig.Order < cell.OrderMin || sig.Order > cell.OrderMax {
+				t.Fatalf("cell %d: member %d order %d outside [%d,%d]",
+					c, i, sig.Order, cell.OrderMin, cell.OrderMax)
+			}
+			if sig.Size < cell.SizeMin || sig.Size > cell.SizeMax {
+				t.Fatalf("cell %d: member %d size %d outside [%d,%d]",
+					c, i, sig.Size, cell.SizeMin, cell.SizeMax)
+			}
+		}
+	}
+	for i := range gs {
+		if seen[i] != 1 {
+			t.Fatalf("member %d appears %d times across cells", i, seen[i])
+		}
+	}
+}
+
+// TestDeterministicBuild: identical insert sequences produce identical
+// centroids and cell assignments.
+func TestDeterministicBuild(t *testing.T) {
+	gs := testutil.SeededGraphs(3, 20)
+	a := vector.New(vector.Config{Cells: 4}, nil)
+	b := vector.New(vector.Config{Cells: 4}, nil)
+	addAll(a, gs)
+	addAll(b, gs)
+	pa, pb := a.Snapshot(), b.Snapshot()
+	if len(pa.Centroids) != len(pb.Centroids) {
+		t.Fatalf("centroid counts differ: %d vs %d", len(pa.Centroids), len(pb.Centroids))
+	}
+	for c := range pa.Centroids {
+		for d := range pa.Centroids[c] {
+			if pa.Centroids[c][d] != pb.Centroids[c][d] {
+				t.Fatalf("centroid %d dim %d differs", c, d)
+			}
+		}
+		if fmt.Sprint(pa.Cells[c].Members) != fmt.Sprint(pb.Cells[c].Members) {
+			t.Fatalf("cell %d members differ: %v vs %v", c, pa.Cells[c].Members, pb.Cells[c].Members)
+		}
+	}
+}
+
+// TestDoublingRebuild: the centroids re-select when the collection
+// doubles past the last build, bumping the epoch.
+func TestDoublingRebuild(t *testing.T) {
+	gs := testutil.SeededGraphs(4, 40)
+	ix := vector.New(vector.Config{Cells: 4}, nil)
+	addAll(ix, gs[:10])
+	e0 := ix.Snapshot().Epoch
+	addAll(ix, gs[10:])
+	e1 := ix.Snapshot().Epoch
+	if e1 <= e0 {
+		t.Fatalf("epoch did not advance across a doubling: %d -> %d", e0, e1)
+	}
+	if o := ix.Occupancy(); o.Rebuilds < 2 || o.Members != 40 {
+		t.Fatalf("occupancy %+v, want >=2 rebuilds over 40 members", o)
+	}
+}
+
+// TestRemoveKeepsIndicesConsistent: removals shrink the insertion order,
+// and the next snapshot's member indices index the SHRUNK order — the
+// contract the query layer's generation check relies on.
+func TestRemoveKeepsIndicesConsistent(t *testing.T) {
+	gs := testutil.SeededGraphs(5, 12)
+	ix := vector.New(vector.Config{Cells: 3}, nil)
+	addAll(ix, gs)
+	gen := uint64(len(gs))
+	removed := map[string]bool{gs[0].Name(): true, gs[7].Name(): true}
+	for name := range removed {
+		gen++
+		ix.Remove(name, gen)
+	}
+	var live []*graph.Graph
+	for _, g := range gs {
+		if !removed[g.Name()] {
+			live = append(live, g)
+		}
+	}
+	p := ix.Snapshot()
+	if p.Gen != gen || p.N != len(live) {
+		t.Fatalf("partition Gen=%d N=%d, want %d/%d", p.Gen, p.N, gen, len(live))
+	}
+	seen := make(map[int]bool)
+	for _, cell := range p.Cells {
+		for _, i := range cell.Members {
+			if i < 0 || i >= len(live) {
+				t.Fatalf("member index %d out of range for %d live graphs", i, len(live))
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != len(live) {
+		t.Fatalf("%d distinct member indices, want %d", len(seen), len(live))
+	}
+}
+
+// TestPivotSummaries: with a fully built pivot index attached, the cell
+// summaries carry per-pivot ranges (PivAll) that bracket every member's
+// published column.
+func TestPivotSummaries(t *testing.T) {
+	gs := testutil.SeededGraphs(6, 16)
+	pidx := pivot.New(pivot.Config{Pivots: 3})
+	for _, g := range gs {
+		pidx.Add(g.Name(), g, measure.NewSignature(g))
+	}
+	pidx.Wait()
+	ix := vector.New(vector.Config{Cells: 4}, pidx)
+	addAll(ix, gs)
+	p := ix.Snapshot()
+	if p == nil {
+		t.Fatal("no partition")
+	}
+	epoch, pnames, cols := pidx.ColumnsSnapshot()
+	if p.PivotEpoch != epoch {
+		t.Fatalf("partition pivot epoch %d, index epoch %d", p.PivotEpoch, epoch)
+	}
+	for c, cell := range p.Cells {
+		if len(cell.Members) == 0 {
+			continue
+		}
+		if !cell.PivAll {
+			t.Fatalf("cell %d: PivAll false with a fully built pivot index", c)
+		}
+		if len(cell.PivLo) != len(pnames) {
+			t.Fatalf("cell %d: %d pivot ranges, want %d", c, len(cell.PivLo), len(pnames))
+		}
+		for _, i := range cell.Members {
+			col := cols[gs[i].Name()]
+			for j, e := range col {
+				if e.Lo < cell.PivLo[j] || e.Hi > cell.PivHi[j] {
+					t.Fatalf("cell %d pivot %d: member %s column [%v,%v] outside range [%v,%v]",
+						c, j, gs[i].Name(), e.Lo, e.Hi, cell.PivLo[j], cell.PivHi[j])
+				}
+			}
+		}
+	}
+}
+
+// TestOccupancy: counters reflect the build.
+func TestOccupancy(t *testing.T) {
+	gs := testutil.SeededGraphs(7, 8)
+	ix := vector.New(vector.Config{Cells: 4}, nil)
+	addAll(ix, gs)
+	o := ix.Occupancy()
+	if o.Cells != 4 || o.Members != 8 || o.MeanList != 2 {
+		t.Fatalf("occupancy %+v, want 4 cells / 8 members / mean 2", o)
+	}
+	if o.Rebuilds < 1 || o.Epoch < 1 {
+		t.Fatalf("occupancy %+v, want at least one rebuild", o)
+	}
+}
