@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-skyline bench-topk bench-pivot bench-vector bench-compare bench-vector-compare run-server smoke smoke-restart smoke-chaos bench-fault vet
+.PHONY: build test race fuzz bench bench-skyline bench-topk bench-pivot bench-vector bench-compare bench-vector-compare bench-incremental bench-incremental-compare run-server smoke smoke-restart smoke-chaos bench-fault vet
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,27 @@ bench-vector:
 	$(GO) test -bench=VectorScaling -benchmem -benchtime=20x -run=^$$ . > BENCH_vector.txt; \
 	$(GO) run ./cmd/benchjson < BENCH_vector.txt > BENCH_vector.json
 	@cat BENCH_vector.json
+
+# bench-incremental records the delta-maintenance experiment: a 10%
+# mutation mix over warmed cached state (complete tables + ranked
+# answers), cold invalidation vs in-place delta upgrade, at n=1k/10k.
+# queries/sec is the headline metric; delta_applied/delta_fallbacks
+# confirm the delta arm actually maintained rather than fell back.
+# Iterations are pinned like bench-vector (setup dominates wall clock).
+bench-incremental:
+	@set -e; trap 'rm -f BENCH_incremental.txt' EXIT; \
+	$(GO) test -bench=MutationMix -benchmem -benchtime=30x -run=^$$ . > BENCH_incremental.txt; \
+	$(GO) run ./cmd/benchjson < BENCH_incremental.txt > BENCH_incremental.json
+	@cat BENCH_incremental.json
+
+# bench-incremental-compare guards the write-heavy path: re-runs the
+# mutation-mix experiment and fails on a >20% ns/op regression against
+# the committed BENCH_incremental.json (same-machine comparisons only).
+bench-incremental-compare:
+	@set -e; trap 'rm -f BENCH_incremental_new.txt BENCH_incremental_new.json' EXIT; \
+	$(GO) test -bench=MutationMix -benchmem -benchtime=30x -run=^$$ . > BENCH_incremental_new.txt; \
+	$(GO) run ./cmd/benchjson < BENCH_incremental_new.txt > BENCH_incremental_new.json; \
+	$(GO) run ./cmd/benchjson -compare BENCH_incremental.json BENCH_incremental_new.json
 
 # bench-compare re-runs the pivot experiment and fails on a >20% ns/op
 # regression against the committed BENCH_pivot.json (same-machine

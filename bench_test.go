@@ -6,7 +6,12 @@
 package skygraph_bench
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	mrand "math/rand"
@@ -19,6 +24,7 @@ import (
 	"skygraph/internal/mcs"
 	"skygraph/internal/measure"
 	"skygraph/internal/pivot"
+	"skygraph/internal/server"
 	"skygraph/internal/skyline"
 	"skygraph/internal/topk"
 	"skygraph/internal/vector"
@@ -331,6 +337,110 @@ func BenchmarkVectorScaling(b *testing.B) {
 			b.ResetTimer()
 			run(b, db)
 		})
+	}
+}
+
+// BenchmarkMutationMix measures the delta-maintenance layer's headline:
+// query throughput under a write-heavy mix (10% mutations — one insert
+// or delete per nine queries), end to end over HTTP against a 2-shard
+// daemon. The "cold" arm disables delta maintenance, so every mutation
+// invalidates the mutated shard's cached tables and ranked answers and
+// the next queries rebuild them from scratch; the "delta" arm patches
+// the cached state in place — one fresh row evaluation per insert
+// instead of a full-shard rescan. Both arms return byte-identical
+// answers (TestDeltaMatchesColdRecompute proves it); queries/sec is the
+// number to compare, with the applied/fallback counters alongside.
+// Queries alternate between unpruned skylines (complete tables, the
+// maintainable kind) and default top-k (ranked answers) over two query
+// graphs; mutations alternate inserting a fresh graph and deleting it
+// again, so the collection stays at ~n.
+func BenchmarkMutationMix(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		gs := dataset.RewiredClusters(n/25, 25, 4, 5, 5, 1)
+		var qs []*graph.Graph
+		for qi := 0; qi < 2; qi++ {
+			q := graph.Rewire(gs[qi*13], 1, newGoRand(int64(900+qi)))
+			q.SetName(fmt.Sprintf("q%d", qi))
+			qs = append(qs, q)
+		}
+		mut := dataset.RewiredClusters(1, 1, 4, 5, 5, 77)[0]
+		noPrune := false
+		for _, arm := range []struct {
+			name    string
+			disable bool
+		}{{"cold", true}, {"delta", false}} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, arm.name), func(b *testing.B) {
+				db := gdb.NewSharded(2)
+				if err := db.InsertAll(gs); err != nil {
+					b.Fatal(err)
+				}
+				s := server.New(db, server.Config{CacheSize: 64, DisableDelta: arm.disable})
+				ts := httptest.NewServer(s.Handler())
+				defer ts.Close()
+				client := ts.Client()
+				queries := func() {
+					for j := 0; j < 9; j++ {
+						q := qs[(j/2)%2]
+						if j%2 == 0 {
+							benchPost(b, client, ts.URL+"/query/skyline", server.QueryRequest{Graph: q, Prune: &noPrune})
+						} else {
+							benchPost(b, client, ts.URL+"/query/topk", server.QueryRequest{Graph: q, K: 3})
+						}
+					}
+				}
+				queries() // warm the caches: the mix measures maintenance, not first builds
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if i%2 == 0 {
+						mut.SetName(fmt.Sprintf("mut%d", i))
+						benchPost(b, client, ts.URL+"/graphs", server.InsertRequest{Graph: mut})
+					} else {
+						req, err := http.NewRequest(http.MethodDelete, ts.URL+"/graphs/"+fmt.Sprintf("mut%d", i-1), nil)
+						if err != nil {
+							b.Fatal(err)
+						}
+						resp, err := client.Do(req)
+						if err != nil {
+							b.Fatal(err)
+						}
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+					queries()
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(9*b.N)/b.Elapsed().Seconds(), "queries/sec")
+				resp, err := client.Get(ts.URL + "/stats")
+				if err != nil {
+					b.Fatal(err)
+				}
+				var st server.StatsResponse
+				if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+					b.Fatal(err)
+				}
+				resp.Body.Close()
+				b.ReportMetric(float64(st.Cache.DeltaApplied), "delta_applied")
+				b.ReportMetric(float64(st.Cache.DeltaFallbacks), "delta_fallbacks")
+			})
+		}
+	}
+}
+
+// benchPost posts a JSON body and drains the response, failing the
+// benchmark on any non-200.
+func benchPost(b *testing.B, client *http.Client, url string, body any) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("POST %s: status %d", url, resp.StatusCode)
 	}
 }
 

@@ -35,10 +35,20 @@
 // mutation ("insert NAME" / "delete NAME" as JSON) so an external
 // checker can hold the daemon to its acks across crashes and restarts.
 //
+// -mutate-pct is a shorthand for write-heavy runs: it overrides -mix so
+// the given percent of requests are mutations (split evenly between
+// insert and delete) and reads share the remainder 4:3:2:1 across
+// skyline/topk/range/batch. The summary and report then carry the
+// server cache's movement over the run — hit ratio, delta_applied,
+// delta_fallbacks — read from /stats before and after, so a run shows
+// directly whether delta maintenance absorbed the writes or the cache
+// thrashed.
+//
 // Usage:
 //
 //	loadgen -addr :8091 -duration 10s -concurrency 8 \
 //	        -mix skyline=4,topk=3,range=2,batch=1,insert=1,delete=1
+//	loadgen -addr :8091 -duration 10s -mutate-pct 10
 package main
 
 import (
@@ -103,6 +113,7 @@ func main() {
 	concurrency := flag.Int("concurrency", 4, "closed-loop workers (also the in-flight cap in open-loop mode)")
 	qps := flag.Float64("qps", 0, "open-loop target request rate (0 = closed loop)")
 	mixSpec := flag.String("mix", "skyline=4,topk=3,range=2,batch=1,insert=1,delete=1", "comma-separated kind=weight traffic mix (kinds: skyline, topk, range, batch, insert, delete)")
+	mutatePct := flag.Int("mutate-pct", -1, "percent of traffic that is mutations, split evenly insert/delete; overrides -mix, reads share the remainder 4:3:2:1 skyline/topk/range/batch (-1 = use -mix)")
 	seed := flag.Int64("seed", 1, "workload seed (request stream is deterministic given the seed)")
 	corpus := flag.Int("corpus", 64, "seeded molecule corpus size query graphs are mutated from")
 	dbSize := flag.Int("db-size", 0, "bulk-insert a synthetic collection of this many graphs before offering load (0 = use the daemon's existing database); deterministic from -seed, names are prefixed loadgen-db-")
@@ -129,6 +140,12 @@ func main() {
 	mix, err := parseMix(*mixSpec)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *mutatePct >= 0 {
+		if *mutatePct > 100 {
+			fatalf("-mutate-pct %d out of range [0,100]", *mutatePct)
+		}
+		mix = mutateMix(*mutatePct)
 	}
 
 	if *waitReady > 0 {
@@ -159,6 +176,7 @@ func main() {
 
 	gen := newWorkload(*seed, *corpus, *k, *radius, *batchSize)
 	rec := newRecorder()
+	before := serverStats(cl)
 	start := time.Now()
 	if *qps > 0 {
 		runOpenLoop(cl, gen, mix, rec, acks, *duration, *qps, *concurrency)
@@ -166,9 +184,13 @@ func main() {
 		runClosedLoop(cl, gen, mix, rec, acks, *duration, *concurrency)
 	}
 	elapsed := time.Since(start)
+	cw := cacheDelta(before, serverStats(cl))
 
-	doc := rec.report(base, elapsed, *concurrency, *qps)
-	rec.printSummary(os.Stderr, elapsed)
+	doc := rec.report(base, elapsed, *concurrency, *qps, cw)
+	if *mutatePct >= 0 {
+		doc.Context["mutate-pct"] = fmt.Sprintf("%d", *mutatePct)
+	}
+	rec.printSummary(os.Stderr, elapsed, cw)
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -223,6 +245,65 @@ func parseMix(spec string) (map[string]int, error) {
 		return nil, fmt.Errorf("mix %q has zero total weight", spec)
 	}
 	return mix, nil
+}
+
+// mutateMix builds the -mutate-pct preset: pct percent of requests are
+// mutations (split evenly insert/delete), the rest are reads in the
+// canonical 4:3:2:1 skyline/topk/range/batch ratio. Weights are scaled
+// so both splits are exact in integers.
+func mutateMix(pct int) map[string]int {
+	read := 100 - pct
+	return map[string]int{
+		"insert":  pct * 5,
+		"delete":  pct * 5,
+		"skyline": read * 4,
+		"topk":    read * 3,
+		"range":   read * 2,
+		"batch":   read * 1,
+	}
+}
+
+// serverStats fetches /stats, or nil when the daemon cannot answer —
+// the run proceeds either way, only the cache digest goes missing.
+func serverStats(cl *client.Client) *server.StatsResponse {
+	st, err := cl.Stats(context.Background())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: /stats unavailable: %v\n", err)
+		return nil
+	}
+	return st
+}
+
+// cacheWindow is the server-side cache movement across the run: how the
+// offered load hit, missed, and — under mutations — how often the cache
+// absorbed a write in place versus dropping entries.
+type cacheWindow struct {
+	hits, misses   uint64
+	deltaApplied   uint64
+	deltaFallbacks uint64
+}
+
+// hitRatio is hits over lookups in the window; 0 when idle.
+func (cw *cacheWindow) hitRatio() float64 {
+	if total := cw.hits + cw.misses; total > 0 {
+		return float64(cw.hits) / float64(total)
+	}
+	return 0
+}
+
+// cacheDelta diffs two /stats snapshots. Counters are monotonic, so a
+// plain subtraction isolates this run's contribution; nil when either
+// snapshot is missing.
+func cacheDelta(before, after *server.StatsResponse) *cacheWindow {
+	if before == nil || after == nil {
+		return nil
+	}
+	return &cacheWindow{
+		hits:           after.Cache.Hits - before.Cache.Hits,
+		misses:         after.Cache.Misses - before.Cache.Misses,
+		deltaApplied:   after.Cache.DeltaApplied - before.Cache.DeltaApplied,
+		deltaFallbacks: after.Cache.DeltaFallbacks - before.Cache.DeltaFallbacks,
+	}
 }
 
 // awaitReady polls GET /readyz until the daemon reports ready.
@@ -666,7 +747,7 @@ func bench(name string, st kindStats, qps float64) Bench {
 }
 
 // report assembles the final benchjson document.
-func (r *recorder) report(base string, elapsed time.Duration, concurrency int, targetQPS float64) Doc {
+func (r *recorder) report(base string, elapsed time.Duration, concurrency int, targetQPS float64, cw *cacheWindow) Doc {
 	doc := Doc{Context: map[string]string{
 		"target":      base,
 		"mode":        map[bool]string{true: "open", false: "closed"}[targetQPS > 0],
@@ -709,7 +790,16 @@ func (r *recorder) report(base string, elapsed time.Duration, concurrency int, t
 		all.mx = allLat[len(allLat)-1]
 	}
 	secs := elapsed.Seconds()
-	doc.Benchmarks = append(doc.Benchmarks, bench("BenchmarkLoadgen/all", all, float64(all.count)/secs))
+	aggregate := bench("BenchmarkLoadgen/all", all, float64(all.count)/secs)
+	if cw != nil {
+		// Server-side cache movement rides on the aggregate entry so
+		// `benchjson -compare` tracks hit ratio and delta effectiveness
+		// alongside latency.
+		aggregate.Metrics["cache-hit-ratio"] = cw.hitRatio()
+		aggregate.Metrics["delta-applied"] = float64(cw.deltaApplied)
+		aggregate.Metrics["delta-fallbacks"] = float64(cw.deltaFallbacks)
+	}
+	doc.Benchmarks = append(doc.Benchmarks, aggregate)
 	for _, kind := range opKinds {
 		st := r.stats(kind)
 		if st.count == 0 && st.errors == 0 {
@@ -733,7 +823,7 @@ func classBreakdown(classes map[string]int) string {
 }
 
 // printSummary writes the human-readable digest.
-func (r *recorder) printSummary(w io.Writer, elapsed time.Duration) {
+func (r *recorder) printSummary(w io.Writer, elapsed time.Duration, cw *cacheWindow) {
 	fmt.Fprintf(w, "loadgen: %s elapsed\n", elapsed.Round(time.Millisecond))
 	fmt.Fprintf(w, "%-10s %8s %7s %10s %10s %10s %10s %10s  %s\n",
 		"kind", "count", "errors", "mean-ms", "p50-ms", "p95-ms", "p99-ms", "max-ms", "error-classes")
@@ -754,5 +844,9 @@ func (r *recorder) printSummary(w io.Writer, elapsed time.Duration) {
 	}
 	if r.dropped > 0 {
 		fmt.Fprintf(w, "dropped (open-loop in-flight cap): %d\n", r.dropped)
+	}
+	if cw != nil {
+		fmt.Fprintf(w, "server cache: hit-ratio=%.2f (hits=%d misses=%d) delta_applied=%d delta_fallbacks=%d\n",
+			cw.hitRatio(), cw.hits, cw.misses, cw.deltaApplied, cw.deltaFallbacks)
 	}
 }

@@ -142,6 +142,7 @@ func main() {
 	retryAfter := flag.Duration("retry-after", 0, "Retry-After hint on 503/429 responses (0 = 1s default)")
 	faultSpec := flag.String("fault", "", "arm failpoints at startup, e.g. \"wal/fsync=error:err=EIO,p=0.1\" (testing only)")
 	faultAdmin := flag.Bool("fault-admin", false, "expose GET/POST /admin/fault for runtime failpoint control (testing only; keep off in production)")
+	delta := flag.Bool("delta", true, "maintain cached tables and ranked answers in place across mutations (false = invalidate on every mutation)")
 	flag.Parse()
 
 	syncPolicy, syncEvery, err := parseFsync(*fsync)
@@ -238,6 +239,7 @@ func main() {
 		MaxInflightQueries: *maxInflightQueries,
 		RetryAfter:         *retryAfter,
 		FaultAdmin:         *faultAdmin,
+		DisableDelta:       !*delta,
 	})
 	handler.Store(srv.Handler()) // recovery done: start serving for real
 

@@ -107,13 +107,23 @@ func New() *DB {
 // name must be unused. The database stores g itself; callers must not
 // mutate a graph after insertion (Clone first if needed).
 func (db *DB) Insert(g *graph.Graph) error {
-	return db.insertWithSeq(g, insertSeq.Add(1), "")
+	_, err := db.insertWithSeq(g, insertSeq.Add(1), "")
+	return err
 }
 
 // InsertKeyed is Insert with the client's idempotency key logged into
 // the write-ahead record, leaving durable evidence the key was
 // accepted (see Store.LogInsert).
 func (db *DB) InsertKeyed(g *graph.Graph, key string) error {
+	_, err := db.insertWithSeq(g, insertSeq.Add(1), key)
+	return err
+}
+
+// InsertKeyedGen is InsertKeyed returning the generation the insert
+// produced — the evidence a delta-maintaining cache needs to prove a
+// cached entry is exactly one mutation behind (gen-1 → gen with this
+// insert as the only difference).
+func (db *DB) InsertKeyedGen(g *graph.Graph, key string) (uint64, error) {
 	return db.insertWithSeq(g, insertSeq.Add(1), key)
 }
 
@@ -122,17 +132,17 @@ func (db *DB) InsertKeyed(g *graph.Graph, key string) error {
 // keeps their sequences, so score-memo entries stay reachable across a
 // resize (the sequence identifies the graph VALUE, which a reshard
 // does not change).
-func (db *DB) insertWithSeq(g *graph.Graph, seq uint64, key string) error {
+func (db *DB) insertWithSeq(g *graph.Graph, seq uint64, key string) (uint64, error) {
 	if g.Name() == "" {
-		return fmt.Errorf("gdb: graph has no name")
+		return 0, fmt.Errorf("gdb: graph has no name")
 	}
 	if err := g.Validate(); err != nil {
-		return fmt.Errorf("gdb: %w", err)
+		return 0, fmt.Errorf("gdb: %w", err)
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, dup := db.graphs[g.Name()]; dup {
-		return fmt.Errorf("gdb: duplicate graph name %q", g.Name())
+		return 0, fmt.Errorf("gdb: duplicate graph name %q", g.Name())
 	}
 	// Write-ahead: with every failure mode that is checkable up front
 	// already rejected, log the mutation before applying it. If the
@@ -141,7 +151,7 @@ func (db *DB) insertWithSeq(g *graph.Graph, seq uint64, key string) error {
 	// harmless, the client saw no success.
 	if db.store != nil {
 		if err := db.store.LogInsert(g, seq, key); err != nil {
-			return fmt.Errorf("gdb: %w: wal append: %w", ErrNotPersisted, err)
+			return 0, fmt.Errorf("gdb: %w: wal append: %w", ErrNotPersisted, err)
 		}
 	}
 	e := &entry{g: g, sig: measure.NewSignature(g), seq: seq}
@@ -154,7 +164,7 @@ func (db *DB) insertWithSeq(g *graph.Graph, seq uint64, key string) error {
 	if db.vidx != nil {
 		db.vidx.Add(g.Name(), e.g, e.sig, db.gen)
 	}
-	return nil
+	return db.gen, nil
 }
 
 // seqOf returns the named graph's insert sequence.
@@ -207,14 +217,22 @@ func (db *DB) DeleteErr(name string) (existed bool, err error) {
 // DeleteKeyedErr is DeleteErr with the client's idempotency key logged
 // into the write-ahead record (see Store.LogDelete).
 func (db *DB) DeleteKeyedErr(name, key string) (existed bool, err error) {
+	existed, _, err = db.DeleteKeyedGen(name, key)
+	return existed, err
+}
+
+// DeleteKeyedGen is DeleteKeyedErr returning the generation the delete
+// produced (0 when nothing was deleted) — the delta-maintenance
+// counterpart of InsertKeyedGen.
+func (db *DB) DeleteKeyedGen(name, key string) (existed bool, gen uint64, err error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, ok := db.graphs[name]; !ok {
-		return false, nil
+		return false, 0, nil
 	}
 	if db.store != nil {
 		if err := db.store.LogDelete(name, key); err != nil {
-			return true, fmt.Errorf("gdb: %w: wal append: %w", ErrNotPersisted, err)
+			return true, 0, fmt.Errorf("gdb: %w: wal append: %w", ErrNotPersisted, err)
 		}
 	}
 	delete(db.graphs, name)
@@ -231,7 +249,7 @@ func (db *DB) DeleteKeyedErr(name, key string) (existed bool, err error) {
 	if db.vidx != nil {
 		db.vidx.Remove(name, db.gen)
 	}
-	return true, nil
+	return true, db.gen, nil
 }
 
 // EnablePivots attaches a metric pivot index (see internal/pivot) to
@@ -265,8 +283,11 @@ func (db *DB) PivotIndex() *pivot.Index {
 }
 
 // EnableVector attaches the vector candidate tier (see internal/vector):
-// embeddings for the current graphs are computed immediately and
-// maintained synchronously on every insert and delete from then on.
+// embeddings for the current graphs are computed immediately — the
+// initial partition build completes before EnableVector returns — and
+// maintained on every insert and delete from then on (membership and
+// generation tags synchronously; centroid re-selections in the
+// background, off the mutation path).
 // Queries pick the tier up automatically once the collection reaches
 // Config.Cells members; until then — and whenever a query cannot prove
 // its snapshot matches the partition — evaluation falls back to the
@@ -284,6 +305,7 @@ func (db *DB) EnableVector(cfg vector.Config) *vector.Index {
 			e := db.graphs[n]
 			db.vidx.Add(n, e.g, e.sig, db.gen)
 		}
+		db.vidx.WaitRebuild()
 	}
 	return db.vidx
 }

@@ -88,14 +88,25 @@ func (sh *Sharded) Insert(g *graph.Graph) error {
 // InsertKeyed is Insert with the client's idempotency key threaded
 // into the write-ahead record (durable evidence the key was accepted).
 func (sh *Sharded) InsertKeyed(g *graph.Graph, key string) error {
+	_, _, err := sh.InsertKeyedGen(g, key)
+	return err
+}
+
+// InsertKeyedGen is InsertKeyed returning the owning shard and the
+// generation the insert produced on it: the (shard, gen) evidence a
+// delta-maintaining cache uses to upgrade entries in place instead of
+// invalidating them.
+func (sh *Sharded) InsertKeyedGen(g *graph.Graph, key string) (shard int, gen uint64, err error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if err := sh.shards[sh.ShardFor(g.Name())].InsertKeyed(g, key); err != nil {
-		return err
+	shard = sh.ShardFor(g.Name())
+	gen, err = sh.shards[shard].InsertKeyedGen(g, key)
+	if err != nil {
+		return shard, 0, err
 	}
 	sh.pos[g.Name()] = len(sh.order)
 	sh.order = append(sh.order, g.Name())
-	return nil
+	return shard, gen, nil
 }
 
 // InsertAll inserts every graph, stopping at the first error.
@@ -132,11 +143,20 @@ func (sh *Sharded) DeleteErr(name string) (existed bool, err error) {
 // DeleteKeyedErr is DeleteErr with the client's idempotency key
 // threaded into the write-ahead record.
 func (sh *Sharded) DeleteKeyedErr(name, key string) (existed bool, err error) {
+	existed, _, _, err = sh.DeleteKeyedGen(name, key)
+	return existed, err
+}
+
+// DeleteKeyedGen is DeleteKeyedErr returning the owning shard and the
+// generation the delete produced on it (0 when nothing was deleted) —
+// the delta-maintenance counterpart of InsertKeyedGen.
+func (sh *Sharded) DeleteKeyedGen(name, key string) (existed bool, shard int, gen uint64, err error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	existed, err = sh.shards[sh.ShardFor(name)].DeleteKeyedErr(name, key)
+	shard = sh.ShardFor(name)
+	existed, gen, err = sh.shards[shard].DeleteKeyedGen(name, key)
 	if !existed || err != nil {
-		return existed, err
+		return existed, shard, gen, err
 	}
 	if p, ok := sh.pos[name]; ok {
 		sh.order = append(sh.order[:p], sh.order[p+1:]...)
@@ -145,7 +165,7 @@ func (sh *Sharded) DeleteKeyedErr(name, key string) (existed bool, err error) {
 			sh.pos[sh.order[j]] = j
 		}
 	}
-	return true, nil
+	return true, shard, gen, nil
 }
 
 // SetStore attaches one write-ahead store to every shard. One SHARED
@@ -169,7 +189,7 @@ func (sh *Sharded) SetStore(st Store) {
 func (sh *Sharded) insertPreservingSeq(g *graph.Graph, seq uint64) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if err := sh.shards[sh.ShardFor(g.Name())].insertWithSeq(g, seq, ""); err != nil {
+	if _, err := sh.shards[sh.ShardFor(g.Name())].insertWithSeq(g, seq, ""); err != nil {
 		return err
 	}
 	sh.pos[g.Name()] = len(sh.order)
@@ -259,6 +279,17 @@ func (sh *Sharded) WaitPivots() {
 	for _, db := range sh.shards {
 		if ix := db.PivotIndex(); ix != nil {
 			ix.Wait()
+		}
+	}
+}
+
+// WaitVector blocks until every shard's vector index has drained its
+// background centroid rebuilds (tests and benchmarks; serving never
+// needs it — the previous partition answers until the swap).
+func (sh *Sharded) WaitVector() {
+	for _, db := range sh.shards {
+		if ix := db.VectorIndex(); ix != nil {
+			ix.WaitRebuild()
 		}
 	}
 }

@@ -53,6 +53,11 @@ type VectorTable struct {
 	VectorCells     int
 	VectorSkipped   int
 	VectorFallbacks int
+	// Deltas counts the incremental patches applied since the table was
+	// cold-built (see DeltaRow / WithInsert / WithDelete): each one
+	// advanced Generation by exactly one mutation without re-evaluating
+	// the surviving rows.
+	Deltas int
 	// Duration is the wall-clock time of the evaluation.
 	Duration time.Duration
 }

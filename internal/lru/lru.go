@@ -97,6 +97,22 @@ func (c *Cache[V]) Update(key string, merge func(old V, ok bool) V) int {
 	return evicted
 }
 
+// Remove drops the entry under key, reporting whether it was present.
+// Unlike eviction or pruning, removal is caller-driven — the table
+// cache retires a superseded key after republishing its upgraded value
+// under a new one.
+func (c *Cache[V]) Remove(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.items, key)
+	return true
+}
+
 // PruneFunc removes every entry for which pred returns true, returning
 // how many were removed. pred runs under the cache lock and must not
 // call back into the cache.

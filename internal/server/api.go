@@ -115,6 +115,10 @@ type QueryStats struct {
 	VectorCells     int `json:"vector_cells_probed"`
 	VectorSkipped   int `json:"vector_skipped"`
 	VectorFallbacks int `json:"vector_fallbacks"`
+	// DeltaPatched counts the in-place delta upgrades the cached state
+	// serving this answer has absorbed since it was cold-built (0 for
+	// fresh evaluations and for caches maintained only by invalidation).
+	DeltaPatched int `json:"delta_patched"`
 	// CacheHit reports whether every shard table came from the cache.
 	CacheHit bool `json:"cache_hit"`
 	// Shards is the number of shards the query ran against.
@@ -238,6 +242,9 @@ type BatchStats struct {
 	VectorCells     int `json:"vector_cells_probed"`
 	VectorSkipped   int `json:"vector_skipped"`
 	VectorFallbacks int `json:"vector_fallbacks"`
+	// DeltaPatched aggregates the per-item delta-upgrade counts (see
+	// QueryStats).
+	DeltaPatched int `json:"delta_patched"`
 	// ShardHits counts shard tables served from the cache or a
 	// coalesced leader across the batch.
 	ShardHits int `json:"shard_hits"`

@@ -155,6 +155,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		stats.VectorCells += qs.VectorCells
 		stats.VectorSkipped += qs.VectorSkipped
 		stats.VectorFallbacks += qs.VectorFallbacks
+		stats.DeltaPatched += qs.DeltaPatched
 		stats.ShardHits += qs.ShardHits
 	}
 	writeJSON(w, http.StatusOK, BatchResponse{Results: results, Stats: stats})

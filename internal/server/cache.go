@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"skygraph/internal/gdb"
+	"skygraph/internal/graph"
 	"skygraph/internal/lru"
 	"skygraph/internal/measure"
 	"skygraph/internal/topk"
@@ -36,26 +37,59 @@ type Cache struct {
 	misses        atomic.Uint64
 	evictions     atomic.Uint64
 	invalidations atomic.Uint64
+	deltaApplied  atomic.Uint64
+	deltaFallback atomic.Uint64
 }
 
 // cacheEntry is one cached value: a per-shard vector table (shard >= 0,
 // invalidated when that shard's generation moves past the table's), or
 // a whole-database ranked answer (shard == -1, bound to EVERY shard's
-// generation via gens — any mutation anywhere invalidates it).
+// generation via gens — any mutation anywhere invalidates it). lin,
+// when set, is the table's maintenance lineage: a later mutation of the
+// owning shard can upgrade the entry in place (Server.maintain) instead
+// of invalidating it.
 type cacheEntry struct {
 	shard  int
 	table  *gdb.VectorTable
 	gens   []uint64
 	ranked *rankedEntry
+	lin    *tableLineage
+}
+
+// tableLineage is everything needed to re-derive a complete table's
+// key and evaluate a single delta row through the exact code path the
+// cold build used: the query graph, its canonical hash, the basis and
+// the engine budgets. Pruned and vector-preselected variants carry no
+// lineage — their survivor sets are not row-patchable — and fall back
+// to generation invalidation.
+type tableLineage struct {
+	q     *graph.Graph
+	qh    string
+	basis []measure.Measure
+	eval  measure.Options
 }
 
 // rankedEntry is a cached pruned ranked answer: the merged items of one
 // (kind, measure, k-or-radius) query over all shards. It lives in its
 // own key namespace (RankedKey) so it can never shadow — or be returned
-// for — a full-table lookup.
+// for — a full-table lookup. lin carries the maintenance lineage;
+// deltas counts in-place upgrades since the answer was cold-built.
 type rankedEntry struct {
 	items   []topk.Item
 	inexact int
+	deltas  int
+	lin     *rankedLineage
+}
+
+// rankedLineage mirrors tableLineage for merged ranked answers.
+type rankedLineage struct {
+	kind     string // "topk" or "range"
+	q        *graph.Graph
+	qh       string
+	m        measure.Measure
+	arg      float64 // k for topk, radius for range
+	novector bool
+	eval     measure.Options
 }
 
 // stale reports whether the entry was computed before generation gen of
@@ -167,13 +201,60 @@ func (c *Cache) contains(key string) bool { return c.lru.Contains(key) }
 // Put stores shard's table under key, evicting the least recently used
 // entry when the cache is full.
 func (c *Cache) Put(key string, shard int, t *gdb.VectorTable) {
-	c.evictions.Add(uint64(c.lru.Put(key, &cacheEntry{shard: shard, table: t})))
+	c.put(key, &cacheEntry{shard: shard, table: t})
+}
+
+func (c *Cache) put(key string, e *cacheEntry) {
+	c.evictions.Add(uint64(c.lru.Put(key, e)))
 }
 
 // PutRanked stores a ranked answer computed at the given per-shard
 // generations under key (one cache slot, like a table).
 func (c *Cache) PutRanked(key string, gens []uint64, r *rankedEntry) {
-	c.evictions.Add(uint64(c.lru.Put(key, &cacheEntry{shard: -1, gens: gens, ranked: r})))
+	c.put(key, &cacheEntry{shard: -1, gens: gens, ranked: r})
+}
+
+// deltaCandidate is one cached entry a mutation may be able to upgrade
+// in place, paired with the key it currently lives under.
+type deltaCandidate struct {
+	key string
+	e   *cacheEntry
+}
+
+// deltaCandidates collects the entries a single mutation of shard —
+// the one that produced generation gen — could provably upgrade:
+// lineage-carrying complete tables of that shard exactly one
+// generation behind, and lineage-carrying ranked answers whose
+// recorded generation for that shard is exactly gen-1. Everything else
+// (pruned variants, entries further behind, foreign shards) is left
+// for PruneStale. Collection never drops anything.
+func (c *Cache) deltaCandidates(shard int, gen uint64) []deltaCandidate {
+	var out []deltaCandidate
+	c.lru.PruneFunc(func(key string, e *cacheEntry) bool {
+		switch {
+		case e.shard >= 0:
+			if e.shard == shard && e.lin != nil && e.table.Complete && e.table.Generation == gen-1 {
+				out = append(out, deltaCandidate{key: key, e: e})
+			}
+		case e.ranked != nil:
+			if e.ranked.lin != nil && shard < len(e.gens) && e.gens[shard] == gen-1 {
+				out = append(out, deltaCandidate{key: key, e: e})
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// promote publishes an upgraded entry under its new generation-bearing
+// key and retires the old key, counting one applied delta. Put-then-
+// Remove ordering means a concurrent reader always finds at least one
+// of the two keys; a racing PruneStale that drops the old key first
+// makes the Remove a no-op.
+func (c *Cache) promote(oldKey, newKey string, e *cacheEntry) {
+	c.put(newKey, e)
+	c.lru.Remove(oldKey)
+	c.deltaApplied.Add(1)
 }
 
 // PruneStale eagerly drops every entry of shard computed before
@@ -182,12 +263,17 @@ func (c *Cache) PutRanked(key string, gens []uint64, r *rankedEntry) {
 // mutation frees their memory immediately instead of waiting for LRU
 // pressure. Generations only increase, so the strict < keeps entries
 // newer than the caller's (possibly stale) generation read, and other
-// shards' entries are never touched.
+// shards' entries are never touched: an entry a concurrent delta
+// upgrade just republished at gen (or later) can never be dropped by a
+// prune carrying an older generation. With delta maintenance live,
+// every drop is by definition a fallback to invalidation — the entry
+// was not provably upgradable — so the prune feeds both counters.
 func (c *Cache) PruneStale(shard int, gen uint64) int {
 	dropped := c.lru.PruneFunc(func(_ string, e *cacheEntry) bool {
 		return e.stale(shard, gen)
 	})
 	c.invalidations.Add(uint64(dropped))
+	c.deltaFallback.Add(uint64(dropped))
 	return dropped
 }
 
@@ -202,17 +288,25 @@ type CacheStats struct {
 	Misses        uint64 `json:"misses"`
 	Evictions     uint64 `json:"evictions"`
 	Invalidations uint64 `json:"invalidations"`
+	// DeltaApplied counts cache entries upgraded in place across a
+	// mutation; DeltaFallbacks counts entries dropped because no delta
+	// proof existed (pruned variants, interleaved mutations, entries
+	// more than one generation behind).
+	DeltaApplied   uint64 `json:"delta_applied"`
+	DeltaFallbacks uint64 `json:"delta_fallbacks"`
 }
 
 // Stats returns the current counters. Counter reads are atomic and do
 // not block concurrent lookups.
 func (c *Cache) Stats() CacheStats {
 	return CacheStats{
-		Capacity:      c.lru.Capacity(),
-		Entries:       c.Len(),
-		Hits:          c.hits.Load(),
-		Misses:        c.misses.Load(),
-		Evictions:     c.evictions.Load(),
-		Invalidations: c.invalidations.Load(),
+		Capacity:       c.lru.Capacity(),
+		Entries:        c.Len(),
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Evictions:      c.evictions.Load(),
+		Invalidations:  c.invalidations.Load(),
+		DeltaApplied:   c.deltaApplied.Load(),
+		DeltaFallbacks: c.deltaFallback.Load(),
 	}
 }

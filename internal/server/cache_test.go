@@ -94,6 +94,28 @@ func TestCachePruneStaleKeepsNewer(t *testing.T) {
 	if _, ok := c.Get("g2-a"); !ok {
 		t.Fatal("newer-generation entry must survive a stale prune")
 	}
+
+	// The takeover window a delta upgrade opens: promote republishes an
+	// entry at the mutation's generation before the routing pass's own
+	// PruneStale (and any racing handler's) runs. A prune carrying the
+	// upgrade's generation — or any older one — must treat the upgraded
+	// entry as current, not stale.
+	c.promote("g2-a", "g3-a", &cacheEntry{shard: 0, table: tableAt(3)})
+	if dropped := c.PruneStale(0, 2); dropped != 0 {
+		t.Fatalf("PruneStale(2) dropped %d upgraded entries; want 0", dropped)
+	}
+	if dropped := c.PruneStale(0, 3); dropped != 0 {
+		t.Fatalf("PruneStale(3) dropped %d entries at its own generation; want 0", dropped)
+	}
+	if _, ok := c.Get("g3-a"); !ok {
+		t.Fatal("delta-upgraded entry must survive prunes at or below its generation")
+	}
+	if _, ok := c.Get("g2-a"); ok {
+		t.Fatal("promote must retire the old key")
+	}
+	if st := c.Stats(); st.DeltaApplied != 1 {
+		t.Fatalf("delta_applied = %d; want 1", st.DeltaApplied)
+	}
 }
 
 func TestCacheDisabled(t *testing.T) {

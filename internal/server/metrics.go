@@ -144,6 +144,10 @@ func newMetrics(s *Server) *metrics {
 		func() float64 { return float64(s.cache.Stats().Evictions) })
 	reg.CounterFunc("skygraph_cache_invalidations_total", "Cache entries dropped by mutations.",
 		func() float64 { return float64(s.cache.Stats().Invalidations) })
+	reg.CounterFunc("skygraph_cache_delta_applied_total", "Cache entries upgraded in place across a mutation.",
+		func() float64 { return float64(s.cache.Stats().DeltaApplied) })
+	reg.CounterFunc("skygraph_cache_delta_fallbacks_total", "Cache entries a mutation dropped because no delta proof existed.",
+		func() float64 { return float64(s.cache.Stats().DeltaFallbacks) })
 	reg.GaugeFunc("skygraph_cache_entries", "Cached tables and ranked answers.",
 		func() float64 { return float64(s.cache.Len()) })
 

@@ -41,6 +41,10 @@ type rankedAnswer struct {
 	// coalesced leader).
 	shardHits int
 	hit       bool
+	// deltas counts the in-place delta upgrades the served cached
+	// answer has absorbed since it was cold-built (0 for fresh
+	// evaluations).
+	deltas int
 }
 
 // rankedArg is the scalar the answer depends on: k for top-k, the
@@ -68,7 +72,7 @@ func (s *Server) ranked(ctx context.Context, kind string, res resolved, k int, r
 			key += "|novec"
 		}
 		if e, ok := s.cache.GetRanked(key); ok {
-			return rankedAnswer{items: e.items, inexact: e.inexact, shardHits: n, hit: true}, nil
+			return rankedAnswer{items: e.items, inexact: e.inexact, deltas: e.deltas, shardHits: n, hit: true}, nil
 		}
 		s.flightMu.Lock()
 		leader, inflight := s.flight[key]
@@ -110,7 +114,7 @@ func (s *Server) leadRanked(ctx context.Context, kind string, res resolved, k in
 	// A previous leader may have published between our cache miss and
 	// flight takeover.
 	if e, ok := s.cache.getRankedRecheck(key); ok {
-		return rankedAnswer{items: e.items, inexact: e.inexact, shardHits: s.db.NumShards(), hit: true}, nil
+		return rankedAnswer{items: e.items, inexact: e.inexact, deltas: e.deltas, shardHits: s.db.NumShards(), hit: true}, nil
 	}
 
 	var run *gdb.Ranked
@@ -227,7 +231,22 @@ func (s *Server) leadRanked(ctx context.Context, kind string, res resolved, k in
 	// monotone, so unchanged before/after means every snapshot the scan
 	// used matches the keyed generations.
 	if gensEqual(gens, s.db.Generations()) {
-		s.cache.PutRanked(key, gens, &rankedEntry{items: ra.items, inexact: ra.inexact})
+		s.cache.PutRanked(key, gens, &rankedEntry{
+			items:   ra.items,
+			inexact: ra.inexact,
+			// The lineage makes the answer delta-maintainable: a later
+			// single mutation can splice, append or prove it unchanged
+			// instead of invalidating it (see delta.go).
+			lin: &rankedLineage{
+				kind:     kind,
+				q:        res.q,
+				qh:       res.qh,
+				m:        res.m,
+				arg:      rankedArg(kind, k, radius),
+				novector: res.novector,
+				eval:     res.opts.Eval,
+			},
+		})
 	}
 	return ra, nil
 }
@@ -247,6 +266,7 @@ func gensEqual(a, b []uint64) bool {
 // rankedStats assembles the wire stats for one pruned ranked answer.
 func (s *Server) rankedStats(ra rankedAnswer, start time.Time) QueryStats {
 	return QueryStats{
+		DeltaPatched:    ra.deltas,
 		Evaluated:       ra.evaluated,
 		Pruned:          ra.pruned,
 		Inexact:         ra.inexact,

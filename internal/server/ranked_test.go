@@ -126,10 +126,41 @@ func TestRankedNeverShadowsFullTable(t *testing.T) {
 	}
 }
 
-// TestRankedInvalidatedByMutation: inserting a graph invalidates cached
-// ranked answers (they are bound to every shard's generation).
-func TestRankedInvalidatedByMutation(t *testing.T) {
+// TestRankedMaintainedAcrossMutation: inserting a graph no longer
+// discards a cached ranked answer — the delta layer upgrades it in
+// place, and the patched answer matches a cold recompute exactly. With
+// delta maintenance disabled, the insert falls back to invalidation.
+func TestRankedMaintainedAcrossMutation(t *testing.T) {
 	_, ts := newShardedTestServerWith(t, 2, Config{CacheSize: 64}, dataset.PaperDB())
+	q := dataset.PaperQuery()
+	var first TopKResponse
+	postJSON(t, ts.URL+"/query/topk", QueryRequest{Graph: q, K: 3}, &first)
+	extra := testutil.SeededGraphs(33, 1)
+	extra[0].SetName("late-arrival")
+	postJSON(t, ts.URL+"/graphs", InsertRequest{Graph: extra[0]}, &InsertResponse{})
+	var second TopKResponse
+	postJSON(t, ts.URL+"/query/topk", QueryRequest{Graph: q, K: 3}, &second)
+	if !second.Stats.CacheHit || second.Stats.Evaluated+second.Stats.Pruned != 0 {
+		t.Fatalf("pruned topk after insert not delta-maintained: %+v", second.Stats)
+	}
+	if second.Stats.DeltaPatched == 0 {
+		t.Fatalf("maintained answer reports no delta patches: %+v", second.Stats)
+	}
+	// The patched answer must be byte-identical to a cold recompute on a
+	// server that never cached anything.
+	_, tsCold := newShardedTestServerWith(t, 2, Config{CacheSize: 64}, append(dataset.PaperDB(), extra[0]))
+	var cold TopKResponse
+	postJSON(t, tsCold.URL+"/query/topk", QueryRequest{Graph: q, K: 3}, &cold)
+	if !reflect.DeepEqual(cold.Items, second.Items) {
+		t.Fatalf("delta-patched topk differs from cold recompute:\ncold  %v\ndelta %v", cold.Items, second.Items)
+	}
+}
+
+// TestRankedInvalidatedByMutationWithDeltaOff: with delta maintenance
+// disabled, a mutation falls back to generation invalidation and the
+// next ranked query rescans everything.
+func TestRankedInvalidatedByMutationWithDeltaOff(t *testing.T) {
+	_, ts := newShardedTestServerWith(t, 2, Config{CacheSize: 64, DisableDelta: true}, dataset.PaperDB())
 	q := dataset.PaperQuery()
 	var first TopKResponse
 	postJSON(t, ts.URL+"/query/topk", QueryRequest{Graph: q, K: 3}, &first)

@@ -90,6 +90,11 @@ type Config struct {
 	// IdempotencyCapacity is the number of recently acknowledged
 	// mutation keys remembered for replay (0 = 4096; < 0 disables).
 	IdempotencyCapacity int
+	// DisableDelta turns off delta maintenance of cached tables and
+	// ranked answers: every mutation falls back to generation-keyed
+	// invalidation (the pre-delta behavior). An A/B lever for
+	// benchmarks and triage; answers are byte-identical either way.
+	DisableDelta bool
 }
 
 // Server serves similarity queries over a sharded graph database with a
@@ -821,10 +826,17 @@ func (s *Server) lead(ctx context.Context, res resolved, shard int, qh, key, ful
 	// that pruned nothing yields a complete table and is cached under
 	// the full key, where every request kind can reuse it.
 	putKey := CacheKey(shard, t.Generation, qh, res.basis, res.opts.Eval)
-	if !t.Complete {
+	e := &cacheEntry{shard: shard, table: t}
+	if t.Complete {
+		// Complete tables carry their maintenance lineage: a later
+		// mutation of this shard can splice its one-row delta in instead
+		// of invalidating the entry. Pruned variants hold survivor sets a
+		// row patch cannot maintain, so they stay invalidation-only.
+		e.lin = &tableLineage{q: res.q, qh: qh, basis: res.basis, eval: res.opts.Eval}
+	} else {
 		putKey = res.prunedVariant(putKey)
 	}
-	s.cache.Put(putKey, shard, t)
+	s.cache.put(putKey, e)
 	return t, false, nil
 }
 
@@ -850,7 +862,12 @@ func (s *Server) classifyQueryErr(err error) (int, string, string) {
 
 // queryStats assembles the wire stats for one answered query.
 func (s *Server) queryStats(ts tableSet, start time.Time) QueryStats {
+	deltas := 0
+	for _, t := range ts.tables {
+		deltas += t.Deltas
+	}
 	return QueryStats{
+		DeltaPatched:    deltas,
 		Evaluated:       ts.work.evaluated,
 		Pruned:          ts.work.pruned,
 		Inexact:         ts.inexact(),
@@ -1133,15 +1150,6 @@ func toItemJSON(items []topk.Item) []ItemJSON {
 	return out
 }
 
-// pruneShards eagerly drops cache entries of the mutated shards only;
-// the other shards' tables stay live (that is the point of per-shard
-// generations).
-func (s *Server) pruneShards(touched map[int]bool) {
-	for i := range touched {
-		s.cache.PruneStale(i, s.db.ShardGeneration(i))
-	}
-}
-
 // idemRecord remembers one acknowledged keyed mutation for replay;
 // exactly one field is set.
 type idemRecord struct {
@@ -1299,18 +1307,18 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	done := s.insertProgress(key)
 	inserted := make([]string, 0, len(gs))
 	var skipped []string
-	touched := make(map[int]bool)
 	for _, g := range gs {
 		if done[g.Name()] {
 			skipped = append(skipped, g.Name())
 			continue
 		}
-		if err := s.db.InsertKeyed(g, key); err != nil {
-			// Partial inserts stand (each bumped its shard's generation)
-			// and are reported; the request is not recorded for replay,
-			// but the applied names are noted under the key, so a keyed
-			// retry re-attempts exactly the remainder.
-			s.pruneShards(touched)
+		shard, gen, err := s.db.InsertKeyedGen(g, key)
+		if err != nil {
+			// Partial inserts stand (each bumped its shard's generation,
+			// and each already routed its cache delta) and are reported;
+			// the request is not recorded for replay, but the applied
+			// names are noted under the key, so a keyed retry re-attempts
+			// exactly the remainder.
 			s.mutationError(w, err, map[string]any{
 				"inserted":   inserted,
 				"generation": s.db.Generation(),
@@ -1320,9 +1328,11 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		s.health.NoteSuccess()
 		s.noteInsertProgress(key, g.Name())
 		inserted = append(inserted, g.Name())
-		touched[s.db.ShardFor(g.Name())] = true
+		// Route the delta per applied insert, not per request: each
+		// mutation advances its shard by exactly one generation, which is
+		// the step the upgrade proofs are built on.
+		s.deltaInsert(g, shard, gen)
 	}
-	s.pruneShards(touched)
 	// Inserted reports every name the request asked for that is now
 	// applied under this key — freshly inserted or skipped as already
 	// done — so a completed retry acks the whole request; Replayed
@@ -1354,7 +1364,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if s.rejectDegraded(w) {
 		return
 	}
-	existed, err := s.db.DeleteKeyedErr(name, key)
+	existed, shard, gen, err := s.db.DeleteKeyedGen(name, key)
 	if err != nil {
 		// The write-ahead append failed: the graph is still there and the
 		// mutation must not be acked.
@@ -1370,7 +1380,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.health.NoteSuccess()
-	s.pruneShards(map[int]bool{s.db.ShardFor(name): true})
+	s.deltaDelete(name, shard, gen)
 	resp := DeleteResponse{Deleted: name, Generation: s.db.Generation()}
 	s.idemRemember("delete", key, idemRecord{del: &resp})
 	writeJSON(w, http.StatusOK, resp)

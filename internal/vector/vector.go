@@ -19,9 +19,14 @@
 // falls back to the plain pass.
 //
 // Like internal/pivot, the structure is epoch-guarded and rebuilds when
-// the collection doubles past the last build; unlike pivot there is no
-// background work — a rebuild is one inline pass over the stored
-// embeddings.
+// the collection doubles past the last build. Rebuilds run off the
+// mutation path: Add snapshots the membership and queues the centroid
+// selection for a background worker, assigns the new member to its
+// nearest existing cell so it serves immediately, and the previous
+// epoch's partition keeps answering until the worker swaps the new one
+// in. Queries never see a half-built partition — staleness is detected
+// by the generation tag and answered by the plain-scan fallback, never
+// by a wrong answer.
 package vector
 
 import (
@@ -210,6 +215,13 @@ type Index struct {
 
 	gen uint64 // database generation after the last mutation
 
+	// Background rebuild state: queued membership snapshots, whether the
+	// worker goroutine is running, and the drain signal WaitRebuild
+	// blocks on.
+	jobs    []rebuildJob
+	working bool
+	drained *sync.Cond
+
 	snap      *Partition
 	snapDirty bool
 	// snapPivEpoch/snapPivCols fingerprint the pivot columns the cached
@@ -224,12 +236,14 @@ type Index struct {
 // New returns an empty index. pidx may be nil (embeddings are then the
 // WL block alone) and may also be attached later via AttachPivots.
 func New(cfg Config, pidx *pivot.Index) *Index {
-	return &Index{
+	ix := &Index{
 		cfg:     cfg.withDefaults(),
 		pidx:    pidx,
 		members: make(map[string]*member),
 		assign:  make(map[string]int),
 	}
+	ix.drained = sync.NewCond(&ix.mu)
+	return ix
 }
 
 // Config returns the resolved configuration.
@@ -248,8 +262,9 @@ func (ix *Index) AttachPivots(p *pivot.Index) {
 // Add registers a stored graph under the database generation its
 // insertion produced. The WL block of its embedding is computed here,
 // once — like the signature itself. Crossing the doubling threshold
-// triggers a centroid rebuild; otherwise the member is assigned to its
-// nearest existing cell.
+// queues a background centroid rebuild; either way the member is
+// assigned to its nearest EXISTING cell so it serves immediately — the
+// old partition keeps answering until the rebuild swaps in.
 func (ix *Index) Add(name string, g *graph.Graph, sig *measure.Signature, gen uint64) {
 	wl := graph.WLHistogram(g, ix.cfg.WLIters, ix.cfg.Dims)
 	ix.mu.Lock()
@@ -262,14 +277,89 @@ func (ix *Index) Add(name string, g *graph.Graph, sig *measure.Signature, gen ui
 	ix.order = append(ix.order, name)
 	ix.snapDirty = true
 	n := len(ix.order)
-	switch {
-	case ix.selectedAt == 0 && n >= ix.cfg.Cells:
-		ix.rebuildLocked()
-	case ix.selectedAt > 0 && n >= 2*ix.selectedAt:
-		ix.rebuildLocked()
-	case ix.selectedAt > 0:
+	if (ix.selectedAt == 0 && n >= ix.cfg.Cells) || (ix.selectedAt > 0 && n >= 2*ix.selectedAt) {
+		ix.scheduleRebuildLocked()
+	}
+	if ix.centroids != nil {
 		ix.assign[name] = ix.assignLocked(name)
 	}
+}
+
+// rebuildJob captures the membership a centroid rebuild was triggered
+// over. Member records are immutable after Add, so the worker can embed
+// them without the lock; snapshotting at trigger time makes the
+// selection input — and therefore the chosen centroids — independent of
+// how long the job waited in the queue.
+type rebuildJob struct {
+	names []string
+	mems  []*member
+}
+
+// scheduleRebuildLocked snapshots the current membership and queues a
+// centroid re-selection. selectedAt advances at TRIGGER time, not at
+// completion: the doubling test compares against the size the queued
+// build will cover, so a sustained insert burst queues one build per
+// doubling — O(log growth) builds total — not one per insert.
+func (ix *Index) scheduleRebuildLocked() {
+	job := rebuildJob{
+		names: append([]string(nil), ix.order...),
+		mems:  make([]*member, len(ix.order)),
+	}
+	for i, name := range job.names {
+		job.mems[i] = ix.members[name]
+	}
+	ix.selectedAt = len(ix.order)
+	ix.jobs = append(ix.jobs, job)
+	if !ix.working {
+		ix.working = true
+		go ix.rebuildWorker()
+	}
+}
+
+// rebuildWorker drains the rebuild queue serially. Selection runs
+// outside the lock — Add, Remove, Snapshot and queries keep using the
+// previous epoch's partition meanwhile — and the swap is one short
+// critical section: bump the epoch, install the centroids, reassign the
+// CURRENT membership (members deleted while selecting drop out, members
+// added while selecting get their final cells).
+func (ix *Index) rebuildWorker() {
+	ix.mu.Lock()
+	for len(ix.jobs) > 0 {
+		job := ix.jobs[0]
+		ix.jobs = ix.jobs[1:]
+		pidx := ix.pidx
+		ix.mu.Unlock()
+
+		start := time.Now()
+		centroids, pnames, pivEpoch := selectCentroids(job, ix.cfg, pidx)
+
+		ix.mu.Lock()
+		ix.epoch++
+		ix.centroids = centroids
+		ix.pnames, ix.pivEpoch = pnames, pivEpoch
+		ix.assign = make(map[string]int, len(ix.order))
+		for _, name := range ix.order {
+			ix.assign[name] = ix.assignLocked(name)
+		}
+		ix.snapDirty = true
+		ix.rebuilds.Add(1)
+		ix.rebuildNanos.Add(int64(time.Since(start)))
+	}
+	ix.working = false
+	ix.drained.Broadcast()
+	ix.mu.Unlock()
+}
+
+// WaitRebuild blocks until every queued centroid rebuild has completed
+// and swapped in. Tests, benchmarks and metrics probes use it to
+// observe the post-rebuild state; serving paths never need it — a query
+// that races a rebuild just keeps using the previous partition.
+func (ix *Index) WaitRebuild() {
+	ix.mu.Lock()
+	for ix.working {
+		ix.drained.Wait()
+	}
+	ix.mu.Unlock()
 }
 
 // Remove forgets a graph under the generation its deletion produced.
@@ -339,55 +429,46 @@ func (ix *Index) assignLocked(name string) int {
 	return best
 }
 
-// rebuildLocked re-selects the coarse centroids with a deterministic
-// farthest-first sweep over the member embeddings (seeded by the oldest
-// member, ties by insertion order — mirroring the pivot index's pivot
-// selection) and reassigns every member. Inline: one O(n·cells·dims)
-// pass, no background work to guard.
-func (ix *Index) rebuildLocked() {
-	start := time.Now()
-	defer func() {
-		ix.rebuilds.Add(1)
-		ix.rebuildNanos.Add(int64(time.Since(start)))
-	}()
-	ix.epoch++
-	ix.selectedAt = len(ix.order)
-	ix.snapDirty = true
-	ix.centroids = nil
-	ix.assign = make(map[string]int, len(ix.order))
-	if len(ix.order) == 0 {
-		return
+// selectCentroids re-selects the coarse centroids with a deterministic
+// farthest-first sweep over the job's membership snapshot (seeded by
+// the oldest member, ties by insertion order — mirroring the pivot
+// index's pivot selection). Lock-free: member records are immutable and
+// the pivot column snapshot is itself epoch-tagged. The returned layout
+// is the WL block plus one coordinate per pivot of the read epoch.
+func selectCentroids(job rebuildJob, cfg Config, pidx *pivot.Index) (centroids [][]float64, pnames []string, pivEpoch uint64) {
+	if len(job.names) == 0 {
+		return nil, nil, 0
 	}
-	// Fix the embedding layout for this epoch from the pivot index's
-	// current selection.
-	ix.pnames = nil
-	ix.pivEpoch = 0
 	var cols map[string][]pivot.Entry
-	if ix.pidx != nil {
-		var pe uint64
-		var pn []string
-		pe, pn, cols = ix.pidx.ColumnsSnapshot()
-		ix.pivEpoch, ix.pnames = pe, pn
+	if pidx != nil {
+		pivEpoch, pnames, cols = pidx.ColumnsSnapshot()
 	}
-	embs := make([][]float64, len(ix.order))
-	for i, name := range ix.order {
-		embs[i] = ix.embedLocked(ix.members[name], cols, name)
+	embs := make([][]float64, len(job.names))
+	for i := range job.names {
+		emb := make([]float64, cfg.Dims+len(pnames))
+		copy(emb, job.mems[i].wl)
+		if col, ok := cols[job.names[i]]; ok && len(col) == len(pnames) {
+			for j, e := range col {
+				emb[cfg.Dims+j] = (e.Lo + e.Hi) / 2
+			}
+		}
+		embs[i] = emb
 	}
-	k := ix.cfg.Cells
-	if k > len(ix.order) {
-		k = len(ix.order)
+	k := cfg.Cells
+	if k > len(job.names) {
+		k = len(job.names)
 	}
-	minDist := make([]float64, len(ix.order))
+	minDist := make([]float64, len(job.names))
 	for i := range minDist {
 		minDist[i] = math.Inf(1)
 	}
-	chosen := make([]bool, len(ix.order))
+	chosen := make([]bool, len(job.names))
 	pick := 0
-	for len(ix.centroids) < k {
+	for len(centroids) < k {
 		chosen[pick] = true
-		ix.centroids = append(ix.centroids, append([]float64(nil), embs[pick]...))
+		centroids = append(centroids, append([]float64(nil), embs[pick]...))
 		best, bestAt := -1.0, -1
-		for i := range ix.order {
+		for i := range job.names {
 			if chosen[i] {
 				continue
 			}
@@ -403,15 +484,7 @@ func (ix *Index) rebuildLocked() {
 		}
 		pick = bestAt
 	}
-	for i, name := range ix.order {
-		best, bestD := 0, math.Inf(1)
-		for c, cent := range ix.centroids {
-			if d := l2(embs[i], cent); d < bestD {
-				best, bestD = c, d
-			}
-		}
-		ix.assign[name] = best
-	}
+	return centroids, pnames, pivEpoch
 }
 
 // Snapshot returns the immutable query-facing partition, rebuilding it

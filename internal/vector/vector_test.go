@@ -12,11 +12,13 @@ import (
 )
 
 // addAll registers graphs under consecutive generations starting at 1,
-// the way a database insert path would.
+// the way a database insert path would, and drains the background
+// rebuild queue so the caller observes the post-build state.
 func addAll(ix *vector.Index, gs []*graph.Graph) {
 	for i, g := range gs {
 		ix.Add(g.Name(), g, measure.NewSignature(g), uint64(i+1))
 	}
+	ix.WaitRebuild()
 }
 
 // TestDormantUntilCells: below Config.Cells members the index has no
@@ -30,6 +32,7 @@ func TestDormantUntilCells(t *testing.T) {
 			t.Fatalf("partition exists at %d members (cells=4)", i+1)
 		}
 	}
+	ix.WaitRebuild()
 	p := ix.Snapshot()
 	if p == nil {
 		t.Fatal("no partition after 10 members")

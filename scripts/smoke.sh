@@ -48,8 +48,24 @@ do
   fi
 done
 
+# Write-heavy burst: 10% mutations against the warmed daemon. The
+# cache must absorb at least some of those writes in place — a zero
+# delta_applied after this means the maintenance path regressed into
+# always falling back to invalidation.
+echo "--- write-heavy burst (-mutate-pct 10)"
+"$WORK/loadgen" -addr "$ADDR" -duration "$DURATION" -concurrency 4 \
+  -seed 2 -mutate-pct 10 -fail-on-error -out "$WORK/report_mutate.json"
+
+STATS="$(curl -fsS "http://$ADDR/stats")"
+if ! grep -Eq '"delta_applied":[1-9]' <<<"$STATS"; then
+  echo "smoke: no delta upgrades applied under the mutation burst" >&2
+  echo "$STATS" >&2
+  exit 1
+fi
+
 # The report must round-trip through benchjson -compare (against
 # itself: zero regression by construction).
 go run ./cmd/benchjson -compare "$WORK/report.json" "$WORK/report.json" >/dev/null
+go run ./cmd/benchjson -compare "$WORK/report_mutate.json" "$WORK/report_mutate.json" >/dev/null
 
 echo "smoke: OK"
